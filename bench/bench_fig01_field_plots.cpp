@@ -1,0 +1,73 @@
+// Figure 1 — Weibull probability plots of three HDD products. The paper's
+// observation: only HDD #1 falls on a straight line (a true Weibull); #2
+// bends upward after ~10,000 h (competing wear-out); #3 shows two
+// inflections (mixture + competing risks). We regenerate synthetic field
+// studies from the documented composite laws, plot them on Weibull paper
+// and quantify straightness by rank-regression r^2.
+#include <iostream>
+
+#include "bench_support.h"
+#include "field/paper_products.h"
+#include "report/ascii_chart.h"
+#include "report/table.h"
+#include "rng/rng.h"
+#include "stats/fit.h"
+#include "util/strings.h"
+
+int main(int argc, char** argv) {
+  using namespace raidrel;
+  const auto opt = bench::parse_options(argc, argv);
+  bench::print_header(
+      "Figure 1 — cumulative probability of failure (Weibull paper)",
+      "only HDD #1 fits a Weibull distribution (straight line); HDD #2 "
+      "bends up after ~10,000 h; HDD #3 has two inflection points",
+      opt);
+
+  rng::RandomStream rs(opt.seed);
+  report::Table summary({"product", "true law", "failures", "suspensions",
+                         "rank-regression beta", "eta (h)", "r^2"});
+  report::AsciiChart chart({.width = 72, .height = 22,
+                            .x_label = "time to failure (h, log)",
+                            .y_label = "ln(-ln(1-F))  [linear = Weibull]",
+                            .log_x = true});
+  static constexpr char kMarkers[] = "*o+";
+
+  int idx = 0;
+  for (const auto& spec : field::figure1_products()) {
+    const auto data = field::generate_study(spec, rs);
+    const auto fit = stats::fit_weibull_rank_regression_censored(data);
+    std::size_t failures = 0;
+    for (const auto& obs : data) failures += obs.event ? 1 : 0;
+    summary.add_row({spec.name, spec.life->describe(),
+                     std::to_string(failures),
+                     std::to_string(data.size() - failures),
+                     util::format_fixed(fit.params.beta, 3),
+                     util::format_general(fit.params.eta, 4),
+                     util::format_fixed(fit.r_squared, 4)});
+
+    // Thin the plot points so the chart stays readable.
+    const auto pts = stats::weibull_plot_points_censored(data);
+    std::vector<double> xs, ys;
+    const std::size_t step = std::max<std::size_t>(1, pts.size() / 120);
+    for (std::size_t i = 0; i < pts.size(); i += step) {
+      xs.push_back(pts[i].time);
+      ys.push_back(pts[i].y);
+    }
+    if (opt.chart) {
+      chart.add_series(spec.name, std::move(xs), std::move(ys),
+                       kMarkers[idx % 3]);
+    }
+    ++idx;
+  }
+
+  summary.print_text(std::cout);
+  if (opt.csv) summary.print_csv(std::cout);
+  if (opt.chart) {
+    std::cout << '\n';
+    chart.print(std::cout);
+  }
+  std::cout << "\nReproduction check: HDD #1 r^2 should exceed the others "
+               "(straight line), HDD #2 shows one upward bend, HDD #3 two "
+               "inflections — compare slopes along each series.\n";
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Figure 6 — model vs. MTTDL without latent defects. Four variants:
+//   c-c       constant failure & repair rates (must track the MTTDL line)
+//   f(t)-c    Weibull(beta 1.12) failures, constant repairs
+//   c-r(t)    constant failures, 3-parameter Weibull repairs
+//   f(t)-r(t) Table 2 laws for both
+// DDFs here are pure double-operational overlaps — ~0.3 per 1000 groups
+// per 10 years — so the curves use the conditional-expectation probe
+// (exact per-failure loss probabilities) rather than raw counting, which
+// would need ~1e8 trials for a smooth line.
+#include <iostream>
+
+#include "bench_support.h"
+#include "core/model.h"
+#include "core/presets.h"
+
+int main(int argc, char** argv) {
+  using namespace raidrel;
+  const auto opt = bench::parse_options(argc, argv, /*default_trials=*/150000);
+  bench::print_header(
+      "Figure 6 — model compared to MTTDL without latent defects",
+      "c-c follows the MTTDL line; time-dependent variants deviate ~2x; "
+      "MTTDL predicts 0.277 DDFs / 1000 groups / 10 years",
+      opt);
+
+  std::vector<bench::Series> series;
+  // The analytic MTTDL straight line, on the same grid.
+  {
+    const auto in = core::presets::mttdl_inputs();
+    bench::Series mttdl;
+    mttdl.name = "MTTDL";
+    for (double t = opt.bucket_hours; t < 87600.0 + 1.0;
+         t += opt.bucket_hours) {
+      const double tt = std::min(t, 87600.0);
+      mttdl.times.push_back(tt);
+      mttdl.values.push_back(analytic::expected_ddfs(in, tt, 1000.0));
+    }
+    series.push_back(std::move(mttdl));
+  }
+
+  for (const auto variant : core::presets::all_fig6_variants()) {
+    const auto scenario = core::presets::fig6_variant(variant);
+    const auto result = core::evaluate_scenario(scenario, opt.run_options());
+    series.push_back(bench::cumulative_series(
+        core::presets::to_string(variant), result.run,
+        sim::Estimator::kDoubleOpProbe));
+    std::cout << core::presets::to_string(variant)
+              << ": 10-year DDFs/1000 groups = "
+              << result.run.total_ddfs_per_1000(sim::Estimator::kDoubleOpProbe)
+              << "  (MTTDL line: "
+              << result.mttdl_ddfs_per_1000_at(87600.0) << ")\n";
+  }
+  std::cout << '\n';
+  bench::print_series_table(series, opt, "hours",
+                            "cumulative DDFs per 1000 RAID groups");
+  std::cout << "Reproduction check: 'c-c' tracks MTTDL; the other variants "
+               "differ by factors on the order of 2 (paper: \"on the order "
+               "of 2 to 1\").\n";
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Figure 7 — effect of latent defects, with no scrub vs. a 168-hour scrub.
+// The paper: without scrubbing the base case produces >1,200 DDFs per 1000
+// groups in 10 years (vs. MTTDL's 0.277); a 168 h scrub removes most but
+// far from all of them. The curves are non-linear (time-dependent ROCOF).
+#include <iostream>
+
+#include "bench_support.h"
+#include "core/model.h"
+#include "core/presets.h"
+
+int main(int argc, char** argv) {
+  using namespace raidrel;
+  const auto opt = bench::parse_options(argc, argv, /*default_trials=*/60000);
+  bench::print_header(
+      "Figure 7 — latent defects, no scrub vs 168 h scrub",
+      "no scrub: >1,200 DDFs / 1000 groups / 10 years; 168 h scrub far "
+      "lower but still orders of magnitude above MTTDL's 0.277",
+      opt);
+
+  const auto no_scrub = core::evaluate_scenario(
+      core::presets::base_case_no_scrub(), opt.run_options());
+  const auto with_scrub =
+      core::evaluate_scenario(core::presets::base_case(), opt.run_options());
+
+  std::cout << "no scrub:    " << no_scrub.run.total_ddfs_per_1000()
+            << " +/- " << no_scrub.run.total_ddfs_per_1000_sem()
+            << " DDFs/1000 groups (10 yr)\n"
+            << "168 h scrub: " << with_scrub.run.total_ddfs_per_1000()
+            << " +/- " << with_scrub.run.total_ddfs_per_1000_sem()
+            << " DDFs/1000 groups (10 yr)\n"
+            << "MTTDL:       "
+            << no_scrub.mttdl_ddfs_per_1000_at(87600.0) << "\n\n";
+
+  std::vector<bench::Series> series;
+  series.push_back(bench::cumulative_series("no scrub", no_scrub.run));
+  series.push_back(bench::cumulative_series("168 h scrub", with_scrub.run));
+  bench::print_series_table(series, opt, "hours",
+                            "cumulative DDFs per 1000 RAID groups");
+  std::cout << "Reproduction check: both curves non-linear (bending up); "
+               "no-scrub in the ~1,000+ range, 168 h scrub roughly an order "
+               "of magnitude lower.\n";
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Figure 9 — effect of scrub duration: the base case with scrub
+// characteristic durations of 12, 48, 168 and 336 hours. Shorter scrubs
+// shrink the window in which a latent defect can pair with an operational
+// failure, monotonically reducing DDFs; all curves stay non-linear.
+#include <iostream>
+
+#include "bench_support.h"
+#include "core/model.h"
+#include "core/presets.h"
+#include "report/table.h"
+#include "util/strings.h"
+
+int main(int argc, char** argv) {
+  using namespace raidrel;
+  const auto opt = bench::parse_options(argc, argv, /*default_trials=*/60000);
+  bench::print_header(
+      "Figure 9 — effect of scrub duration (12 / 48 / 168 / 336 h)",
+      "shorter scrubs monotonically reduce DDFs; plots remain non-linear "
+      "(time-dependent ROCOF)",
+      opt);
+
+  std::vector<bench::Series> series;
+  report::Table totals({"scrub duration (h)", "DDFs/1000 (10 yr)", "+/- SEM",
+                        "vs MTTDL (0.277)"});
+  for (double scrub : core::presets::fig9_scrub_durations()) {
+    const auto result = core::evaluate_scenario(
+        core::presets::with_scrub_duration(scrub), opt.run_options());
+    const double total = result.run.total_ddfs_per_1000();
+    totals.add_row({util::format_fixed(scrub, 0),
+                    util::format_fixed(total, 1),
+                    util::format_fixed(result.run.total_ddfs_per_1000_sem(), 1),
+                    util::format_fixed(
+                        total / result.mttdl_ddfs_per_1000_at(87600.0), 0) +
+                        "x"});
+    series.push_back(bench::cumulative_series(
+        util::format_fixed(scrub, 0) + " h scrub", result.run));
+  }
+  totals.print_text(std::cout);
+  std::cout << '\n';
+  bench::print_series_table(series, opt, "hours",
+                            "cumulative DDFs per 1000 RAID groups");
+  std::cout << "Reproduction check: strictly increasing totals with scrub "
+               "duration; even the 12 h scrub sits far above the MTTDL "
+               "prediction.\n";
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Design-tool sweep — latent-defect rate sensitivity across the paper's
+// Table 1 grid. The conclusion the paper draws for RAID architects: "the
+// latent defect occurrence rate ... may be 100 times greater than the
+// operational failure rate", and the model exists to quantify what that
+// does. Sweeps the six Table 1 cells (plus the off case) at the base-case
+// scrub policy.
+#include <iostream>
+
+#include "bench_support.h"
+#include "core/model.h"
+#include "core/presets.h"
+#include "report/table.h"
+#include "util/strings.h"
+#include "workload/read_errors.h"
+
+int main(int argc, char** argv) {
+  using namespace raidrel;
+  const auto opt = bench::parse_options(argc, argv, /*default_trials=*/60000);
+  bench::print_header(
+      "Design sweep — DDFs across the Table 1 latent-defect-rate grid",
+      "paper conclusion: the latent rate may be ~100x the operational rate "
+      "and dominates RAID(N+1) reliability; 168 h scrub held fixed",
+      opt);
+
+  // The operational failure rate for comparison: ~1/461,386 h.
+  const double op_rate = 1.0 / 461386.0;
+
+  report::Table table({"Table 1 cell", "defect rate (err/h)",
+                       "x op-failure rate", "DDFs/1000 (10 yr)", "+/- SEM"});
+  {
+    const auto off = core::evaluate_scenario(
+        core::presets::no_latent_defects(), opt.run_options());
+    table.add_row({"no latent defects", "0", "0x",
+                   util::format_fixed(off.run.total_ddfs_per_1000(), 2),
+                   util::format_fixed(off.run.total_ddfs_per_1000_sem(), 2)});
+  }
+  for (const auto& cell : workload::table1_grid()) {
+    core::ScenarioConfig scenario = core::presets::base_case();
+    scenario.ttld = stats::WeibullParams{0.0, 1.0 / cell.errors_per_hour, 1.0};
+    scenario.name = cell.rer_label + "/" + cell.rate_label;
+    const auto result = core::evaluate_scenario(scenario, opt.run_options());
+    table.add_row(
+        {scenario.name, util::format_sci(cell.errors_per_hour, 2),
+         util::format_fixed(cell.errors_per_hour / op_rate, 0) + "x",
+         util::format_fixed(result.run.total_ddfs_per_1000(), 1),
+         util::format_fixed(result.run.total_ddfs_per_1000_sem(), 1)});
+  }
+  table.print_text(std::cout);
+  if (opt.csv) table.print_csv(std::cout);
+  std::cout << "\nReading the table: the base case's cell (Med/Low Rate, "
+               "~50x the op rate) already multiplies data loss by ~500 over "
+               "the defect-free model; the worst Table 1 cell (~2000x) is "
+               "catastrophic even with scrubbing. Drive selection (RER) and "
+               "workload placement move reliability more than any other "
+               "knob the designer holds.\n";
+  return 0;
+}

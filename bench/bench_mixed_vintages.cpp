@@ -1,0 +1,71 @@
+// Ablation — mixed-vintage RAID groups. The paper's §2 shows vintages of
+// one product with very different lifetime laws (Fig. 2); real arrays mix
+// vintages as drives are replaced over the years. A single-MTBF method
+// cannot even pose this question; the per-slot engine answers it directly.
+#include <iostream>
+
+#include "bench_support.h"
+#include "core/model.h"
+#include "core/presets.h"
+#include "field/paper_products.h"
+#include "report/table.h"
+#include "sim/runner.h"
+#include "util/strings.h"
+
+int main(int argc, char** argv) {
+  using namespace raidrel;
+  const auto opt = bench::parse_options(argc, argv, /*default_trials=*/40000);
+  bench::print_header(
+      "Ablation — homogeneous vs mixed-vintage groups (Fig. 2 vintages)",
+      "vintage 1: beta=1.0987 eta=4.5444e5; vintage 2: beta=1.2162 "
+      "eta=1.2566e5; vintage 3: beta=1.4873 eta=7.5012e4; Table 2 "
+      "restore/latent/scrub laws",
+      opt);
+
+  report::Table table({"group composition", "DDFs/1000 (10 yr)", "+/- SEM"});
+
+  // Homogeneous groups, one per vintage.
+  for (const auto& vintage : field::figure2_vintages()) {
+    core::ScenarioConfig scenario = core::presets::base_case();
+    scenario.name = vintage.name;
+    scenario.ttop = vintage.true_params;
+    const auto result = core::evaluate_scenario(scenario, opt.run_options());
+    table.add_row({std::string("all ") + vintage.name,
+                   util::format_fixed(result.run.total_ddfs_per_1000(), 1),
+                   util::format_fixed(result.run.total_ddfs_per_1000_sem(),
+                                      1)});
+  }
+
+  // The mixed group (slots cycle through the vintages).
+  const auto mixed = core::presets::mixed_vintage_group();
+  const auto run = sim::run_monte_carlo(mixed, opt.run_options());
+  table.add_row({"mixed (cycling 1/2/3)",
+                 util::format_fixed(run.total_ddfs_per_1000(), 1),
+                 util::format_fixed(run.total_ddfs_per_1000_sem(), 1)});
+
+  // The naive single-MTBF approximation of the mix: average the etas.
+  {
+    const auto vintages = field::figure2_vintages();
+    double eta_avg = 0.0;
+    for (const auto& v : vintages) eta_avg += v.true_params.eta;
+    eta_avg /= static_cast<double>(vintages.size());
+    core::ScenarioConfig naive = core::presets::base_case();
+    naive.name = "naive eta-average";
+    naive.ttop = {0.0, eta_avg, 1.0};
+    const auto result = core::evaluate_scenario(naive, opt.run_options());
+    table.add_row({"naive single-MTBF (mean eta, beta=1)",
+                   util::format_fixed(result.run.total_ddfs_per_1000(), 1),
+                   util::format_fixed(result.run.total_ddfs_per_1000_sem(),
+                                      1)});
+  }
+
+  table.print_text(std::cout);
+  if (opt.csv) table.print_csv(std::cout);
+  std::cout << "\nReading the table: the mixed group lands between the "
+               "all-vintage extremes, dominated by its weakest members — a "
+               "DDF needs only one short-lived vintage-3 failure against "
+               "any defective partner. The practitioner shortcut (one "
+               "exponential drive with the averaged MTBF) understates the "
+               "mixed group's DDFs by a large margin.\n";
+  return 0;
+}

@@ -1,0 +1,94 @@
+// Performance microbenchmarks (google-benchmark): distribution sampling
+// and full group-mission simulation throughput. These bound how many
+// Monte Carlo trials a study can afford — the practical limit the paper's
+// method trades against MTTDL's closed form.
+#include <benchmark/benchmark.h>
+
+#include "core/presets.h"
+#include "sim/group_simulator.h"
+#include "sim/runner.h"
+#include "sim/timing_engine.h"
+#include "stats/weibull.h"
+
+namespace {
+
+using namespace raidrel;
+
+void BM_WeibullSample(benchmark::State& state) {
+  const stats::Weibull w(6.0, 12.0, 2.0);
+  rng::RandomStream rs(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(w.sample(rs));
+  }
+}
+BENCHMARK(BM_WeibullSample);
+
+void BM_WeibullResidualSample(benchmark::State& state) {
+  const stats::Weibull w(0.0, 461386.0, 1.12);
+  rng::RandomStream rs(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(w.sample_residual(50000.0, rs));
+  }
+}
+BENCHMARK(BM_WeibullResidualSample);
+
+void BM_GroupMission_BaseCase(benchmark::State& state) {
+  const auto cfg = core::presets::base_case().to_group_config();
+  sim::GroupSimulator simulator(cfg);
+  rng::StreamFactory streams(3);
+  sim::TrialResult out;
+  std::uint64_t trial = 0;
+  for (auto _ : state) {
+    auto rs = streams.stream(trial++);
+    simulator.run_trial(rs, out);
+    benchmark::DoNotOptimize(out.op_failures);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_GroupMission_BaseCase);
+
+void BM_GroupMission_NoLatent(benchmark::State& state) {
+  const auto cfg = core::presets::no_latent_defects().to_group_config();
+  sim::GroupSimulator simulator(cfg);
+  rng::StreamFactory streams(4);
+  sim::TrialResult out;
+  std::uint64_t trial = 0;
+  for (auto _ : state) {
+    auto rs = streams.stream(trial++);
+    simulator.run_trial(rs, out);
+    benchmark::DoNotOptimize(out.op_failures);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_GroupMission_NoLatent);
+
+void BM_TimingEngineMission_BaseCase(benchmark::State& state) {
+  auto cfg = core::presets::base_case().to_group_config();
+  cfg.clear_defects_on_ddf_restore = false;
+  sim::TimingDiagramEngine engine(cfg);
+  rng::StreamFactory streams(5);
+  sim::TrialResult out;
+  std::uint64_t trial = 0;
+  for (auto _ : state) {
+    auto rs = streams.stream(trial++);
+    engine.run_trial(rs, out);
+    benchmark::DoNotOptimize(out.op_failures);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_TimingEngineMission_BaseCase);
+
+void BM_FullRun_MultiThreaded(benchmark::State& state) {
+  const auto cfg = core::presets::base_case().to_group_config();
+  for (auto _ : state) {
+    const auto result = sim::run_monte_carlo(
+        cfg, {.trials = 2000, .seed = 6, .threads = 0,
+              .bucket_hours = 730.0});
+    benchmark::DoNotOptimize(result.total_ddfs_per_1000());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          2000);
+}
+BENCHMARK(BM_FullRun_MultiThreaded)->Unit(benchmark::kMillisecond);
+
+}  // namespace

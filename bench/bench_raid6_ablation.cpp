@@ -1,0 +1,72 @@
+// Extension ablation — RAID 6. The paper's conclusion: "It appears that,
+// eventually, RAID 6 will be required to meet high reliability
+// requirements." We quantify that with the same engine: base case vs. a
+// double-parity group (8+2) under each scrub policy, plus the analytic
+// constant-rate RAID 6 MTTDL for reference.
+#include <iostream>
+
+#include "analytic/markov.h"
+#include "bench_support.h"
+#include "core/model.h"
+#include "core/presets.h"
+#include "report/table.h"
+#include "util/strings.h"
+
+int main(int argc, char** argv) {
+  using namespace raidrel;
+  const auto opt = bench::parse_options(argc, argv, /*default_trials=*/60000);
+  bench::print_header(
+      "Ablation — RAID 5 (7+1) vs RAID 6 (8+2) under the NHPP latent-defect "
+      "model",
+      "paper conclusion: \"eventually, RAID 6 will be required\"",
+      opt);
+
+  const auto in = core::presets::mttdl_inputs();
+  const double lambda = 1.0 / in.mttf_hours;
+  const double mu = 1.0 / in.mttr_hours;
+  std::cout << "Constant-rate yardsticks: RAID5 MTTDL = "
+            << analytic::mttdl_exact_hours(in) / analytic::kHoursPerYear
+            << " years; RAID6 (Markov) = "
+            << analytic::raid6_chain(in.data_drives, lambda, mu)
+                       .mean_time_to_absorption(0) /
+                   analytic::kHoursPerYear
+            << " years\n\n";
+
+  report::Table table({"configuration", "scrub", "DDFs/1000 (10 yr)",
+                       "+/- SEM", "RAID6/RAID5"});
+  for (const char* scrub_label : {"none", "168 h", "12 h"}) {
+    core::ScenarioConfig r5 = core::presets::base_case_no_scrub();
+    if (std::string(scrub_label) == "168 h") {
+      r5 = core::presets::with_scrub_duration(168.0);
+    } else if (std::string(scrub_label) == "12 h") {
+      r5 = core::presets::with_scrub_duration(12.0);
+    }
+    core::ScenarioConfig r6 = r5;
+    r6.name = "RAID6 " + r5.name;
+    r6.group_drives = 10;
+    r6.redundancy = 2;
+
+    const auto res5 = core::evaluate_scenario(r5, opt.run_options());
+    const auto res6 = core::evaluate_scenario(r6, opt.run_options());
+    const double t5 = res5.run.total_ddfs_per_1000();
+    const double t6 = res6.run.total_ddfs_per_1000();
+    table.add_row({"RAID5 7+1", scrub_label, util::format_fixed(t5, 1),
+                   util::format_fixed(res5.run.total_ddfs_per_1000_sem(), 1),
+                   "-"});
+    table.add_row({"RAID6 8+2", scrub_label, util::format_fixed(t6, 1),
+                   util::format_fixed(res6.run.total_ddfs_per_1000_sem(), 1),
+                   util::format_fixed(t5 > 0 ? t6 / t5 : 0.0, 3)});
+  }
+  table.print_text(std::cout);
+  if (opt.csv) table.print_csv(std::cout);
+  std::cout << "\nReading the table: with scrubbing, double parity cuts "
+               "data loss by 1-2 orders of magnitude (the paper's "
+               "\"eventually, RAID 6 will be required\"). WITHOUT scrubbing "
+               "RAID6 is no better — latent defects saturate every drive, "
+               "the extra parity is permanently spent, and DDFs simply "
+               "scale with group size (10/8 here). Scrubbing is the "
+               "enabling technology for double parity, which sharpens the "
+               "paper's \"for systems that currently do not scrub ... a "
+               "recipe for disaster\".\n";
+  return 0;
+}

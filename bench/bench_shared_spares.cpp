@@ -1,0 +1,88 @@
+// Ablation — datacenter sparing: how many shared spares does a fleet
+// need? The paper's model assumes a spare is always on hand; a datacenter
+// stocks a finite pool shared by many RAID groups, and a failure burst
+// can starve it, exposing several groups at once (correlated risk no
+// per-group model can express). Sweeps pool capacity at a weekly
+// replenishment cycle for a 50-group fleet of aging drives.
+#include <iostream>
+
+#include "bench_support.h"
+#include "report/table.h"
+#include "sim/fleet_simulator.h"
+#include "stats/weibull.h"
+#include "util/math.h"
+#include "util/strings.h"
+
+int main(int argc, char** argv) {
+  using namespace raidrel;
+  const auto opt = bench::parse_options(argc, argv, /*default_trials=*/300);
+  bench::print_header(
+      "Ablation — shared spare pool sizing for a 50-group fleet",
+      "extends the paper's always-spared assumption to finite shared "
+      "sparing with weekly replenishment; aging fleet (eta compressed to "
+      "23,000 h), 2.5-year window",
+      opt);
+
+  auto make_fleet = [](std::optional<raid::SparePoolConfig> pool) {
+    sim::FleetConfig fleet;
+    for (int g = 0; g < 50; ++g) {
+      raid::SlotModel m;
+      m.time_to_op_failure =
+          std::make_unique<stats::Weibull>(0.0, 23000.0, 1.12);
+      m.time_to_restore = std::make_unique<stats::Weibull>(6.0, 12.0, 2.0);
+      m.time_to_latent_defect =
+          std::make_unique<stats::Weibull>(0.0, 9259.0, 1.0);
+      m.time_to_scrub = std::make_unique<stats::Weibull>(6.0, 168.0, 3.0);
+      fleet.groups.push_back(raid::make_uniform_group(8, 1, m, 21900.0));
+    }
+    fleet.shared_pool = pool;
+    return fleet;
+  };
+
+  report::Table table({"shared spares", "DDFs per fleet (2.5 yr)", "+/- SEM",
+                       "vs always-spared", "backlog at end (avg drives)"});
+  struct Measured {
+    util::RunningStats ddfs;
+    util::RunningStats backlog;
+  };
+  auto measure = [&](const sim::FleetConfig& fleet) {
+    sim::FleetSimulator simulator(fleet);
+    rng::StreamFactory streams(opt.seed);
+    sim::FleetTrialResult out;
+    Measured m;
+    for (std::size_t i = 0; i < opt.trials; ++i) {
+      auto rs = streams.stream(i);
+      simulator.run_trial(rs, out);
+      m.ddfs.add(static_cast<double>(out.total_ddfs()));
+      m.backlog.add(static_cast<double>(simulator.waiting_drives_at_end()));
+    }
+    return m;
+  };
+
+  const auto baseline = measure(make_fleet(std::nullopt));
+  table.add_row({"always available",
+                 util::format_fixed(baseline.ddfs.mean(), 2),
+                 util::format_fixed(baseline.ddfs.sem(), 2), "1.00x", "0"});
+  for (unsigned capacity : {2u, 3u, 4u, 6u, 10u, 16u}) {
+    const auto r = measure(make_fleet(raid::SparePoolConfig{capacity, 168.0}));
+    table.add_row(
+        {std::to_string(capacity), util::format_fixed(r.ddfs.mean(), 2),
+         util::format_fixed(r.ddfs.sem(), 2),
+         util::format_fixed(r.ddfs.mean() / baseline.ddfs.mean(), 2) + "x",
+         util::format_fixed(r.backlog.mean(), 1)});
+  }
+  table.print_text(std::cout);
+  if (opt.csv) table.print_csv(std::cout);
+  std::cout
+      << "\nReading the table: the fleet consumes ~2.9 drives per weekly "
+         "replenishment lead, and each consumed spare triggers one reorder "
+         "(kanban), so throughput caps at capacity/lead. Below ~3 spares "
+         "the pool can never catch up — the backlog column explodes and "
+         "the fleet decays into permanently degraded groups (counted DDFs "
+         "saturate at roughly one loss per group and stop being the right "
+         "disaster metric). At and above the lead-time demand the knee is "
+         "sharp: a couple of spares of burst headroom recovers the "
+         "always-spared baseline. Per-group models cannot ask this "
+         "question at all.\n";
+  return 0;
+}

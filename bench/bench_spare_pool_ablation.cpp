@@ -1,0 +1,66 @@
+// Ablation — finite spare pools. The paper folds spare-delivery delay into
+// d_Restore's location parameter; this harness models the pool explicitly
+// (capacity + replenishment lead time) and measures what sparing policy is
+// worth in DDFs. Run on a failure-heavy deployment (compressed drive life)
+// so pool starvation actually occurs at printable rates.
+#include <iostream>
+
+#include "bench_support.h"
+#include "report/table.h"
+#include "sim/runner.h"
+#include "stats/weibull.h"
+#include "util/strings.h"
+
+int main(int argc, char** argv) {
+  using namespace raidrel;
+  const auto opt = bench::parse_options(argc, argv, /*default_trials=*/40000);
+  bench::print_header(
+      "Ablation — spare-pool capacity and replenishment lead time",
+      "extends the paper's \"delay time to physically incorporate the "
+      "spare HDD\" from a fixed location offset to an explicit pool",
+      opt);
+
+  // A harsher drive population (eta compressed ~20x: think end-of-life
+  // fleet or a bad vintage) over a 2.5-year window.
+  auto make_group = [](std::optional<raid::SparePoolConfig> pool) {
+    raid::SlotModel m;
+    m.time_to_op_failure =
+        std::make_unique<stats::Weibull>(0.0, 23000.0, 1.12);
+    m.time_to_restore = std::make_unique<stats::Weibull>(6.0, 12.0, 2.0);
+    m.time_to_latent_defect =
+        std::make_unique<stats::Weibull>(0.0, 9259.0, 1.0);
+    m.time_to_scrub = std::make_unique<stats::Weibull>(6.0, 168.0, 3.0);
+    auto cfg = raid::make_uniform_group(8, 1, m, 21900.0);
+    cfg.spare_pool = pool;
+    return cfg;
+  };
+
+  report::Table table({"spares stocked", "replenish lead (h)",
+                       "DDFs/1000 (2.5 yr)", "+/- SEM", "vs always-spared"});
+  const auto baseline =
+      sim::run_monte_carlo(make_group(std::nullopt), opt.run_options());
+  const double base_ddfs = baseline.total_ddfs_per_1000();
+  table.add_row({"infinite", "-", util::format_fixed(base_ddfs, 1),
+                 util::format_fixed(baseline.total_ddfs_per_1000_sem(), 1),
+                 "1.00x"});
+  for (unsigned capacity : {1u, 2u, 4u}) {
+    for (double lead : {24.0, 168.0, 672.0}) {
+      const auto run = sim::run_monte_carlo(
+          make_group(raid::SparePoolConfig{capacity, lead}),
+          opt.run_options());
+      const double ddfs = run.total_ddfs_per_1000();
+      table.add_row({std::to_string(capacity), util::format_fixed(lead, 0),
+                     util::format_fixed(ddfs, 1),
+                     util::format_fixed(run.total_ddfs_per_1000_sem(), 1),
+                     util::format_fixed(ddfs / base_ddfs, 2) + "x"});
+    }
+  }
+  table.print_text(std::cout);
+  if (opt.csv) table.print_csv(std::cout);
+  std::cout << "\nReading the table: DDFs rise with lead time and fall with "
+               "stocked capacity; a single spare with slow (monthly) "
+               "replenishment measurably lengthens exposure windows — the "
+               "effect the paper approximates with its 6 h location "
+               "offset.\n";
+  return 0;
+}

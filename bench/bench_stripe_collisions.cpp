@@ -1,0 +1,51 @@
+// Ablation — the event the paper refuses to model. Quote: "Multiple HDDs
+// with latent defects do not constitute DDF unless they happen to coexist
+// in blocks from a single data stripe across more than one HDD, an
+// extremely rare event that is not modeled." We model it (stripe_zones)
+// and sweep the zone count from absurdly coarse to realistic to show the
+// dismissal is quantitatively sound.
+#include <iostream>
+
+#include "bench_support.h"
+#include "core/presets.h"
+#include "report/table.h"
+#include "sim/runner.h"
+#include "util/strings.h"
+
+int main(int argc, char** argv) {
+  using namespace raidrel;
+  const auto opt = bench::parse_options(argc, argv, /*default_trials=*/30000);
+  bench::print_header(
+      "Ablation — stripe-collision DDFs (the paper's unmodeled event)",
+      "paper §4.2: defects sharing a stripe across drives are \"extremely "
+      "rare ... not modeled\"; verified here by modeling them",
+      opt);
+
+  report::Table table({"stripe zones per drive", "collision DDFs/1000",
+                       "latent-then-op DDFs/1000", "collision share"});
+  // Worst case for collisions: no scrubbing, defects everywhere.
+  for (unsigned zones : {16u, 256u, 4096u, 65536u, 1048576u}) {
+    auto cfg = core::presets::base_case_no_scrub().to_group_config();
+    cfg.stripe_zones = zones;
+    const auto run = sim::run_monte_carlo(cfg, opt.run_options());
+    const double collisions =
+        run.total_per_1000(raid::DdfKind::kLatentStripeCollision);
+    const double latent_op =
+        run.total_per_1000(raid::DdfKind::kLatentThenOp);
+    table.add_row({util::format_grouped(zones),
+                   util::format_general(collisions, 3),
+                   util::format_fixed(latent_op, 0),
+                   util::format_sci(collisions / (collisions + latent_op),
+                                    1)});
+  }
+  table.print_text(std::cout);
+  if (opt.csv) table.print_csv(std::cout);
+  std::cout
+      << "\nReading the table: if stripes were absurdly coarse (16 zones "
+         "per drive) collisions would dominate data loss — but the share "
+         "falls roughly as 1/zones, and at the ~10^6 stripes of a real "
+         "drive it is unobservably small next to latent-then-op DDFs. The "
+         "paper's decision not to model the event is quantitatively sound "
+         "— demonstrated here rather than asserted.\n";
+  return 0;
+}

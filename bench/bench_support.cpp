@@ -1,0 +1,107 @@
+#include "bench_support.h"
+
+#include <cstdio>
+#include <iostream>
+
+#include "report/ascii_chart.h"
+#include "report/table.h"
+#include "util/strings.h"
+
+namespace raidrel::bench {
+
+BenchOptions parse_options(int argc, char** argv,
+                           std::size_t default_trials) {
+  const util::CliArgs args(argc, argv);
+  BenchOptions opt;
+  opt.trials = static_cast<std::size_t>(
+      args.get_int("trials", static_cast<long long>(default_trials)));
+  opt.seed = static_cast<std::uint64_t>(args.get_int("seed", 20070625));
+  opt.threads = static_cast<unsigned>(args.get_int("threads", 0));
+  opt.bucket_hours = args.get_double("bucket-hours", 730.0);
+  opt.chart = !args.get_bool("no-chart", false);
+  opt.csv = args.get_bool("csv", false);
+  return opt;
+}
+
+void print_header(const std::string& experiment_id,
+                  const std::string& paper_claim, const BenchOptions& opt) {
+  std::cout << "================================================================\n"
+            << experiment_id << "\n"
+            << "Paper reference: " << paper_claim << "\n"
+            << "Monte Carlo: " << opt.trials << " group-missions, seed "
+            << opt.seed << "\n"
+            << "================================================================\n";
+}
+
+Series cumulative_series(const std::string& name,
+                         const sim::RunResult& result, sim::Estimator est) {
+  Series s;
+  s.name = name;
+  s.values = result.cumulative_ddfs_per_1000(est);
+  s.times.reserve(s.values.size());
+  for (std::size_t b = 0; b < s.values.size(); ++b) {
+    s.times.push_back(result.bucket_edge(b));
+  }
+  return s;
+}
+
+Series rocof_series(const std::string& name, const sim::RunResult& result) {
+  Series s;
+  s.name = name;
+  s.values = result.rocof_per_1000();
+  s.times.reserve(s.values.size());
+  for (std::size_t b = 0; b < s.values.size(); ++b) {
+    s.times.push_back(result.bucket_edge(b));
+  }
+  return s;
+}
+
+namespace {
+
+double value_at(const Series& s, double t) {
+  // Series are sampled on identical bucket grids in practice; find the
+  // first edge >= t.
+  for (std::size_t i = 0; i < s.times.size(); ++i) {
+    if (s.times[i] >= t - 1e-9) return s.values[i];
+  }
+  return s.values.back();
+}
+
+}  // namespace
+
+void print_series_table(const std::vector<Series>& series,
+                        const BenchOptions& opt, const std::string& x_label,
+                        const std::string& y_label) {
+  if (series.empty()) return;
+  std::vector<std::string> headers{"year"};
+  for (const auto& s : series) headers.push_back(s.name);
+  report::Table table(std::move(headers));
+  const double horizon = series.front().times.back();
+  const int years = static_cast<int>(horizon / 8760.0 + 0.5);
+  for (int y = 1; y <= years; ++y) {
+    std::vector<std::string> row{std::to_string(y)};
+    for (const auto& s : series) {
+      row.push_back(util::format_general(value_at(s, y * 8760.0), 4));
+    }
+    table.add_row(std::move(row));
+  }
+  table.print_text(std::cout);
+  if (opt.csv) {
+    std::cout << "\nCSV:\n";
+    table.print_csv(std::cout);
+  }
+  if (opt.chart) {
+    static constexpr char kMarkers[] = "*o+x#@%&";
+    report::AsciiChart chart({.width = 72, .height = 20, .x_label = x_label,
+                              .y_label = y_label});
+    for (std::size_t i = 0; i < series.size(); ++i) {
+      chart.add_series(series[i].name, series[i].times, series[i].values,
+                       kMarkers[i % (sizeof(kMarkers) - 1)]);
+    }
+    std::cout << '\n';
+    chart.print(std::cout);
+  }
+  std::cout << std::endl;
+}
+
+}  // namespace raidrel::bench

@@ -1,0 +1,60 @@
+// Shared plumbing for the experiment harnesses: uniform CLI (trials, seed,
+// threads, chart on/off), headers, and paper-style series printing. Every
+// bench regenerates one table or figure of the paper; see DESIGN.md §3 for
+// the experiment index and EXPERIMENTS.md for recorded results.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/model.h"
+#include "sim/runner.h"
+#include "util/cli.h"
+
+namespace raidrel::bench {
+
+struct BenchOptions {
+  std::size_t trials = 60000;
+  std::uint64_t seed = 20070625;
+  unsigned threads = 0;
+  double bucket_hours = 730.0;
+  bool chart = true;  ///< draw ASCII figures (disable with --no-chart)
+  bool csv = false;   ///< also dump CSV rows (enable with --csv)
+
+  [[nodiscard]] sim::RunOptions run_options() const {
+    return {.trials = trials, .seed = seed, .threads = threads,
+            .bucket_hours = bucket_hours};
+  }
+};
+
+/// Parse the uniform flags; `default_trials` lets heavy benches pick a
+/// lighter default.
+BenchOptions parse_options(int argc, char** argv,
+                           std::size_t default_trials = 60000);
+
+/// Print the standard experiment banner.
+void print_header(const std::string& experiment_id,
+                  const std::string& paper_claim, const BenchOptions& opt);
+
+/// A named cumulative-DDF series sampled on the run's bucket edges.
+struct Series {
+  std::string name;
+  std::vector<double> times;   ///< bucket edges, hours
+  std::vector<double> values;  ///< DDFs per 1000 groups
+};
+
+/// Extract the cumulative curve of a result.
+Series cumulative_series(const std::string& name,
+                         const sim::RunResult& result,
+                         sim::Estimator est = sim::Estimator::kCounting);
+
+/// Extract the per-interval ROCOF curve of a result.
+Series rocof_series(const std::string& name, const sim::RunResult& result);
+
+/// Print several series as a year-by-year table plus (optionally) an ASCII
+/// chart mirroring the paper's figure.
+void print_series_table(const std::vector<Series>& series,
+                        const BenchOptions& opt, const std::string& x_label,
+                        const std::string& y_label);
+
+}  // namespace raidrel::bench

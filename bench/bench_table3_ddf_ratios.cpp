@@ -1,0 +1,67 @@
+// Table 3 — DDF comparisons: first-year DDFs per 1000 RAID groups for the
+// MTTDL method vs. the model under each scrub policy, and the ratio. The
+// paper's headline numbers: no scrub > 2,500x MTTDL; 168 h scrub > 360x.
+#include <cmath>
+#include <iostream>
+
+#include "bench_support.h"
+#include "core/model.h"
+#include "core/presets.h"
+#include "report/table.h"
+#include "stats/gof.h"
+#include "util/strings.h"
+
+int main(int argc, char** argv) {
+  using namespace raidrel;
+  const auto opt = bench::parse_options(argc, argv, /*default_trials=*/100000);
+  bench::print_header(
+      "Table 3 — DDF comparisons (first year, per 1000 RAID groups)",
+      "MTTDL: 0.0277; base w/o scrub ratio >2,500; 336/168/48/12 h scrub "
+      "ratios decreasing, all >> 1",
+      opt);
+
+  const auto in = core::presets::mttdl_inputs();
+  const double first_year = 8760.0;
+  const double mttdl_first_year =
+      analytic::expected_ddfs(in, first_year, 1000.0);
+  std::cout << "MTTDL (eq. 1): "
+            << analytic::mttdl_exact_hours(in) / analytic::kHoursPerYear
+            << " years -> " << mttdl_first_year
+            << " DDFs/1000 groups in year 1\n\n";
+
+  report::Table table({"assumptions", "DDFs in 1st year (/1000 groups)",
+                       "95% CI", "ratio vs MTTDL"});
+  table.add_row({"MTTDL", util::format_fixed(mttdl_first_year, 4), "-",
+                 "1"});
+
+  struct Case {
+    std::string label;
+    core::ScenarioConfig scenario;
+  };
+  std::vector<Case> cases;
+  cases.push_back({"base case w/o scrub", core::presets::base_case_no_scrub()});
+  for (double scrub : {336.0, 168.0, 48.0, 12.0}) {
+    cases.push_back({util::format_fixed(scrub, 0) + " h scrub",
+                     core::presets::with_scrub_duration(scrub)});
+  }
+
+  for (const auto& c : cases) {
+    const auto result = core::evaluate_scenario(c.scenario, opt.run_options());
+    const double year1 = result.run.ddfs_per_1000_at(first_year);
+    // Exact Poisson CI on the year-1 event count, rescaled per 1000.
+    const auto events = static_cast<std::uint64_t>(
+        std::llround(year1 * static_cast<double>(opt.trials) / 1000.0));
+    const auto ci = stats::poisson_mean_ci(events, 0.95);
+    const double scale = 1000.0 / static_cast<double>(opt.trials);
+    table.add_row({c.label, util::format_fixed(year1, 2),
+                   "[" + util::format_fixed(ci.lower * scale, 2) + ", " +
+                       util::format_fixed(ci.upper * scale, 2) + "]",
+                   util::format_fixed(year1 / mttdl_first_year, 0)});
+  }
+  table.print_text(std::cout);
+  if (opt.csv) table.print_csv(std::cout);
+  std::cout << "\nReproduction check: ratios ordered no-scrub > 336 > 168 > "
+               "48 > 12 h, the largest in the thousands and even short "
+               "scrubs in the tens-to-hundreds (paper's Table 3 shape).\n";
+  return 0;
+}

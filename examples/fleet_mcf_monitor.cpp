@@ -1,0 +1,92 @@
+// Fleet reliability monitor: the operations-side workflow built on the
+// paper's ref. [23] (Trindade & Nathan). A fleet of RAID groups reports
+// data-loss events over its first years of service; the Mean Cumulative
+// Function turns those raw events into a trend (is the ROCOF rising?),
+// which is then compared against what the model predicts — closing the
+// loop between field monitoring and design-time simulation.
+//
+//   $ ./fleet_mcf_monitor [--fleet 2000] [--observed-years 4] [--seed S]
+#include <cmath>
+#include <iostream>
+
+#include "core/presets.h"
+#include "field/mcf.h"
+#include "report/table.h"
+#include "sim/group_simulator.h"
+#include "sim/runner.h"
+#include "util/cli.h"
+#include "util/strings.h"
+
+int main(int argc, char** argv) {
+  using namespace raidrel;
+  const util::CliArgs args(argc, argv);
+  const auto fleet = static_cast<std::size_t>(args.get_int("fleet", 2000));
+  const double observed_years = args.get_double("observed-years", 4.0);
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 2));
+  const double observed_hours = observed_years * 8760.0;
+
+  // --- The "field": a deployed fleet running the paper's base case
+  // WITHOUT scrubbing (the situation the paper calls a recipe for
+  // disaster), observed for a few years with staggered installs.
+  const auto cfg = core::presets::base_case_no_scrub().to_group_config();
+  sim::GroupSimulator simulator(cfg);
+  rng::StreamFactory streams(seed);
+  std::vector<field::SystemHistory> histories;
+  histories.reserve(fleet);
+  sim::TrialResult out;
+  for (std::size_t g = 0; g < fleet; ++g) {
+    auto rs = streams.stream(g);
+    simulator.run_trial(rs, out);
+    field::SystemHistory h;
+    // Staggered deployment: later groups have been observed for less time.
+    const double window =
+        observed_hours * (0.5 + 0.5 * static_cast<double>(g % 10) / 9.0);
+    h.observation_end = window;
+    for (const auto& ddf : out.ddfs) {
+      if (ddf.time <= window) h.event_times.push_back(ddf.time);
+    }
+    histories.push_back(std::move(h));
+  }
+
+  // --- Field analysis: MCF and windowed ROCOF.
+  field::MeanCumulativeFunction mcf(histories);
+  std::cout << "Fleet: " << fleet << " RAID groups, observed up to "
+            << observed_years << " years (staggered installs)\n\n";
+  report::Table table({"months in service", "MCF (events/group)",
+                       "std dev", "ROCOF (events/group/yr)"});
+  const double step = observed_hours / 6.0;
+  for (int k = 1; k <= 6; ++k) {
+    const double t = step * k;
+    const double rocof = mcf.rocof(t - step, t) * 8760.0;
+    table.add_row({util::format_fixed(t / 730.0, 0),
+                   util::format_fixed(mcf.value(t), 4),
+                   util::format_fixed(std::sqrt(mcf.variance(t)), 4),
+                   util::format_fixed(rocof, 4)});
+  }
+  table.print_text(std::cout);
+
+  const double early = mcf.rocof(0.0, observed_hours / 2.0);
+  const double late = mcf.rocof(observed_hours / 2.0, observed_hours);
+  std::cout << "\nTrend: second-half ROCOF is " << util::format_fixed(
+                   late / early, 2)
+            << "x the first half — "
+            << (late > 1.1 * early
+                    ? "RISING. The failure process is not Poisson; expect "
+                      "acceleration, not the constant rate an MTTDL-style "
+                      "extrapolation would assume."
+                    : "roughly flat over this window.")
+            << "\n";
+
+  // --- Close the loop: what does the design-time model say this fleet
+  // should be seeing?
+  const auto predicted = sim::run_monte_carlo(
+      cfg, {.trials = 20000, .seed = seed + 1, .threads = 0,
+            .bucket_hours = 730.0});
+  std::cout << "\nModel prediction at " << observed_years
+            << " years: " << predicted.ddfs_per_1000_at(observed_hours) / 1000.0
+            << " events/group vs observed MCF "
+            << mcf.value(observed_hours)
+            << " — a monitoring dashboard would alarm on sustained "
+               "divergence between these two numbers.\n";
+  return 0;
+}

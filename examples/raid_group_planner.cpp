@@ -1,0 +1,76 @@
+// RAID group planner: the design question the paper says its model should
+// drive — "the best RAID group size based on a specific manufacturer's
+// HDDs" and whether RAID 6 is needed. Sweeps group width for single and
+// double parity at a fixed usable-capacity target and reports data-loss
+// rates and capacity overhead.
+//
+//   $ ./raid_group_planner [--data-drives 28] [--trials N]
+#include <iostream>
+
+#include "core/model.h"
+#include "core/presets.h"
+#include "report/table.h"
+#include "util/cli.h"
+#include "util/strings.h"
+
+int main(int argc, char** argv) {
+  using namespace raidrel;
+  const util::CliArgs args(argc, argv);
+  // Total data drives the deployment must provide (spread across groups).
+  const auto data_drives =
+      static_cast<unsigned>(args.get_int("data-drives", 28));
+
+  sim::RunOptions run;
+  run.trials = static_cast<std::size_t>(args.get_int("trials", 40000));
+  run.seed = static_cast<std::uint64_t>(args.get_int("seed", 5));
+
+  std::cout << "Planning for " << data_drives
+            << " data drives' worth of capacity, paper base-case drives "
+               "(beta 1.12) with 168 h scrub, 10-year mission.\n\n";
+
+  report::Table table({"layout", "groups", "drives total",
+                       "parity overhead", "DDFs per deployment (10 yr)",
+                       "+/- SEM"});
+
+  struct Layout {
+    unsigned group_width;  // total drives per group
+    unsigned redundancy;
+  };
+  std::vector<Layout> layouts = {{4, 1}, {8, 1}, {14, 1},
+                                 {6, 2}, {10, 2}, {16, 2}};
+  for (const auto& layout : layouts) {
+    const unsigned data_per_group = layout.group_width - layout.redundancy;
+    const unsigned groups =
+        (data_drives + data_per_group - 1) / data_per_group;
+
+    core::ScenarioConfig scenario = core::presets::base_case();
+    scenario.group_drives = layout.group_width;
+    scenario.redundancy = layout.redundancy;
+    scenario.name = std::to_string(data_per_group) + "+" +
+                    std::to_string(layout.redundancy);
+    const auto result = core::evaluate_scenario(scenario, run);
+
+    // DDFs for the whole deployment = per-group rate x number of groups.
+    const double per_deployment = result.run.total_ddfs_per_1000() / 1000.0 *
+                                  static_cast<double>(groups);
+    const double sem = result.run.total_ddfs_per_1000_sem() / 1000.0 *
+                       static_cast<double>(groups);
+    const double overhead =
+        static_cast<double>(layout.redundancy * groups) /
+        static_cast<double>(layout.group_width * groups);
+    table.add_row({scenario.name, std::to_string(groups),
+                   std::to_string(layout.group_width * groups),
+                   util::format_fixed(overhead * 100.0, 1) + "%",
+                   util::format_general(per_deployment, 3),
+                   util::format_general(sem, 2)});
+  }
+  table.print_text(std::cout);
+
+  std::cout
+      << "\nReading the table: wider single-parity groups cost less "
+         "capacity but lose data faster (the paper's N(N+1) scaling, made "
+         "worse by latent defects); double parity buys orders of magnitude "
+         "even at wider widths — the paper's \"eventually, RAID 6 will be "
+         "required\".\n";
+  return 0;
+}

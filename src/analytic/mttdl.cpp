@@ -1,0 +1,49 @@
+#include "analytic/mttdl.h"
+
+#include "util/error.h"
+
+namespace raidrel::analytic {
+
+namespace {
+
+void validate(const MttdlInputs& in) {
+  RAIDREL_REQUIRE(in.data_drives >= 1, "need at least one data drive");
+  RAIDREL_REQUIRE(in.mttf_hours > 0.0, "MTTF must be positive");
+  RAIDREL_REQUIRE(in.mttr_hours > 0.0, "MTTR must be positive");
+}
+
+}  // namespace
+
+double mttdl_exact_hours(const MttdlInputs& in) {
+  validate(in);
+  const double n = static_cast<double>(in.data_drives);
+  const double lambda = 1.0 / in.mttf_hours;
+  const double mu = 1.0 / in.mttr_hours;
+  return ((2.0 * n + 1.0) * lambda + mu) /
+         (n * (n + 1.0) * lambda * lambda);
+}
+
+double mttdl_approx_hours(const MttdlInputs& in) {
+  validate(in);
+  const double n = static_cast<double>(in.data_drives);
+  return in.mttf_hours * in.mttf_hours / (n * (n + 1.0) * in.mttr_hours);
+}
+
+double expected_ddfs(const MttdlInputs& in, double mission_hours,
+                     double groups, bool use_exact) {
+  RAIDREL_REQUIRE(mission_hours >= 0.0, "mission must be >= 0");
+  RAIDREL_REQUIRE(groups >= 0.0, "group count must be >= 0");
+  const double mttdl =
+      use_exact ? mttdl_exact_hours(in) : mttdl_approx_hours(in);
+  return mission_hours * groups / mttdl;
+}
+
+double mttdl_raid6_approx_hours(const MttdlInputs& in) {
+  validate(in);
+  const double n = static_cast<double>(in.data_drives);
+  const double lambda = 1.0 / in.mttf_hours;
+  const double mu = 1.0 / in.mttr_hours;
+  return mu * mu / ((n + 2.0) * (n + 1.0) * n * lambda * lambda * lambda);
+}
+
+}  // namespace raidrel::analytic

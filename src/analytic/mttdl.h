@@ -1,0 +1,38 @@
+// The classical MTTDL method the paper argues against (its eqs. 1–3).
+//
+// All formulas assume what the paper shows to be false: exponential disk
+// lifetimes (rate lambda), exponential repairs (rate mu), no latent
+// defects, and a homogeneous Poisson process at the system level. They are
+// implemented here as the baseline every experiment compares to.
+#pragma once
+
+namespace raidrel::analytic {
+
+/// Inputs in the paper's notation: an (N+1) RAID group of N data drives
+/// plus one parity drive.
+struct MttdlInputs {
+  unsigned data_drives = 7;     ///< N
+  double mttf_hours = 461386.0; ///< per-drive mean time to failure (1/lambda)
+  double mttr_hours = 12.0;     ///< mean time to restore (1/mu)
+};
+
+/// Paper eq. 1: MTTDL = ((2N+1)lambda + mu) / (N (N+1) lambda^2), hours.
+double mttdl_exact_hours(const MttdlInputs& in);
+
+/// Paper eq. 2: MTTDL ~ mu / (N (N+1) lambda^2)
+///            = MTTF^2 / (N (N+1) MTTR), hours.
+double mttdl_approx_hours(const MttdlInputs& in);
+
+/// Paper eq. 3: expected DDFs in `mission_hours` across `groups` RAID
+/// groups, E[N(t)] = t * groups / MTTDL (the HPP renewal assumption).
+double expected_ddfs(const MttdlInputs& in, double mission_hours,
+                     double groups, bool use_exact = true);
+
+/// RAID 6 (N+2) extension of eq. 2: three concurrent failures needed,
+/// MTTDL ~ mu^2 / ((N+2)(N+1)N lambda^3). `data_drives` is N.
+double mttdl_raid6_approx_hours(const MttdlInputs& in);
+
+/// Hours per year as the paper uses it (87,600 h mission = 10 years).
+inline constexpr double kHoursPerYear = 8760.0;
+
+}  // namespace raidrel::analytic

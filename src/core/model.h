@@ -1,0 +1,47 @@
+// The library's front door: evaluate a scenario with the NHPP latent-defect
+// Monte Carlo model and, in the same breath, with the classical MTTDL
+// method so every result carries its paper-style comparison.
+#pragma once
+
+#include "analytic/mttdl.h"
+#include "core/scenario.h"
+#include "sim/run_result.h"
+#include "sim/runner.h"
+
+namespace raidrel::core {
+
+/// A scenario evaluated both ways.
+struct ScenarioResult {
+  std::string scenario_name;
+  sim::RunResult run;  ///< the NHPP latent-defect simulation
+
+  analytic::MttdlInputs mttdl_inputs;  ///< derived from the scenario
+  double mttdl_hours = 0.0;            ///< paper eq. 1
+
+  /// MTTDL-predicted DDFs per 1000 groups by time t (paper eq. 3).
+  [[nodiscard]] double mttdl_ddfs_per_1000_at(double t_hours) const;
+
+  /// Simulated-to-MTTDL ratio at a horizon (Table 3's "Ratio" column).
+  [[nodiscard]] double ratio_vs_mttdl_at(
+      double t_hours,
+      sim::Estimator est = sim::Estimator::kCounting) const;
+};
+
+/// Run the Monte Carlo model for `scenario` and attach the MTTDL baseline.
+///
+/// The MTTDL baseline always follows the paper's recipe: it plugs the
+/// Weibull characteristic lives straight in (MTBF = eta of the operational
+/// law, MTTR = eta of the restore law) and ignores locations, shapes and
+/// latent defects entirely — because that is the method under critique.
+ScenarioResult evaluate_scenario(const ScenarioConfig& scenario,
+                                 const sim::RunOptions& options);
+
+/// Escape hatch: evaluate an arbitrary engine-level configuration (custom
+/// distributions, per-slot laws). The MTTDL baseline is supplied by the
+/// caller since it cannot be derived from arbitrary laws.
+ScenarioResult evaluate_group(const raid::GroupConfig& config,
+                              const analytic::MttdlInputs& baseline,
+                              const sim::RunOptions& options,
+                              std::string name = "custom");
+
+}  // namespace raidrel::core

@@ -1,0 +1,138 @@
+#include "core/presets.h"
+
+#include "field/paper_products.h"
+#include "util/error.h"
+
+namespace raidrel::core::presets {
+
+stats::WeibullParams base_ttld() { return {0.0, 9259.0, 1.0}; }
+
+stats::WeibullParams base_ttscrub() { return {6.0, 168.0, 3.0}; }
+
+ScenarioConfig base_case() {
+  ScenarioConfig cfg;
+  cfg.name = "base-case (Table 2)";
+  cfg.group_drives = 8;
+  cfg.redundancy = 1;
+  cfg.mission_hours = 87600.0;
+  cfg.ttop = {0.0, 461386.0, 1.12};
+  cfg.ttr = {6.0, 12.0, 2.0};
+  cfg.ttld = base_ttld();
+  cfg.ttscrub = base_ttscrub();
+  return cfg;
+}
+
+ScenarioConfig base_case_no_scrub() {
+  ScenarioConfig cfg = base_case();
+  cfg.name = "base-case, no scrub";
+  cfg.ttscrub.reset();
+  return cfg;
+}
+
+ScenarioConfig no_latent_defects() {
+  ScenarioConfig cfg = base_case();
+  cfg.name = "no latent defects (f(t)-r(t))";
+  cfg.ttld.reset();
+  cfg.ttscrub.reset();
+  return cfg;
+}
+
+ScenarioConfig fig6_variant(Fig6Variant variant) {
+  ScenarioConfig cfg = no_latent_defects();
+  cfg.name = to_string(variant);
+  switch (variant) {
+    case Fig6Variant::kConstConst:
+      cfg.ttop = {0.0, 461386.0, 1.0};
+      cfg.ttr = {0.0, 12.0, 1.0};
+      break;
+    case Fig6Variant::kTimeDepConst:
+      cfg.ttop = {0.0, 461386.0, 1.12};
+      cfg.ttr = {0.0, 12.0, 1.0};
+      break;
+    case Fig6Variant::kConstTimeDep:
+      cfg.ttop = {0.0, 461386.0, 1.0};
+      cfg.ttr = {6.0, 12.0, 2.0};
+      break;
+    case Fig6Variant::kTimeDepTimeDep:
+      cfg.ttop = {0.0, 461386.0, 1.12};
+      cfg.ttr = {6.0, 12.0, 2.0};
+      break;
+  }
+  return cfg;
+}
+
+const char* to_string(Fig6Variant variant) {
+  switch (variant) {
+    case Fig6Variant::kConstConst:
+      return "c-c";
+    case Fig6Variant::kTimeDepConst:
+      return "f(t)-c";
+    case Fig6Variant::kConstTimeDep:
+      return "c-r(t)";
+    case Fig6Variant::kTimeDepTimeDep:
+      return "f(t)-r(t)";
+  }
+  return "unknown";
+}
+
+std::vector<Fig6Variant> all_fig6_variants() {
+  return {Fig6Variant::kConstConst, Fig6Variant::kTimeDepConst,
+          Fig6Variant::kConstTimeDep, Fig6Variant::kTimeDepTimeDep};
+}
+
+ScenarioConfig with_scrub_duration(double scrub_hours) {
+  RAIDREL_REQUIRE(scrub_hours > 0.0, "scrub duration must be > 0");
+  ScenarioConfig cfg = base_case();
+  cfg.name = "base-case, " + std::to_string(static_cast<int>(scrub_hours)) +
+             " h scrub";
+  cfg.ttscrub = stats::WeibullParams{6.0, scrub_hours, 3.0};
+  return cfg;
+}
+
+std::vector<double> fig9_scrub_durations() { return {12.0, 48.0, 168.0, 336.0}; }
+
+ScenarioConfig with_op_shape(double beta) {
+  RAIDREL_REQUIRE(beta > 0.0, "shape must be > 0");
+  ScenarioConfig cfg = base_case();
+  cfg.name = "base-case, op beta=" + std::to_string(beta);
+  cfg.ttop.beta = beta;
+  return cfg;
+}
+
+std::vector<double> fig10_shapes() { return {0.8, 1.0, 1.12, 1.4, 1.5}; }
+
+ScenarioConfig raid6_base_case() {
+  ScenarioConfig cfg = base_case();
+  cfg.name = "RAID6 base-case (8+2)";
+  cfg.group_drives = 10;
+  cfg.redundancy = 2;
+  return cfg;
+}
+
+raid::GroupConfig mixed_vintage_group(double mission_hours,
+                                      bool with_scrub) {
+  const auto vintages = field::figure2_vintages();
+  raid::GroupConfig cfg;
+  cfg.redundancy = 1;
+  cfg.mission_hours = mission_hours;
+  for (unsigned i = 0; i < 8; ++i) {
+    raid::SlotModel slot;
+    slot.time_to_op_failure = std::make_unique<stats::Weibull>(
+        vintages[i % vintages.size()].true_params);
+    slot.time_to_restore = std::make_unique<stats::Weibull>(6.0, 12.0, 2.0);
+    slot.time_to_latent_defect =
+        std::make_unique<stats::Weibull>(base_ttld());
+    if (with_scrub) {
+      slot.time_to_scrub = std::make_unique<stats::Weibull>(base_ttscrub());
+    }
+    cfg.slots.push_back(std::move(slot));
+  }
+  cfg.validate();
+  return cfg;
+}
+
+analytic::MttdlInputs mttdl_inputs() {
+  return {.data_drives = 7, .mttf_hours = 461386.0, .mttr_hours = 12.0};
+}
+
+}  // namespace raidrel::core::presets

@@ -1,0 +1,63 @@
+// Every named configuration the paper evaluates, in one place, so the bench
+// harnesses and tests agree on parameters (Table 2 plus the Fig. 6 variants,
+// the Fig. 9 scrub sweep and the Fig. 10 shape sweep).
+#pragma once
+
+#include <vector>
+
+#include "analytic/mttdl.h"
+#include "core/scenario.h"
+
+namespace raidrel::core::presets {
+
+/// Table 2 base case: 8 drives, TTOp(0, 461386, 1.12), TTR(6, 12, 2),
+/// TTLd(0, 9259, 1), TTScrub(6, 168, 3), 10-year mission.
+ScenarioConfig base_case();
+
+/// Base case with latent defects but scrubbing disabled.
+ScenarioConfig base_case_no_scrub();
+
+/// Base case with latent defects off entirely (the Fig. 6 "f(t)-r(t)" line).
+ScenarioConfig no_latent_defects();
+
+/// The four Fig. 6 variants.
+enum class Fig6Variant {
+  kConstConst,      ///< "c-c": exponential failures and repairs
+  kTimeDepConst,    ///< "f(t)-c": Weibull failures, exponential repairs
+  kConstTimeDep,    ///< "c-r(t)": exponential failures, Weibull repairs
+  kTimeDepTimeDep,  ///< "f(t)-r(t)": Table 2 laws
+};
+ScenarioConfig fig6_variant(Fig6Variant variant);
+const char* to_string(Fig6Variant variant);
+std::vector<Fig6Variant> all_fig6_variants();
+
+/// Base case with the scrub characteristic duration replaced (Fig. 9 uses
+/// 12, 48, 168 and 336 hours).
+ScenarioConfig with_scrub_duration(double scrub_hours);
+std::vector<double> fig9_scrub_durations();
+
+/// Base case with the operational-failure shape replaced at fixed eta
+/// (Fig. 10 uses beta in {0.8, 1.0, 1.12, 1.4, 1.5}).
+ScenarioConfig with_op_shape(double beta);
+std::vector<double> fig10_shapes();
+
+/// RAID6 variant of the base case: 8 data-equivalent drives + 2 parity.
+ScenarioConfig raid6_base_case();
+
+/// Engine-level preset: a base-case group whose drives cycle through the
+/// paper's three Fig. 2 vintages — the "different vintages of the same
+/// HDD ... exhibit varying failure distributions" situation that a single
+/// MTBF cannot describe. Restore/latent/scrub laws stay at Table 2 values.
+raid::GroupConfig mixed_vintage_group(double mission_hours = 87600.0,
+                                      bool with_scrub = true);
+
+/// The MTTDL inputs matching the base case (N=7, MTBF=461,386 h, MTTR=12 h;
+/// paper eq. 3 gives MTTDL = 36,162 years and 0.277 expected DDFs per 1000
+/// groups per 10 years).
+analytic::MttdlInputs mttdl_inputs();
+
+/// Latent-defect and scrub parameters of the base case, exposed for sweeps.
+stats::WeibullParams base_ttld();
+stats::WeibullParams base_ttscrub();
+
+}  // namespace raidrel::core::presets

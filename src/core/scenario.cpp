@@ -1,0 +1,51 @@
+#include "core/scenario.h"
+
+#include <sstream>
+
+#include "util/error.h"
+
+namespace raidrel::core {
+
+raid::GroupConfig ScenarioConfig::to_group_config() const {
+  RAIDREL_REQUIRE(group_drives >= 2, "group needs at least two drives");
+  RAIDREL_REQUIRE(!ttscrub || ttld,
+                  "scrubbing without latent defects is meaningless");
+  raid::SlotModel slot;
+  slot.time_to_op_failure = std::make_unique<stats::Weibull>(ttop);
+  slot.time_to_restore = std::make_unique<stats::Weibull>(ttr);
+  if (ttld) {
+    slot.time_to_latent_defect = std::make_unique<stats::Weibull>(*ttld);
+  }
+  if (ttscrub) {
+    slot.time_to_scrub = std::make_unique<stats::Weibull>(*ttscrub);
+  }
+  return raid::make_uniform_group(group_drives, redundancy, slot,
+                                  mission_hours);
+}
+
+std::string ScenarioConfig::summary() const {
+  std::ostringstream os;
+  auto w = [&](const stats::WeibullParams& p) {
+    os << "(g=" << p.gamma << ", eta=" << p.eta << ", b=" << p.beta << ")";
+  };
+  os << name << ": " << group_drives << " drives, redundancy " << redundancy
+     << ", mission " << mission_hours << " h; TTOp";
+  w(ttop);
+  os << " TTR";
+  w(ttr);
+  if (ttld) {
+    os << " TTLd";
+    w(*ttld);
+  } else {
+    os << " no-latent-defects";
+  }
+  if (ttscrub) {
+    os << " TTScrub";
+    w(*ttscrub);
+  } else if (ttld) {
+    os << " no-scrub";
+  }
+  return os.str();
+}
+
+}  // namespace raidrel::core

@@ -1,0 +1,40 @@
+// The user-facing scenario description: the paper's Table 2 shape — four
+// three-parameter Weibulls plus group geometry. This is the convenient 95%
+// path; anything it cannot express (mixtures, per-slot laws, lognormal
+// repairs) drops down to raid::GroupConfig directly, which the simulator
+// consumes natively.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "raid/group_config.h"
+#include "stats/weibull.h"
+
+namespace raidrel::core {
+
+struct ScenarioConfig {
+  std::string name = "scenario";
+
+  unsigned group_drives = 8;   ///< paper: 7 data + 1 parity
+  unsigned redundancy = 1;     ///< 1 = RAID5-style, 2 = RAID6-style
+  double mission_hours = 87600.0;
+
+  /// Time to operational failure, d_Op (Table 2 base case).
+  stats::WeibullParams ttop{0.0, 461386.0, 1.12};
+  /// Time to restore, d_Restore (6 h minimum, 12 h characteristic).
+  stats::WeibullParams ttr{6.0, 12.0, 2.0};
+  /// Time to latent defect, d_Ld; disabled when absent.
+  std::optional<stats::WeibullParams> ttld;
+  /// Time to scrub, d_Scrub; disabled when absent (defects persist until
+  /// the drive itself is replaced).
+  std::optional<stats::WeibullParams> ttscrub;
+
+  /// Materialize into the engine-level configuration.
+  [[nodiscard]] raid::GroupConfig to_group_config() const;
+
+  /// One-line summary for report headers.
+  [[nodiscard]] std::string summary() const;
+};
+
+}  // namespace raidrel::core

@@ -1,0 +1,84 @@
+#include "field/mcf.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+
+namespace raidrel::field {
+
+MeanCumulativeFunction::MeanCumulativeFunction(
+    std::vector<SystemHistory> histories)
+    : n_(histories.size()) {
+  RAIDREL_REQUIRE(n_ > 0, "MCF needs at least one system");
+  struct Tagged {
+    double time;
+    bool is_event;  // false = censoring (observation end)
+  };
+  std::vector<Tagged> marks;
+  for (const auto& h : histories) {
+    RAIDREL_REQUIRE(h.observation_end > 0.0,
+                    "each system needs a positive observation window");
+    for (double t : h.event_times) {
+      RAIDREL_REQUIRE(t >= 0.0 && t <= h.observation_end,
+                      "event outside its system's observation window");
+      marks.push_back({t, true});
+    }
+    marks.push_back({h.observation_end, false});
+  }
+  // Events at a censoring time count while the system is still at risk:
+  // process events before censorings at equal times.
+  std::sort(marks.begin(), marks.end(), [](const Tagged& a, const Tagged& b) {
+    if (a.time != b.time) return a.time < b.time;
+    return a.is_event && !b.is_event;
+  });
+
+  std::size_t at_risk = n_;
+  double mcf = 0.0;
+  std::size_t i = 0;
+  while (i < marks.size()) {
+    const double t = marks[i].time;
+    std::size_t events = 0;
+    std::size_t censored = 0;
+    while (i < marks.size() && marks[i].time == t) {
+      if (marks[i].is_event) {
+        ++events;
+      } else {
+        ++censored;
+      }
+      ++i;
+    }
+    if (events > 0) {
+      RAIDREL_ASSERT(at_risk > 0, "event with empty risk set");
+      mcf += static_cast<double>(events) / static_cast<double>(at_risk);
+      points_.push_back({t, events, at_risk, mcf});
+    }
+    at_risk -= censored;
+  }
+}
+
+double MeanCumulativeFunction::value(double t) const {
+  double v = 0.0;
+  for (const auto& p : points_) {
+    if (p.time > t) break;
+    v = p.value;
+  }
+  return v;
+}
+
+double MeanCumulativeFunction::variance(double t) const {
+  double v = 0.0;
+  for (const auto& p : points_) {
+    if (p.time > t) break;
+    const double r = static_cast<double>(p.at_risk);
+    v += static_cast<double>(p.events) / (r * r);
+  }
+  return v;
+}
+
+double MeanCumulativeFunction::rocof(double t0, double t1) const {
+  RAIDREL_REQUIRE(t0 >= 0.0 && t1 > t0, "rocof needs t1 > t0 >= 0");
+  return (value(t1) - value(t0)) / (t1 - t0);
+}
+
+}  // namespace raidrel::field

@@ -1,0 +1,60 @@
+// Mean Cumulative Function (MCF) estimator for recurrent events on
+// repairable systems — the nonparametric tool the paper leans on for its
+// system-level analysis (its ref. [23], Trindade & Nathan, "Simple Plots
+// for Monitoring Field Reliability of Repairable Systems"; also Nelson's
+// graphical repair-data analysis, ref. [5]).
+//
+// Given event histories of many systems (each observed until its own
+// censoring time), the MCF at t is the population mean number of events
+// per system by t:
+//     MCF(t) = sum over event times t_j <= t of d_j / r_j
+// where d_j is the number of events at t_j and r_j the number of systems
+// still under observation at t_j. Its derivative is the recurrence rate —
+// the ROCOF the paper plots in Fig. 8. A straight MCF means an HPP; the
+// paper's point is that RAID-group DDFs produce a *curved* one.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace raidrel::field {
+
+/// One system's observed history: event times (e.g. the DDF times of one
+/// RAID group) and the end of its observation window.
+struct SystemHistory {
+  std::vector<double> event_times;
+  double observation_end = 0.0;
+};
+
+class MeanCumulativeFunction {
+ public:
+  explicit MeanCumulativeFunction(std::vector<SystemHistory> histories);
+
+  /// MCF(t): mean cumulative events per system by time t.
+  [[nodiscard]] double value(double t) const;
+
+  /// Poisson-approximation variance of MCF(t): sum of d_j / r_j^2.
+  [[nodiscard]] double variance(double t) const;
+
+  /// Average recurrence rate (events per system per hour) over [t0, t1]:
+  /// the empirical ROCOF.
+  [[nodiscard]] double rocof(double t0, double t1) const;
+
+  struct Point {
+    double time;
+    std::size_t events;   ///< events at this time across all systems
+    std::size_t at_risk;  ///< systems under observation at this time
+    double value;         ///< MCF just after this time
+  };
+  [[nodiscard]] const std::vector<Point>& points() const noexcept {
+    return points_;
+  }
+
+  [[nodiscard]] std::size_t system_count() const noexcept { return n_; }
+
+ private:
+  std::vector<Point> points_;
+  std::size_t n_ = 0;
+};
+
+}  // namespace raidrel::field

@@ -1,0 +1,80 @@
+#include "field/paper_products.h"
+
+#include "stats/composite.h"
+
+namespace raidrel::field {
+
+std::vector<PopulationSpec> figure1_products() {
+  using stats::CompetingRisks;
+  using stats::DistributionPtr;
+  using stats::MixtureDistribution;
+  using stats::Weibull;
+
+  std::vector<PopulationSpec> specs;
+
+  // HDD #1: plain Weibull, beta = 0.9 (paper: "follows the slope of HDD #1
+  // (beta = 0.9)").
+  {
+    PopulationSpec s;
+    s.name = "HDD #1";
+    s.life = std::make_unique<Weibull>(0.0, 4.0e5, 0.9);
+    s.units = 40000;
+    s.observation_hours = 30000.0;
+    specs.push_back(std::move(s));
+  }
+
+  // HDD #2: random failures in competition with wear-out that cannot start
+  // before ~10,000 h — the plot bends upward there.
+  {
+    std::vector<DistributionPtr> risks;
+    risks.push_back(std::make_unique<Weibull>(0.0, 3.5e5, 1.0));
+    risks.push_back(std::make_unique<Weibull>(10000.0, 3.0e4, 3.0));
+    PopulationSpec s;
+    s.name = "HDD #2";
+    s.life = std::make_unique<CompetingRisks>(std::move(risks));
+    s.units = 40000;
+    s.observation_hours = 30000.0;
+    specs.push_back(std::move(s));
+  }
+
+  // HDD #3: a contaminated sub-population (15%, infant mortality, beta 0.9
+  // like HDD #1 early on) mixed into a robust majority, with late wear-out
+  // competing for every unit: decreasing, then flat-ish, then increasing.
+  {
+    std::vector<MixtureDistribution::Component> mix;
+    mix.push_back({0.15, std::make_unique<Weibull>(0.0, 5.0e4, 0.9)});
+    mix.push_back({0.85, std::make_unique<Weibull>(0.0, 1.2e6, 1.0)});
+    std::vector<DistributionPtr> risks;
+    risks.push_back(
+        std::make_unique<MixtureDistribution>(std::move(mix)));
+    risks.push_back(std::make_unique<Weibull>(15000.0, 3.5e4, 3.5));
+    PopulationSpec s;
+    s.name = "HDD #3";
+    s.life = std::make_unique<CompetingRisks>(std::move(risks));
+    s.units = 40000;
+    s.observation_hours = 30000.0;
+    specs.push_back(std::move(s));
+  }
+  return specs;
+}
+
+std::array<VintageSpec, 3> figure2_vintages() {
+  return {{
+      {"Vintage 1", {0.0, 4.5444e5, 1.0987}, 198, 10433},
+      {"Vintage 2", {0.0, 1.2566e5, 1.2162}, 992, 23064},
+      {"Vintage 3", {0.0, 7.5012e4, 1.4873}, 921, 22913},
+  }};
+}
+
+PopulationSpec make_vintage_population(const VintageSpec& vintage) {
+  PopulationSpec s;
+  s.name = vintage.name;
+  auto life = std::make_unique<stats::Weibull>(vintage.true_params);
+  s.units = vintage.failures + vintage.suspensions;
+  s.observation_hours =
+      window_for_expected_failures(*life, s.units, vintage.failures);
+  s.life = std::move(life);
+  return s;
+}
+
+}  // namespace raidrel::field

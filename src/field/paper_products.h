@@ -1,0 +1,51 @@
+// The concrete populations behind the paper's Figs. 1 and 2.
+//
+// Fig. 1 plots three HDD products on Weibull paper:
+//   * HDD #1 — the only straight line: a plain Weibull with beta ~ 0.9
+//     (slightly decreasing hazard);
+//   * HDD #2 — two linear sections with an upturn after ~10,000 h: a
+//     baseline random-failure mechanism in competition with a delayed
+//     wear-out mechanism (the paper attributes the slope change to a change
+//     of failure mechanism);
+//   * HDD #3 — two inflection points: a weak sub-population (particle
+//     contamination infant mortality, paper §2) mixed into a stronger
+//     majority, with a late wear-out risk competing for every unit —
+//     "the characteristics of both competing risks and population
+//     mixtures".
+//
+// Fig. 2 plots three vintages of one product with the published fits:
+//   vintage 1: beta = 1.0987, eta = 4.5444e5 h, F = 198,  S = 10,433
+//   vintage 2: beta = 1.2162, eta = 1.2566e5 h, F = 992,  S = 23,064
+//   vintage 3: beta = 1.4873, eta = 7.5012e4 h, F = 921,  S = 22,913
+// We generate each study with the observation window that reproduces the
+// published failure/suspension split in expectation, then refit.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "field/population.h"
+#include "stats/weibull.h"
+
+namespace raidrel::field {
+
+/// The three Fig. 1 product populations (units/windows sized so the plots
+/// carry a few hundred failures each, like the published plots).
+std::vector<PopulationSpec> figure1_products();
+
+/// One published vintage: true parameters and study shape.
+struct VintageSpec {
+  const char* name;
+  stats::WeibullParams true_params;
+  std::size_t failures;     ///< published F count
+  std::size_t suspensions;  ///< published S count
+};
+
+/// The three Fig. 2 vintages as published.
+std::array<VintageSpec, 3> figure2_vintages();
+
+/// Build the generating population for a vintage (window chosen so the
+/// expected failure count matches the published F).
+PopulationSpec make_vintage_population(const VintageSpec& vintage);
+
+}  // namespace raidrel::field

@@ -1,0 +1,93 @@
+#include "report/ascii_chart.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/error.h"
+#include "util/strings.h"
+
+namespace raidrel::report {
+
+AsciiChart::AsciiChart(Options options) : opt_(std::move(options)) {
+  RAIDREL_REQUIRE(opt_.width >= 10 && opt_.height >= 4,
+                  "chart area too small");
+}
+
+void AsciiChart::add_series(std::string name, std::vector<double> xs,
+                            std::vector<double> ys, char marker) {
+  RAIDREL_REQUIRE(xs.size() == ys.size(), "series x/y size mismatch");
+  RAIDREL_REQUIRE(!xs.empty(), "series must not be empty");
+  series_.push_back({std::move(name), std::move(xs), std::move(ys), marker});
+}
+
+void AsciiChart::print(std::ostream& os) const {
+  RAIDREL_REQUIRE(!series_.empty(), "no series to plot");
+  auto tx = [&](double x) { return opt_.log_x ? std::log10(x) : x; };
+  auto ty = [&](double y) { return opt_.log_y ? std::log10(y) : y; };
+
+  double xmin = std::numeric_limits<double>::infinity(), xmax = -xmin;
+  double ymin = xmin, ymax = -xmin;
+  for (const auto& s : series_) {
+    for (std::size_t i = 0; i < s.xs.size(); ++i) {
+      if (opt_.log_x && s.xs[i] <= 0.0) continue;
+      if (opt_.log_y && s.ys[i] <= 0.0) continue;
+      xmin = std::min(xmin, tx(s.xs[i]));
+      xmax = std::max(xmax, tx(s.xs[i]));
+      ymin = std::min(ymin, ty(s.ys[i]));
+      ymax = std::max(ymax, ty(s.ys[i]));
+    }
+  }
+  RAIDREL_REQUIRE(std::isfinite(xmin) && std::isfinite(ymin),
+                  "no plottable points (log axes drop non-positives)");
+  if (xmax == xmin) xmax = xmin + 1.0;
+  if (ymax == ymin) ymax = ymin + 1.0;
+
+  std::vector<std::string> canvas(opt_.height,
+                                  std::string(opt_.width, ' '));
+  auto col_of = [&](double x) {
+    const double f = (tx(x) - xmin) / (xmax - xmin);
+    auto c = static_cast<long>(std::lround(f * double(opt_.width - 1)));
+    return std::clamp<long>(c, 0, long(opt_.width - 1));
+  };
+  auto row_of = [&](double y) {
+    const double f = (ty(y) - ymin) / (ymax - ymin);
+    auto r = static_cast<long>(std::lround(f * double(opt_.height - 1)));
+    return long(opt_.height - 1) - std::clamp<long>(r, 0, long(opt_.height - 1));
+  };
+
+  for (const auto& s : series_) {
+    for (std::size_t i = 0; i < s.xs.size(); ++i) {
+      if (opt_.log_x && s.xs[i] <= 0.0) continue;
+      if (opt_.log_y && s.ys[i] <= 0.0) continue;
+      canvas[static_cast<std::size_t>(row_of(s.ys[i]))]
+            [static_cast<std::size_t>(col_of(s.xs[i]))] = s.marker;
+    }
+  }
+
+  const double y_top = opt_.log_y ? std::pow(10.0, ymax) : ymax;
+  const double y_bot = opt_.log_y ? std::pow(10.0, ymin) : ymin;
+  const double x_lo = opt_.log_x ? std::pow(10.0, xmin) : xmin;
+  const double x_hi = opt_.log_x ? std::pow(10.0, xmax) : xmax;
+
+  os << opt_.y_label << '\n';
+  for (std::size_t r = 0; r < opt_.height; ++r) {
+    std::string label(10, ' ');
+    if (r == 0) label = util::pad_left(util::format_general(y_top, 3), 10);
+    if (r == opt_.height - 1) {
+      label = util::pad_left(util::format_general(y_bot, 3), 10);
+    }
+    os << label << " |" << canvas[r] << '\n';
+  }
+  os << std::string(11, ' ') << '+' << std::string(opt_.width, '-') << '\n';
+  os << std::string(12, ' ')
+     << util::pad_right(util::format_general(x_lo, 3), opt_.width - 10)
+     << util::format_general(x_hi, 3) << "  (" << opt_.x_label << ")\n";
+  os << "  legend:";
+  for (const auto& s : series_) {
+    os << "  '" << s.marker << "' " << s.name;
+  }
+  os << '\n';
+}
+
+}  // namespace raidrel::report

@@ -1,0 +1,42 @@
+// Multi-series ASCII line chart, so each bench binary can draw the paper's
+// figures directly in the terminal (shape comparison is the reproduction
+// criterion — see DESIGN.md).
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace raidrel::report {
+
+class AsciiChart {
+ public:
+  struct Options {
+    std::size_t width = 72;   ///< plot columns (excluding axis labels)
+    std::size_t height = 20;  ///< plot rows
+    std::string x_label = "x";
+    std::string y_label = "y";
+    bool log_x = false;
+    bool log_y = false;
+  };
+
+  explicit AsciiChart(Options options);
+
+  /// Add one series; marker is the glyph used for its points.
+  void add_series(std::string name, std::vector<double> xs,
+                  std::vector<double> ys, char marker);
+
+  void print(std::ostream& os) const;
+
+ private:
+  Options opt_;
+  struct Series {
+    std::string name;
+    std::vector<double> xs;
+    std::vector<double> ys;
+    char marker;
+  };
+  std::vector<Series> series_;
+};
+
+}  // namespace raidrel::report

@@ -1,0 +1,126 @@
+#include "rng/rng.h"
+
+#include <cmath>
+
+namespace raidrel::rng {
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+namespace {
+
+inline std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Xoshiro256::Xoshiro256(std::uint64_t seed) noexcept {
+  std::uint64_t sm = seed;
+  for (auto& word : s_) word = splitmix64(sm);
+}
+
+Xoshiro256::Xoshiro256(const std::array<std::uint64_t, 4>& state) noexcept
+    : s_(state) {
+  // An all-zero state is a fixed point; nudge it deterministically.
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) {
+    std::uint64_t sm = 0x9E3779B97F4A7C15ULL;
+    for (auto& word : s_) word = splitmix64(sm);
+  }
+}
+
+Xoshiro256::result_type Xoshiro256::operator()() noexcept {
+  const std::uint64_t result = rotl(s_[0] + s_[3], 23) + s_[0];
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+void Xoshiro256::jump() noexcept {
+  static constexpr std::uint64_t kJump[] = {
+      0x180EC6D33CFD0ABAULL, 0xD5A61266F0C9392CULL, 0xA9582618E03FC9AAULL,
+      0x39ABDC4529B1661CULL};
+  std::uint64_t s0 = 0, s1 = 0, s2 = 0, s3 = 0;
+  for (std::uint64_t word : kJump) {
+    for (int b = 0; b < 64; ++b) {
+      if (word & (1ULL << b)) {
+        s0 ^= s_[0];
+        s1 ^= s_[1];
+        s2 ^= s_[2];
+        s3 ^= s_[3];
+      }
+      (*this)();
+    }
+  }
+  s_ = {s0, s1, s2, s3};
+}
+
+double RandomStream::uniform() noexcept {
+  // 53 top bits -> double in [0,1).
+  return static_cast<double>(eng_() >> 11) * 0x1.0p-53;
+}
+
+double RandomStream::uniform_open() noexcept {
+  // (0,1): 52 bits + 0.5 ulp offset; infinitesimally biased but never 0/1.
+  return (static_cast<double>(eng_() >> 12) + 0.5) * 0x1.0p-52;
+}
+
+double RandomStream::uniform(double lo, double hi) noexcept {
+  return lo + (hi - lo) * uniform();
+}
+
+std::uint64_t RandomStream::uniform_index(std::uint64_t n) noexcept {
+  if (n == 0) return 0;
+  // Lemire's multiply-shift rejection method, debiased.
+  const std::uint64_t threshold = (0ULL - n) % n;
+  for (;;) {
+    const std::uint64_t x = eng_();
+    const unsigned __int128 m =
+        static_cast<unsigned __int128>(x) * static_cast<unsigned __int128>(n);
+    const auto low = static_cast<std::uint64_t>(m);
+    if (low >= threshold) {
+      return static_cast<std::uint64_t>(m >> 64);
+    }
+  }
+}
+
+double RandomStream::exponential() noexcept {
+  return -std::log(uniform_open());
+}
+
+double RandomStream::normal() noexcept {
+  if (have_cached_normal_) {
+    have_cached_normal_ = false;
+    return cached_normal_;
+  }
+  const double u1 = uniform_open();
+  const double u2 = uniform_open();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * M_PI * u2;
+  cached_normal_ = r * std::sin(theta);
+  have_cached_normal_ = true;
+  return r * std::cos(theta);
+}
+
+bool RandomStream::bernoulli(double p) noexcept { return uniform() < p; }
+
+RandomStream StreamFactory::stream(std::uint64_t stream_id) const noexcept {
+  // Derive a per-stream seed by feeding (master, id) through splitmix64
+  // twice; the resulting 64-bit value then seeds the xoshiro state expansion.
+  std::uint64_t sm = master_seed_;
+  const std::uint64_t a = splitmix64(sm);
+  sm ^= stream_id * 0xD1B54A32D192ED03ULL + 0x2545F4914F6CDD1DULL;
+  const std::uint64_t b = splitmix64(sm);
+  return RandomStream(a ^ rotl(b, 32) ^ (stream_id + 0x9E3779B97F4A7C15ULL));
+}
+
+}  // namespace raidrel::rng

@@ -1,0 +1,46 @@
+#include "sim/convergence.h"
+
+#include <limits>
+
+#include "util/error.h"
+
+namespace raidrel::sim {
+
+ConvergedRun run_until_converged(const raid::GroupConfig& config,
+                                 const ConvergenceOptions& options) {
+  RAIDREL_REQUIRE(options.target_relative_sem > 0.0,
+                  "target relative SEM must be positive");
+  RAIDREL_REQUIRE(options.batch_trials > 0, "batch size must be positive");
+  RAIDREL_REQUIRE(options.min_trials <= options.max_trials,
+                  "min_trials must not exceed max_trials");
+
+  ConvergedRun out{RunResult(config.mission_hours, options.bucket_hours)};
+  std::uint64_t next_index = 0;
+  while (out.result.trials() < options.max_trials) {
+    const std::size_t remaining = options.max_trials - out.result.trials();
+    const std::size_t batch = std::min(options.batch_trials, remaining);
+    RunOptions run;
+    run.trials = batch;
+    run.seed = options.seed;
+    run.threads = options.threads;
+    run.bucket_hours = options.bucket_hours;
+    run.first_trial_index = next_index;
+    out.result.merge(run_monte_carlo(config, run));
+    next_index += batch;
+    ++out.batches;
+
+    const double mean = out.result.total_ddfs_per_1000();
+    const double sem = out.result.total_ddfs_per_1000_sem();
+    out.relative_sem = mean > 0.0
+                           ? sem / mean
+                           : std::numeric_limits<double>::infinity();
+    if (out.result.trials() >= options.min_trials &&
+        out.relative_sem <= options.target_relative_sem) {
+      out.converged = true;
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace raidrel::sim

@@ -1,0 +1,36 @@
+// Adaptive Monte Carlo: keep adding trial batches until the DDF estimate
+// is statistically tight enough (relative SEM target) or a budget is hit.
+// This is what a practitioner wants from the paper's method — "simulate
+// until the answer is trustworthy" — without guessing a trial count.
+#pragma once
+
+#include "raid/group_config.h"
+#include "sim/run_result.h"
+#include "sim/runner.h"
+
+namespace raidrel::sim {
+
+struct ConvergenceOptions {
+  double target_relative_sem = 0.02;  ///< stop when SEM/mean <= this
+  std::size_t batch_trials = 20000;   ///< trials added per round
+  std::size_t max_trials = 2000000;   ///< hard budget
+  std::size_t min_trials = 20000;     ///< never stop before this many
+  std::uint64_t seed = 20070625;
+  unsigned threads = 0;
+  double bucket_hours = 730.0;
+};
+
+struct ConvergedRun {
+  RunResult result;
+  bool converged = false;          ///< target reached within the budget
+  double relative_sem = 0.0;       ///< achieved SEM/mean (inf if mean 0)
+  std::size_t batches = 0;
+};
+
+/// Run batches of `config` until the total-DDF estimate meets the target.
+/// Batches use disjoint per-trial stream indices, so the union is exactly
+/// what a single big run with the same seed would produce.
+ConvergedRun run_until_converged(const raid::GroupConfig& config,
+                                 const ConvergenceOptions& options);
+
+}  // namespace raidrel::sim

@@ -1,0 +1,298 @@
+#include "sim/fleet_simulator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/error.h"
+
+namespace raidrel::sim {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}
+
+void FleetConfig::validate() const {
+  RAIDREL_REQUIRE(!groups.empty(), "fleet needs at least one group");
+  const double mission = groups.front().mission_hours;
+  for (const auto& g : groups) {
+    g.validate();
+    RAIDREL_REQUIRE(g.mission_hours == mission,
+                    "all groups must share the mission length");
+    RAIDREL_REQUIRE(g.stripe_zones == 0,
+                    "FleetSimulator does not implement stripe zones");
+    if (shared_pool) {
+      RAIDREL_REQUIRE(!g.spare_pool.has_value(),
+                      "groups cannot carry private pools under a shared one");
+    } else {
+      RAIDREL_REQUIRE(!g.spare_pool.has_value(),
+                      "per-group pools are a GroupSimulator feature; the "
+                      "fleet pool is FleetConfig::shared_pool");
+    }
+  }
+  if (shared_pool) {
+    RAIDREL_REQUIRE(shared_pool->capacity >= 1,
+                    "shared pool needs at least one spare");
+    RAIDREL_REQUIRE(shared_pool->replenish_hours > 0.0,
+                    "replenishment lead time must be positive");
+  }
+}
+
+double FleetConfig::mission_hours() const {
+  RAIDREL_REQUIRE(!groups.empty(), "fleet needs at least one group");
+  return groups.front().mission_hours;
+}
+
+std::size_t FleetTrialResult::total_ddfs() const {
+  std::size_t n = 0;
+  for (const auto& g : per_group) n += g.ddfs.size();
+  return n;
+}
+
+void FleetTrialResult::clear(std::size_t groups) {
+  per_group.resize(groups);
+  for (auto& g : per_group) g.clear();
+}
+
+bool FleetSimulator::Slot::restoring() const noexcept {
+  return restore_done < kInf || awaiting_spare;
+}
+
+bool FleetSimulator::Slot::defective() const noexcept {
+  return defect_occurred < kInf;
+}
+
+FleetSimulator::FleetSimulator(const FleetConfig& config) : cfg_(config) {
+  cfg_.validate();
+  groups_.resize(cfg_.groups.size());
+  for (std::size_t g = 0; g < groups_.size(); ++g) {
+    groups_[g].slots.resize(cfg_.groups[g].slots.size());
+  }
+}
+
+void FleetSimulator::start_defect_countdown(std::size_t g, std::size_t i,
+                                            double now,
+                                            rng::RandomStream& rs) {
+  Slot& s = groups_[g].slots[i];
+  const raid::SlotModel& m = cfg_.groups[g].slots[i];
+  s.defect_occurred = kInf;
+  s.defect_clears = kInf;
+  if (!m.latent_defects_enabled()) {
+    s.next_ld = kInf;
+    return;
+  }
+  if (cfg_.groups[g].latent_clock == raid::LatentClock::kDriveAge) {
+    const double age = now - s.install_time;
+    s.next_ld = now + m.time_to_latent_defect->sample_residual(age, rs);
+  } else {
+    s.next_ld = now + m.time_to_latent_defect->sample(rs);
+  }
+}
+
+void FleetSimulator::install_fresh_drive(std::size_t g, std::size_t i,
+                                         double now, rng::RandomStream& rs) {
+  Slot& s = groups_[g].slots[i];
+  s.install_time = now;
+  s.restore_done = kInf;
+  s.awaiting_spare = false;
+  s.next_op = now + cfg_.groups[g].slots[i].time_to_op_failure->sample(rs);
+  start_defect_countdown(g, i, now, rs);
+}
+
+double FleetSimulator::next_event_time(const Slot& s) noexcept {
+  return std::min(std::min(s.next_op, s.restore_done),
+                  std::min(s.next_ld, s.defect_clears));
+}
+
+void FleetSimulator::begin_restore(std::size_t g, std::size_t i, double now,
+                                   double duration) {
+  Group& group = groups_[g];
+  Slot& s = group.slots[i];
+  s.awaiting_spare = false;
+  s.restore_done = now + duration;
+  if (i == group.ddf_slot) {
+    group.failed_until = s.restore_done;
+  }
+}
+
+void FleetSimulator::request_spare(std::size_t g, std::size_t i, double now,
+                                   double duration) {
+  if (!cfg_.shared_pool) {
+    begin_restore(g, i, now, duration);
+    return;
+  }
+  if (spares_available_ > 0) {
+    --spares_available_;
+    pending_orders_.push_back(now + cfg_.shared_pool->replenish_hours);
+    begin_restore(g, i, now, duration);
+    return;
+  }
+  Slot& s = groups_[g].slots[i];
+  s.awaiting_spare = true;
+  s.restore_done = kInf;
+  s.pending_restore_duration = duration;
+  spare_queue_.push_back({g, i});
+  if (i == groups_[g].ddf_slot) groups_[g].failed_until = kInf;
+}
+
+double FleetSimulator::next_spare_arrival() const noexcept {
+  double t = kInf;
+  for (double arrival : pending_orders_) t = std::min(t, arrival);
+  return t;
+}
+
+void FleetSimulator::handle_spare_arrival(double now) {
+  for (std::size_t k = 0; k < pending_orders_.size(); ++k) {
+    if (pending_orders_[k] <= now) {
+      pending_orders_[k] = pending_orders_.back();
+      pending_orders_.pop_back();
+      break;
+    }
+  }
+  if (spare_queue_.empty()) {
+    ++spares_available_;
+    return;
+  }
+  const SlotRef ref = spare_queue_.front();
+  spare_queue_.erase(spare_queue_.begin());
+  pending_orders_.push_back(now + cfg_.shared_pool->replenish_hours);
+  begin_restore(ref.group, ref.slot, now,
+                groups_[ref.group].slots[ref.slot].pending_restore_duration);
+}
+
+void FleetSimulator::handle_op_failure(std::size_t g, std::size_t i,
+                                       double now, rng::RandomStream& rs,
+                                       FleetTrialResult& out) {
+  Group& group = groups_[g];
+  Slot& s = group.slots[i];
+  const raid::GroupConfig& gc = cfg_.groups[g];
+  TrialResult& stats = out.per_group[g];
+  ++stats.op_failures;
+
+  const double restore_duration = gc.slots[i].time_to_restore->sample(rs);
+
+  if (now >= group.failed_until) {
+    unsigned down = 1;
+    unsigned defective = 0;
+    for (std::size_t j = 0; j < group.slots.size(); ++j) {
+      if (j == i) continue;
+      const Slot& other = group.slots[j];
+      if (other.restoring()) {
+        ++down;
+      } else if (other.defective()) {
+        ++defective;
+      }
+    }
+    if (down + defective > gc.redundancy) {
+      const raid::DdfKind kind = down > gc.redundancy
+                                     ? raid::DdfKind::kDoubleOperational
+                                     : raid::DdfKind::kLatentThenOp;
+      stats.ddfs.push_back({now, kind});
+      group.failed_until = now + restore_duration;
+      group.ddf_slot = i;
+    }
+  }
+
+  s.defect_occurred = kInf;
+  s.defect_clears = kInf;
+  s.next_op = kInf;
+  s.next_ld = kInf;
+  request_spare(g, i, now, restore_duration);
+}
+
+void FleetSimulator::handle_restore_done(std::size_t g, std::size_t i,
+                                         double now, rng::RandomStream& rs,
+                                         FleetTrialResult& out) {
+  Group& group = groups_[g];
+  ++out.per_group[g].restores_completed;
+  install_fresh_drive(g, i, now, rs);
+  if (cfg_.groups[g].reconstruction_defect_probability > 0.0 &&
+      rs.bernoulli(cfg_.groups[g].reconstruction_defect_probability)) {
+    handle_latent_defect(g, i, now, rs, out);
+  }
+  if (group.failed_until > 0.0 && now >= group.failed_until) {
+    if (cfg_.groups[g].clear_defects_on_ddf_restore) {
+      for (std::size_t j = 0; j < group.slots.size(); ++j) {
+        if (group.slots[j].defective()) {
+          start_defect_countdown(g, j, now, rs);
+        }
+      }
+    }
+    group.failed_until = 0.0;
+    group.ddf_slot = SIZE_MAX;
+  }
+}
+
+void FleetSimulator::handle_latent_defect(std::size_t g, std::size_t i,
+                                          double now, rng::RandomStream& rs,
+                                          FleetTrialResult& out) {
+  Slot& s = groups_[g].slots[i];
+  const raid::SlotModel& m = cfg_.groups[g].slots[i];
+  ++out.per_group[g].latent_defects;
+  s.defect_occurred = now;
+  s.defect_clears =
+      m.scrubbing_enabled() ? now + m.time_to_scrub->sample(rs) : kInf;
+  s.next_ld = kInf;
+}
+
+void FleetSimulator::handle_defect_cleared(std::size_t g, std::size_t i,
+                                           double now, rng::RandomStream& rs,
+                                           FleetTrialResult& out) {
+  ++out.per_group[g].scrubs_completed;
+  start_defect_countdown(g, i, now, rs);
+}
+
+std::size_t FleetSimulator::waiting_drives_at_end() const noexcept {
+  return spare_queue_.size();
+}
+
+void FleetSimulator::run_trial(rng::RandomStream& rs, FleetTrialResult& out) {
+  out.clear(groups_.size());
+  spares_available_ = cfg_.shared_pool ? cfg_.shared_pool->capacity : 0;
+  pending_orders_.clear();
+  spare_queue_.clear();
+  for (std::size_t g = 0; g < groups_.size(); ++g) {
+    groups_[g].failed_until = 0.0;
+    groups_[g].ddf_slot = SIZE_MAX;
+    for (std::size_t i = 0; i < groups_[g].slots.size(); ++i) {
+      install_fresh_drive(g, i, 0.0, rs);
+    }
+  }
+
+  const double mission = cfg_.mission_hours();
+  for (;;) {
+    double t = kInf;
+    std::size_t gi = 0, si = 0;
+    for (std::size_t g = 0; g < groups_.size(); ++g) {
+      for (std::size_t i = 0; i < groups_[g].slots.size(); ++i) {
+        const double ti = next_event_time(groups_[g].slots[i]);
+        if (ti < t) {
+          t = ti;
+          gi = g;
+          si = i;
+        }
+      }
+    }
+    const double spare_t = next_spare_arrival();
+    if (spare_t < t) {
+      if (spare_t >= mission) break;
+      handle_spare_arrival(spare_t);
+      continue;
+    }
+    if (t >= mission) break;
+
+    Slot& s = groups_[gi].slots[si];
+    if (s.defect_clears <= t) {
+      handle_defect_cleared(gi, si, t, rs, out);
+    } else if (s.restore_done <= t) {
+      handle_restore_done(gi, si, t, rs, out);
+    } else if (s.next_op <= t) {
+      handle_op_failure(gi, si, t, rs, out);
+    } else {
+      RAIDREL_ASSERT(s.next_ld <= t, "event loop picked a phantom event");
+      handle_latent_defect(gi, si, t, rs, out);
+    }
+  }
+}
+
+}  // namespace raidrel::sim

@@ -1,0 +1,112 @@
+// Fleet simulation: many RAID groups sharing one spare pool.
+//
+// The paper models a single group and assumes a spare is always on hand.
+// Real deployments stock a handful of spares per rack or datacenter and
+// share them across many groups; a failure burst can starve the pool and
+// leave several groups critically exposed at once — correlated risk that
+// no per-group model can express. FleetSimulator runs all groups in one
+// event loop with a common pool (capacity + replenishment lead time,
+// FIFO service across groups).
+//
+// Per-group semantics are identical to GroupSimulator (fault census,
+// freeze windows, latent-defect renewal per raid::LatentClock, state-1
+// defect wipe). Differences: the conditional-expectation probe and the
+// stripe-collision refinement are not provided here (use GroupSimulator
+// for those studies); a fleet of one group with no shared pool reproduces
+// GroupSimulator draw for draw, which the test suite verifies bitwise.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "raid/group_config.h"
+#include "rng/rng.h"
+#include "sim/group_simulator.h"
+
+namespace raidrel::sim {
+
+struct FleetConfig {
+  /// One entry per RAID group. All groups must share the mission length,
+  /// must not carry their own spare pools when `shared_pool` is set, and
+  /// must not use stripe zones.
+  std::vector<raid::GroupConfig> groups;
+
+  /// Spares stocked for the whole fleet; absent = always available.
+  std::optional<raid::SparePoolConfig> shared_pool;
+
+  void validate() const;
+  [[nodiscard]] double mission_hours() const;
+};
+
+struct FleetTrialResult {
+  std::vector<TrialResult> per_group;
+
+  [[nodiscard]] std::size_t total_ddfs() const;
+  void clear(std::size_t groups);
+};
+
+class FleetSimulator {
+ public:
+  explicit FleetSimulator(const FleetConfig& config);
+
+  /// Simulate one mission of the whole fleet.
+  void run_trial(rng::RandomStream& rs, FleetTrialResult& out);
+
+  /// Drives still blocked on the pool when the last trial ended — the
+  /// backlog signal that tells saturation ("the pool can never catch up")
+  /// apart from transient burst starvation.
+  [[nodiscard]] std::size_t waiting_drives_at_end() const noexcept;
+
+ private:
+  struct Slot {
+    double install_time = 0.0;
+    double next_op = 0.0;
+    double restore_done = 0.0;
+    double next_ld = 0.0;
+    double defect_occurred = 0.0;
+    double defect_clears = 0.0;
+    bool awaiting_spare = false;
+    double pending_restore_duration = 0.0;
+
+    [[nodiscard]] bool restoring() const noexcept;
+    [[nodiscard]] bool defective() const noexcept;
+  };
+  struct Group {
+    std::vector<Slot> slots;
+    double failed_until = 0.0;
+    std::size_t ddf_slot = SIZE_MAX;
+  };
+  struct SlotRef {
+    std::size_t group;
+    std::size_t slot;
+  };
+
+  void install_fresh_drive(std::size_t g, std::size_t i, double now,
+                           rng::RandomStream& rs);
+  void start_defect_countdown(std::size_t g, std::size_t i, double now,
+                              rng::RandomStream& rs);
+  void handle_op_failure(std::size_t g, std::size_t i, double now,
+                         rng::RandomStream& rs, FleetTrialResult& out);
+  void handle_restore_done(std::size_t g, std::size_t i, double now,
+                           rng::RandomStream& rs, FleetTrialResult& out);
+  void handle_latent_defect(std::size_t g, std::size_t i, double now,
+                            rng::RandomStream& rs, FleetTrialResult& out);
+  void handle_defect_cleared(std::size_t g, std::size_t i, double now,
+                             rng::RandomStream& rs, FleetTrialResult& out);
+  void begin_restore(std::size_t g, std::size_t i, double now,
+                     double duration);
+  void request_spare(std::size_t g, std::size_t i, double now,
+                     double duration);
+  void handle_spare_arrival(double now);
+  [[nodiscard]] double next_spare_arrival() const noexcept;
+  [[nodiscard]] static double next_event_time(const Slot& s) noexcept;
+
+  const FleetConfig& cfg_;
+  std::vector<Group> groups_;
+  unsigned spares_available_ = 0;
+  std::vector<double> pending_orders_;
+  std::vector<SlotRef> spare_queue_;
+};
+
+}  // namespace raidrel::sim

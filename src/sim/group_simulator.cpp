@@ -1,0 +1,354 @@
+#include "sim/group_simulator.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <limits>
+
+#include "util/error.h"
+
+namespace raidrel::sim {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}
+
+void TrialResult::clear() {
+  ddfs.clear();
+  double_op_probe.clear();
+  op_failures = 0;
+  latent_defects = 0;
+  scrubs_completed = 0;
+  restores_completed = 0;
+}
+
+bool GroupSimulator::Slot::restoring() const noexcept {
+  return restore_done < kInf || awaiting_spare;
+}
+
+bool GroupSimulator::Slot::defective() const noexcept {
+  return defect_occurred < kInf;
+}
+
+GroupSimulator::GroupSimulator(const raid::GroupConfig& config)
+    : cfg_(config) {
+  cfg_.validate();
+  slots_.resize(cfg_.slots.size());
+}
+
+void GroupSimulator::start_defect_countdown(std::size_t i, double now,
+                                            rng::RandomStream& rs) {
+  Slot& s = slots_[i];
+  const raid::SlotModel& m = cfg_.slots[i];
+  s.defect_occurred = kInf;
+  s.defect_clears = kInf;
+  if (!m.latent_defects_enabled()) {
+    s.next_ld = kInf;
+    return;
+  }
+  if (cfg_.latent_clock == raid::LatentClock::kDriveAge) {
+    // NHPP in drive age: next arrival solves H(age') = H(age) + Exp(1).
+    const double age = now - s.install_time;
+    s.next_ld = now + m.time_to_latent_defect->sample_residual(age, rs);
+  } else {
+    // Paper §5 renewal: a fresh TTLd from the moment of defect-freedom.
+    s.next_ld = now + m.time_to_latent_defect->sample(rs);
+  }
+}
+
+void GroupSimulator::install_fresh_drive(std::size_t i, double now,
+                                         rng::RandomStream& rs) {
+  Slot& s = slots_[i];
+  s.install_time = now;
+  s.restore_done = kInf;
+  s.awaiting_spare = false;
+  s.next_op = now + cfg_.slots[i].time_to_op_failure->sample(rs);
+  start_defect_countdown(i, now, rs);
+}
+
+double GroupSimulator::next_event_time(const Slot& s) noexcept {
+  return std::min(std::min(s.next_op, s.restore_done),
+                  std::min(s.next_ld, s.defect_clears));
+}
+
+double GroupSimulator::probe_probability(std::size_t failed_slot, double now,
+                                         double window) const {
+  // Existing faults among the other drives (down / rebuilding).
+  unsigned base_faults = 0;
+  std::array<double, 64> p{};
+  std::size_t np = 0;
+  for (std::size_t j = 0; j < slots_.size(); ++j) {
+    if (j == failed_slot) continue;
+    const Slot& s = slots_[j];
+    if (s.restoring()) {
+      ++base_faults;
+      continue;
+    }
+    // Probability this operational drive fails within the window, from its
+    // exact residual life: 1 - S(age + w)/S(age).
+    const auto& op = *cfg_.slots[j].time_to_op_failure;
+    const double age = now - s.install_time;
+    const double h0 = op.cum_hazard(age);
+    const double h1 = op.cum_hazard(age + window);
+    const double pj = -std::expm1(h0 - h1);
+    if (np < p.size()) p[np++] = std::clamp(pj, 0.0, 1.0);
+  }
+  const unsigned needed =
+      cfg_.redundancy > base_faults ? cfg_.redundancy - base_faults : 0;
+  // A failure that lands in an already-critical group *completes* a data
+  // loss that was credited (in probability) to the failure that opened the
+  // exposure window; contributing again here would double count.
+  if (needed == 0) return 0.0;
+  if (needed > np) return 0.0;
+  // Poisson-binomial tail P(#failures >= needed) by dynamic programming
+  // over the count distribution (group sizes are small).
+  std::array<double, 65> dist{};
+  dist[0] = 1.0;
+  for (std::size_t j = 0; j < np; ++j) {
+    for (std::size_t k = j + 1; k > 0; --k) {
+      dist[k] = dist[k] * (1.0 - p[j]) + dist[k - 1] * p[j];
+    }
+    dist[0] *= 1.0 - p[j];
+  }
+  double below = 0.0;
+  for (unsigned k = 0; k < needed; ++k) below += dist[k];
+  return std::clamp(1.0 - below, 0.0, 1.0);
+}
+
+void GroupSimulator::handle_op_failure(std::size_t i, double now,
+                                       rng::RandomStream& rs,
+                                       TrialResult& out) {
+  Slot& s = slots_[i];
+  const raid::SlotModel& m = cfg_.slots[i];
+  ++out.op_failures;
+
+  const double restore_duration = m.time_to_restore->sample(rs);
+
+  if (now >= group_failed_until_) {
+    // Fault census at the failure instant: drives down or rebuilding
+    // (including this one) plus *other* drives carrying outstanding defects.
+    unsigned down = 1;
+    unsigned defective = 0;
+    for (std::size_t j = 0; j < slots_.size(); ++j) {
+      if (j == i) continue;
+      const Slot& other = slots_[j];
+      if (other.restoring()) {
+        ++down;
+      } else if (other.defective()) {
+        ++defective;
+      }
+    }
+    if (down + defective > cfg_.redundancy) {
+      const raid::DdfKind kind = down > cfg_.redundancy
+                                     ? raid::DdfKind::kDoubleOperational
+                                     : raid::DdfKind::kLatentThenOp;
+      out.ddfs.push_back({now, kind});
+      // No further data loss until the concomitant restore completes
+      // (paper §5); the group then re-enters state 1. When the rebuild is
+      // blocked on an empty spare pool, request_spare extends the freeze
+      // to the actual restore completion.
+      group_failed_until_ = now + restore_duration;
+      ddf_slot_ = i;
+    }
+    // Rare-event probe for (multi-)operational data loss initiated by this
+    // failure: probability that enough other drives fail inside the window.
+    // Under a starved spare pool the true exposure window also includes the
+    // wait for a spare, which is unknown here — the probe then understates;
+    // use the counting estimator for spare-pool studies.
+    const double window = std::min(restore_duration, cfg_.mission_hours - now);
+    if (window > 0.0) {
+      out.double_op_probe.emplace_back(now,
+                                       probe_probability(i, now, window));
+    }
+  }
+
+  // The failed drive is replaced: its own latent defect leaves with it.
+  s.defect_occurred = kInf;
+  s.defect_clears = kInf;
+  s.next_op = kInf;
+  s.next_ld = kInf;
+  request_spare(i, now, restore_duration);
+}
+
+void GroupSimulator::begin_restore(std::size_t i, double now,
+                                   double duration) {
+  Slot& s = slots_[i];
+  s.awaiting_spare = false;
+  s.restore_done = now + duration;
+  if (i == ddf_slot_) {
+    // The freeze that a spare-starved DDF left open-ended now has a
+    // definite end: the concomitant restore's completion.
+    group_failed_until_ = s.restore_done;
+  }
+}
+
+void GroupSimulator::request_spare(std::size_t i, double now,
+                                   double duration) {
+  if (!cfg_.spare_pool) {
+    begin_restore(i, now, duration);
+    return;
+  }
+  if (spares_available_ > 0) {
+    --spares_available_;
+    pending_orders_.push_back(now + cfg_.spare_pool->replenish_hours);
+    begin_restore(i, now, duration);
+    return;
+  }
+  Slot& s = slots_[i];
+  s.awaiting_spare = true;
+  s.restore_done = kInf;
+  s.pending_restore_duration = duration;
+  spare_queue_.push_back(i);
+  if (i == ddf_slot_) group_failed_until_ = kInf;  // resolved on arrival
+}
+
+double GroupSimulator::next_spare_arrival() const noexcept {
+  double t = kInf;
+  for (double arrival : pending_orders_) t = std::min(t, arrival);
+  return t;
+}
+
+void GroupSimulator::handle_spare_arrival(double now) {
+  // Remove the (an) order arriving now.
+  for (std::size_t k = 0; k < pending_orders_.size(); ++k) {
+    if (pending_orders_[k] <= now) {
+      pending_orders_[k] = pending_orders_.back();
+      pending_orders_.pop_back();
+      break;
+    }
+  }
+  if (spare_queue_.empty()) {
+    ++spares_available_;
+    return;
+  }
+  const std::size_t slot = spare_queue_.front();
+  spare_queue_.erase(spare_queue_.begin());
+  // The arriving spare is consumed immediately: reorder.
+  pending_orders_.push_back(now + cfg_.spare_pool->replenish_hours);
+  begin_restore(slot, now, slots_[slot].pending_restore_duration);
+}
+
+void GroupSimulator::handle_restore_done(std::size_t i, double now,
+                                         rng::RandomStream& rs,
+                                         TrialResult& out) {
+  ++out.restores_completed;
+  install_fresh_drive(i, now, rs);
+  if (cfg_.reconstruction_defect_probability > 0.0 &&
+      rs.bernoulli(cfg_.reconstruction_defect_probability)) {
+    // A write error slipped into the rebuilt data (paper §4.2): the new
+    // drive starts life already defective. Not a DDF by itself.
+    handle_latent_defect(i, now, rs, out);
+  }
+  if (group_failed_until_ > 0.0 && now >= group_failed_until_) {
+    if (cfg_.clear_defects_on_ddf_restore) {
+      // The restore that ends a DDF returns the group to the paper's
+      // state 1: "all HDDs operating, no latent defects".
+      for (std::size_t j = 0; j < slots_.size(); ++j) {
+        if (slots_[j].defective()) {
+          start_defect_countdown(j, now, rs);
+        }
+      }
+    }
+    group_failed_until_ = 0.0;
+    ddf_slot_ = SIZE_MAX;
+  }
+}
+
+void GroupSimulator::handle_latent_defect(std::size_t i, double now,
+                                          rng::RandomStream& rs,
+                                          TrialResult& out) {
+  Slot& s = slots_[i];
+  const raid::SlotModel& m = cfg_.slots[i];
+  ++out.latent_defects;
+  s.defect_occurred = now;
+  s.defect_clears =
+      m.scrubbing_enabled() ? now + m.time_to_scrub->sample(rs) : kInf;
+  // No new defect countdown until this defect is scrubbed away (paper §5's
+  // alternating renewal: TTScrub is added, then a new TTLd is sampled).
+  s.next_ld = kInf;
+
+  if (cfg_.stripe_zones > 0) {
+    // Stripe-collision refinement (off in the paper's model): place the
+    // defect in a random zone and check whether outstanding defects now
+    // cover the same zone on more drives than the parity can rebuild.
+    s.defect_zone = rs.uniform_index(cfg_.stripe_zones);
+    unsigned sharing = 1;
+    for (std::size_t j = 0; j < slots_.size(); ++j) {
+      if (j == i) continue;
+      const Slot& other = slots_[j];
+      if (!other.restoring() && other.defective() &&
+          other.defect_zone == s.defect_zone) {
+        ++sharing;
+      }
+    }
+    if (sharing > cfg_.redundancy && now >= group_failed_until_) {
+      out.ddfs.push_back({now, raid::DdfKind::kLatentStripeCollision});
+      // The collision is discovered (the stripe is unreadable); its
+      // defects are mapped out and rewritten: clear them and restart the
+      // countdowns. The array itself keeps running, so no freeze window.
+      for (std::size_t j = 0; j < slots_.size(); ++j) {
+        Slot& other = slots_[j];
+        if (!other.restoring() && other.defective() &&
+            other.defect_zone == s.defect_zone) {
+          start_defect_countdown(j, now, rs);
+        }
+      }
+    }
+  }
+}
+
+void GroupSimulator::handle_defect_cleared(std::size_t i, double now,
+                                           rng::RandomStream& rs,
+                                           TrialResult& out) {
+  ++out.scrubs_completed;
+  start_defect_countdown(i, now, rs);
+}
+
+void GroupSimulator::run_trial(rng::RandomStream& rs, TrialResult& out) {
+  out.clear();
+  group_failed_until_ = 0.0;
+  ddf_slot_ = SIZE_MAX;
+  spares_available_ = cfg_.spare_pool ? cfg_.spare_pool->capacity : 0;
+  pending_orders_.clear();
+  spare_queue_.clear();
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    install_fresh_drive(i, 0.0, rs);
+  }
+
+  const double mission = cfg_.mission_hours;
+  for (;;) {
+    // Earliest pending event across the (small) group.
+    double t = kInf;
+    std::size_t slot = 0;
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+      const double ti = next_event_time(slots_[i]);
+      if (ti < t) {
+        t = ti;
+        slot = i;
+      }
+    }
+    const double spare_t = next_spare_arrival();
+    if (spare_t < t) {
+      if (spare_t >= mission) break;
+      handle_spare_arrival(spare_t);
+      continue;
+    }
+    if (t >= mission) break;
+
+    Slot& s = slots_[slot];
+    // Within one slot at one instant, clear defects before censusing, then
+    // restores, then failures, then new defects.
+    if (s.defect_clears <= t) {
+      handle_defect_cleared(slot, t, rs, out);
+    } else if (s.restore_done <= t) {
+      handle_restore_done(slot, t, rs, out);
+    } else if (s.next_op <= t) {
+      handle_op_failure(slot, t, rs, out);
+    } else {
+      RAIDREL_ASSERT(s.next_ld <= t, "event loop picked a phantom event");
+      handle_latent_defect(slot, t, rs, out);
+    }
+  }
+}
+
+}  // namespace raidrel::sim

@@ -1,0 +1,133 @@
+// Event-driven sequential Monte Carlo simulation of one RAID group mission
+// (the primary engine; implements the state logic of the paper's Fig. 4
+// using the sampling procedure of its §5).
+//
+// Per disk slot the simulator tracks
+//   * the scheduled operational failure of the currently installed drive
+//     (a fresh lifetime is drawn from d_Op at every replacement);
+//   * the restore-completion time while a replacement is being rebuilt
+//     (drawn from d_Restore, whose location parameter encodes the physical
+//     minimum rebuild time);
+//   * latent defects as the paper's alternating renewal process: a healthy
+//     drive counts down a d_Ld draw to its next defect; the defect stays
+//     outstanding for a d_Scrub draw (forever without scrubbing), and only
+//     after the scrub completes is a new d_Ld countdown started ("a new
+//     TTOp (or TTLd) is sampled, added to the previous sum", paper §5).
+//     A drive therefore carries at most one outstanding defect — which is
+//     also all the DDF rule can observe, since data loss depends on how
+//     many *drives* are defective, not how many sectors.
+//
+// Data-loss (DDF) rule, evaluated at every operational-failure instant:
+// faulted drives = drives down or rebuilding (including the one that just
+// failed) plus *other* drives carrying an outstanding latent defect; data
+// is lost when faulted drives exceed the group redundancy. Latent-defect
+// arrivals never trigger data loss by themselves (paper §5: an operational
+// failure followed by a latent defect is not a DDF).
+//
+// After a DDF the group cannot fail again until the concomitant restore
+// completes (paper §5); on completion the group re-enters the paper's
+// state 1 ("fully functional, no latent defects"), so outstanding defects
+// are cleared and their drives start fresh defect countdowns.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "raid/group_config.h"
+#include "rng/rng.h"
+
+namespace raidrel::sim {
+
+/// Outcome of simulating one group over one mission.
+struct TrialResult {
+  std::vector<raid::DdfEvent> ddfs;
+
+  /// Conditional-expectation probe: one entry per operational failure,
+  /// (failure time, probability that this failure *initiates* a data loss,
+  /// i.e. that enough other drives fail operationally inside its sampled
+  /// restore window). Each potential DDF is credited exactly once — to the
+  /// failure that opens the exposure window; failures completing an
+  /// already-critical overlap contribute 0. For rare-DDF scenarios (the
+  /// paper's Fig. 6 regime) summing these probabilities estimates
+  /// multi-operational DDFs with orders of magnitude less variance than
+  /// counting.
+  std::vector<std::pair<double, double>> double_op_probe;
+
+  std::uint64_t op_failures = 0;
+  std::uint64_t latent_defects = 0;
+  std::uint64_t scrubs_completed = 0;
+  std::uint64_t restores_completed = 0;
+
+  void clear();
+};
+
+/// Simulates missions of a fixed group configuration. Construct once, call
+/// run_trial once per mission with that trial's private random stream.
+/// The configuration (and its distributions) must outlive the simulator and
+/// is never mutated, so one configuration can back many threads.
+class GroupSimulator {
+ public:
+  explicit GroupSimulator(const raid::GroupConfig& config);
+
+  /// Simulate one full mission; `out` is cleared first. Deterministic given
+  /// the stream state.
+  void run_trial(rng::RandomStream& rs, TrialResult& out);
+
+ private:
+  struct Slot {
+    double install_time = 0.0;
+    double next_op = 0.0;        ///< absolute op-failure time; +inf rebuilding
+    double restore_done = 0.0;   ///< absolute; +inf when operational
+    double next_ld = 0.0;        ///< next defect arrival; +inf if n/a
+    double defect_occurred = 0.0;///< outstanding defect birth; +inf if none
+    double defect_clears = 0.0;  ///< scrub completion; +inf w/o scrub/defect
+    std::uint64_t defect_zone = 0;  ///< stripe zone (stripe_zones > 0 only)
+    bool awaiting_spare = false; ///< failed, rebuild blocked on the pool
+    double pending_restore_duration = 0.0;  ///< sampled TTR while waiting
+
+    /// Down: rebuilding or blocked on a spare (counts as a fault either way).
+    [[nodiscard]] bool restoring() const noexcept;
+    [[nodiscard]] bool defective() const noexcept;
+  };
+
+  void install_fresh_drive(std::size_t i, double now, rng::RandomStream& rs);
+  void start_defect_countdown(std::size_t i, double now,
+                              rng::RandomStream& rs);
+  void handle_op_failure(std::size_t i, double now, rng::RandomStream& rs,
+                         TrialResult& out);
+  void handle_restore_done(std::size_t i, double now, rng::RandomStream& rs,
+                           TrialResult& out);
+  void handle_latent_defect(std::size_t i, double now, rng::RandomStream& rs,
+                            TrialResult& out);
+  void handle_defect_cleared(std::size_t i, double now, rng::RandomStream& rs,
+                             TrialResult& out);
+
+  /// Begin the physical rebuild of a failed slot (a spare is in hand).
+  void begin_restore(std::size_t i, double now, double duration);
+  /// Take a spare for slot i, or queue it when the pool is empty.
+  void request_spare(std::size_t i, double now, double duration);
+  void handle_spare_arrival(double now);
+  [[nodiscard]] double next_spare_arrival() const noexcept;
+
+  /// Earliest pending event time for slot i.
+  [[nodiscard]] static double next_event_time(const Slot& s) noexcept;
+
+  /// Probability that enough other currently operational drives fail inside
+  /// (now, now + window] to exceed the redundancy, from their exact
+  /// residual lifetimes (Poisson-binomial tail over per-drive window
+  /// probabilities).
+  [[nodiscard]] double probe_probability(std::size_t failed_slot, double now,
+                                         double window) const;
+
+  const raid::GroupConfig& cfg_;
+  std::vector<Slot> slots_;
+  double group_failed_until_ = 0.0;  ///< DDF freeze window end
+  std::size_t ddf_slot_ = SIZE_MAX;  ///< slot whose restore ends the freeze
+
+  // Spare-pool state (unused when cfg_.spare_pool is absent).
+  unsigned spares_available_ = 0;
+  std::vector<double> pending_orders_;   ///< replacement arrival times
+  std::vector<std::size_t> spare_queue_; ///< slots waiting, FIFO
+};
+
+}  // namespace raidrel::sim

@@ -1,0 +1,150 @@
+#include "sim/run_result.h"
+
+#include <cmath>
+
+#include "util/error.h"
+#include "util/grid.h"
+
+namespace raidrel::sim {
+
+RunResult::RunResult(double mission_hours, double bucket_hours)
+    : mission_hours_(mission_hours), bucket_hours_(bucket_hours) {
+  RAIDREL_REQUIRE(mission_hours > 0.0, "mission must be positive");
+  RAIDREL_REQUIRE(bucket_hours > 0.0 && bucket_hours <= mission_hours,
+                  "bucket width must be in (0, mission]");
+  const std::size_t n = util::bucket_count(mission_hours, bucket_hours);
+  counting_.assign(n, 0.0);
+  probe_.assign(n, 0.0);
+  double_op_.assign(n, 0.0);
+  latent_then_op_.assign(n, 0.0);
+  stripe_collision_.assign(n, 0.0);
+}
+
+void RunResult::add_trial(const TrialResult& trial) {
+  ++trials_;
+  for (const auto& ddf : trial.ddfs) {
+    const std::size_t b =
+        util::bucket_index(ddf.time, mission_hours_, bucket_hours_);
+    counting_[b] += 1.0;
+    switch (ddf.kind) {
+      case raid::DdfKind::kDoubleOperational:
+        double_op_[b] += 1.0;
+        break;
+      case raid::DdfKind::kLatentThenOp:
+        latent_then_op_[b] += 1.0;
+        break;
+      case raid::DdfKind::kLatentStripeCollision:
+        stripe_collision_[b] += 1.0;
+        break;
+    }
+  }
+  for (const auto& [t, p] : trial.double_op_probe) {
+    probe_[util::bucket_index(t, mission_hours_, bucket_hours_)] += p;
+  }
+  op_failures_ += trial.op_failures;
+  latent_defects_ += trial.latent_defects;
+  scrubs_completed_ += trial.scrubs_completed;
+  restores_completed_ += trial.restores_completed;
+  per_trial_ddfs_.add(static_cast<double>(trial.ddfs.size()));
+}
+
+void RunResult::merge(const RunResult& other) {
+  RAIDREL_REQUIRE(other.mission_hours_ == mission_hours_ &&
+                      other.bucket_hours_ == bucket_hours_,
+                  "cannot merge results with different geometry");
+  trials_ += other.trials_;
+  for (std::size_t i = 0; i < counting_.size(); ++i) {
+    counting_[i] += other.counting_[i];
+    probe_[i] += other.probe_[i];
+    double_op_[i] += other.double_op_[i];
+    latent_then_op_[i] += other.latent_then_op_[i];
+    stripe_collision_[i] += other.stripe_collision_[i];
+  }
+  op_failures_ += other.op_failures_;
+  latent_defects_ += other.latent_defects_;
+  scrubs_completed_ += other.scrubs_completed_;
+  restores_completed_ += other.restores_completed_;
+  per_trial_ddfs_.merge(other.per_trial_ddfs_);
+}
+
+double RunResult::bucket_edge(std::size_t b) const {
+  RAIDREL_REQUIRE(b < counting_.size(), "bucket index out of range");
+  if (b + 1 == counting_.size()) return mission_hours_;
+  return bucket_hours_ * static_cast<double>(b + 1);
+}
+
+const std::vector<double>& RunResult::series(Estimator est) const {
+  return est == Estimator::kCounting ? counting_ : probe_;
+}
+
+std::vector<double> RunResult::cumulative_ddfs_per_1000(Estimator est) const {
+  RAIDREL_REQUIRE(trials_ > 0, "no trials accumulated");
+  const auto& s = series(est);
+  std::vector<double> out(s.size());
+  double acc = 0.0;
+  const double scale = 1000.0 / static_cast<double>(trials_);
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    acc += s[i];
+    out[i] = acc * scale;
+  }
+  return out;
+}
+
+std::vector<double> RunResult::rocof_per_1000(Estimator est) const {
+  RAIDREL_REQUIRE(trials_ > 0, "no trials accumulated");
+  const auto& s = series(est);
+  std::vector<double> out(s.size());
+  const double scale = 1000.0 / static_cast<double>(trials_);
+  for (std::size_t i = 0; i < s.size(); ++i) out[i] = s[i] * scale;
+  return out;
+}
+
+double RunResult::ddfs_per_1000_at(double t, Estimator est) const {
+  RAIDREL_REQUIRE(trials_ > 0, "no trials accumulated");
+  RAIDREL_REQUIRE(t >= 0.0 && t <= mission_hours_, "t outside the mission");
+  if (t == 0.0) return 0.0;
+  const auto cum = cumulative_ddfs_per_1000(est);
+  const std::size_t b = util::bucket_index(
+      std::min(t, mission_hours_ * (1.0 - 1e-12)), mission_hours_,
+      bucket_hours_);
+  const double lo_edge = bucket_hours_ * static_cast<double>(b);
+  const double hi_edge = bucket_edge(b);
+  const double lo_val = b == 0 ? 0.0 : cum[b - 1];
+  const double hi_val = cum[b];
+  const double frac = (t - lo_edge) / (hi_edge - lo_edge);
+  return lo_val + frac * (hi_val - lo_val);
+}
+
+double RunResult::total_ddfs_per_1000(Estimator est) const {
+  RAIDREL_REQUIRE(trials_ > 0, "no trials accumulated");
+  const auto& s = series(est);
+  double acc = 0.0;
+  for (double v : s) acc += v;
+  return acc * 1000.0 / static_cast<double>(trials_);
+}
+
+double RunResult::total_ddfs_per_1000_sem() const {
+  RAIDREL_REQUIRE(trials_ > 0, "no trials accumulated");
+  return per_trial_ddfs_.sem() * 1000.0;
+}
+
+double RunResult::total_per_1000(raid::DdfKind kind) const {
+  RAIDREL_REQUIRE(trials_ > 0, "no trials accumulated");
+  const std::vector<double>* s = nullptr;
+  switch (kind) {
+    case raid::DdfKind::kDoubleOperational:
+      s = &double_op_;
+      break;
+    case raid::DdfKind::kLatentThenOp:
+      s = &latent_then_op_;
+      break;
+    case raid::DdfKind::kLatentStripeCollision:
+      s = &stripe_collision_;
+      break;
+  }
+  double acc = 0.0;
+  for (double v : *s) acc += v;
+  return acc * 1000.0 / static_cast<double>(trials_);
+}
+
+}  // namespace raidrel::sim

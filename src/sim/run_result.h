@@ -1,0 +1,100 @@
+// Aggregated results of a Monte Carlo run: DDFs bucketed over mission time,
+// normalized the way the paper plots them (per 1000 RAID groups), plus the
+// per-interval rate of occurrence of failure (ROCOF, the paper's Fig. 8).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "raid/group_config.h"
+#include "sim/group_simulator.h"
+#include "util/math.h"
+
+namespace raidrel::sim {
+
+/// Which DDF estimator a query should read.
+enum class Estimator {
+  kCounting,   ///< raw counted data-loss events (default)
+  kDoubleOpProbe,  ///< conditional-expectation probe (rare-event regime)
+};
+
+class RunResult {
+ public:
+  RunResult(double mission_hours, double bucket_hours);
+
+  /// Fold one trial into the aggregate.
+  void add_trial(const TrialResult& trial);
+
+  /// Merge another aggregate (same mission/bucket geometry).
+  void merge(const RunResult& other);
+
+  [[nodiscard]] std::size_t trials() const noexcept { return trials_; }
+  [[nodiscard]] double mission_hours() const noexcept {
+    return mission_hours_;
+  }
+  [[nodiscard]] double bucket_hours() const noexcept { return bucket_hours_; }
+  [[nodiscard]] std::size_t bucket_count() const noexcept {
+    return counting_.size();
+  }
+  /// Upper edge of bucket b (the last bucket ends at the mission).
+  [[nodiscard]] double bucket_edge(std::size_t b) const;
+
+  /// Cumulative DDFs per 1000 groups at each bucket edge.
+  [[nodiscard]] std::vector<double> cumulative_ddfs_per_1000(
+      Estimator est = Estimator::kCounting) const;
+
+  /// DDFs per 1000 groups occurring inside each bucket (the ROCOF series:
+  /// failures per fixed interval).
+  [[nodiscard]] std::vector<double> rocof_per_1000(
+      Estimator est = Estimator::kCounting) const;
+
+  /// Cumulative DDFs per 1000 groups at an arbitrary horizon (linear
+  /// interpolation inside a bucket).
+  [[nodiscard]] double ddfs_per_1000_at(
+      double t, Estimator est = Estimator::kCounting) const;
+
+  /// Total DDFs per 1000 groups over the whole mission.
+  [[nodiscard]] double total_ddfs_per_1000(
+      Estimator est = Estimator::kCounting) const;
+
+  /// Standard error of total_ddfs_per_1000 (counting estimator).
+  [[nodiscard]] double total_ddfs_per_1000_sem() const;
+
+  /// Split of counted DDFs by kind, per 1000 groups over the mission.
+  [[nodiscard]] double total_per_1000(raid::DdfKind kind) const;
+
+  [[nodiscard]] std::uint64_t op_failures() const noexcept {
+    return op_failures_;
+  }
+  [[nodiscard]] std::uint64_t latent_defects() const noexcept {
+    return latent_defects_;
+  }
+  [[nodiscard]] std::uint64_t scrubs_completed() const noexcept {
+    return scrubs_completed_;
+  }
+  [[nodiscard]] std::uint64_t restores_completed() const noexcept {
+    return restores_completed_;
+  }
+  [[nodiscard]] const util::RunningStats& per_trial_ddfs() const noexcept {
+    return per_trial_ddfs_;
+  }
+
+ private:
+  [[nodiscard]] const std::vector<double>& series(Estimator est) const;
+
+  double mission_hours_;
+  double bucket_hours_;
+  std::size_t trials_ = 0;
+  std::vector<double> counting_;        ///< counted DDFs per bucket
+  std::vector<double> probe_;           ///< probe expectation per bucket
+  std::vector<double> double_op_;       ///< counted double-op DDFs per bucket
+  std::vector<double> latent_then_op_;  ///< counted LD-then-op per bucket
+  std::vector<double> stripe_collision_;///< counted stripe collisions
+  std::uint64_t op_failures_ = 0;
+  std::uint64_t latent_defects_ = 0;
+  std::uint64_t scrubs_completed_ = 0;
+  std::uint64_t restores_completed_ = 0;
+  util::RunningStats per_trial_ddfs_;
+};
+
+}  // namespace raidrel::sim

@@ -1,0 +1,114 @@
+#include "sim/runner.h"
+
+#include <atomic>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "rng/rng.h"
+#include "sim/fleet_simulator.h"
+#include "sim/group_simulator.h"
+#include "util/error.h"
+
+namespace raidrel::sim {
+
+RunResult run_monte_carlo(const raid::GroupConfig& config,
+                          const RunOptions& options) {
+  RAIDREL_REQUIRE(options.trials > 0, "need at least one trial");
+  config.validate();
+
+  unsigned threads = options.threads;
+  if (threads == 0) {
+    threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  threads = static_cast<unsigned>(
+      std::min<std::size_t>(threads, options.trials));
+
+  RunResult total(config.mission_hours, options.bucket_hours);
+  const rng::StreamFactory streams(options.seed);
+  std::atomic<std::size_t> next_trial{0};
+  std::mutex merge_mutex;
+
+  auto worker = [&] {
+    RunResult local(config.mission_hours, options.bucket_hours);
+    GroupSimulator simulator(config);
+    TrialResult trial;
+    // Claim trials in chunks to keep the atomic out of the hot path while
+    // preserving per-trial seeding (work split does not affect results).
+    constexpr std::size_t kChunk = 64;
+    for (;;) {
+      const std::size_t begin = next_trial.fetch_add(kChunk);
+      if (begin >= options.trials) break;
+      const std::size_t end = std::min(begin + kChunk, options.trials);
+      for (std::size_t i = begin; i < end; ++i) {
+        auto rs = streams.stream(options.first_trial_index + i);
+        simulator.run_trial(rs, trial);
+        local.add_trial(trial);
+      }
+    }
+    const std::lock_guard<std::mutex> lock(merge_mutex);
+    total.merge(local);
+  };
+
+  if (threads == 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker);
+    for (auto& th : pool) th.join();
+  }
+  return total;
+}
+
+RunResult run_fleet_monte_carlo(const FleetConfig& config,
+                                const RunOptions& options) {
+  RAIDREL_REQUIRE(options.trials > 0, "need at least one trial");
+  config.validate();
+  const double mission = config.mission_hours();
+
+  unsigned threads = options.threads;
+  if (threads == 0) {
+    threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  threads =
+      static_cast<unsigned>(std::min<std::size_t>(threads, options.trials));
+
+  RunResult total(mission, options.bucket_hours);
+  const rng::StreamFactory streams(options.seed);
+  std::atomic<std::size_t> next_trial{0};
+  std::mutex merge_mutex;
+
+  auto worker = [&] {
+    RunResult local(mission, options.bucket_hours);
+    FleetSimulator simulator(config);
+    FleetTrialResult trial;
+    constexpr std::size_t kChunk = 8;  // fleet trials are heavyweight
+    for (;;) {
+      const std::size_t begin = next_trial.fetch_add(kChunk);
+      if (begin >= options.trials) break;
+      const std::size_t end = std::min(begin + kChunk, options.trials);
+      for (std::size_t i = begin; i < end; ++i) {
+        auto rs = streams.stream(options.first_trial_index + i);
+        simulator.run_trial(rs, trial);
+        for (const auto& group : trial.per_group) {
+          local.add_trial(group);
+        }
+      }
+    }
+    const std::lock_guard<std::mutex> lock(merge_mutex);
+    total.merge(local);
+  };
+
+  if (threads == 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker);
+    for (auto& th : pool) th.join();
+  }
+  return total;
+}
+
+}  // namespace raidrel::sim

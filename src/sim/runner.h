@@ -1,0 +1,40 @@
+// Multi-threaded Monte Carlo driver.
+//
+// Every trial gets a private random stream derived purely from (master seed,
+// trial index), so each trial's event history is bit-reproducible no matter
+// how many worker threads run or how the scheduler interleaves them. (Only
+// the floating-point *summation order* of aggregates can differ across
+// thread counts — a few ulps, never a different event.)
+#pragma once
+
+#include <cstdint>
+
+#include "raid/group_config.h"
+#include "sim/run_result.h"
+
+namespace raidrel::sim {
+
+struct RunOptions {
+  std::size_t trials = 100000;   ///< simulated group-missions
+  std::uint64_t seed = 20070625; ///< master seed (DSN'07 presentation week)
+  unsigned threads = 0;          ///< 0 = hardware concurrency
+  double bucket_hours = 730.0;   ///< aggregation bucket (~1 month)
+  /// First per-trial stream index. Batched runs (see convergence.h) use
+  /// disjoint index ranges so their union equals one big run.
+  std::uint64_t first_trial_index = 0;
+};
+
+/// Run `options.trials` missions of `config` and aggregate.
+RunResult run_monte_carlo(const raid::GroupConfig& config,
+                          const RunOptions& options);
+
+/// Run `options.trials` missions of a whole fleet and aggregate all
+/// groups' events into one RunResult. The result is normalized per 1000
+/// *group*-missions (trials() == options.trials * fleet size), so numbers
+/// stay directly comparable with single-group runs; shared-pool contention
+/// shows up as the difference.
+struct FleetConfig;
+RunResult run_fleet_monte_carlo(const FleetConfig& config,
+                                const RunOptions& options);
+
+}  // namespace raidrel::sim

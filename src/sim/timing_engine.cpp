@@ -1,0 +1,157 @@
+#include "sim/timing_engine.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/error.h"
+
+namespace raidrel::sim {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}
+
+TimingDiagramEngine::TimingDiagramEngine(const raid::GroupConfig& config)
+    : cfg_(config) {
+  cfg_.validate();
+  RAIDREL_REQUIRE(!cfg_.spare_pool.has_value(),
+                  "TimingDiagramEngine pre-generates per-slot timelines and "
+                  "cannot model a shared spare pool; use GroupSimulator");
+  RAIDREL_REQUIRE(cfg_.stripe_zones == 0,
+                  "TimingDiagramEngine does not implement the stripe-"
+                  "collision refinement; use GroupSimulator");
+  timelines_.resize(cfg_.slots.size());
+}
+
+void TimingDiagramEngine::build_timeline(std::size_t i, rng::RandomStream& rs,
+                                         SlotTimeline& timeline,
+                                         TrialResult& out) const {
+  timeline.downs.clear();
+  timeline.defects.clear();
+  const raid::SlotModel& m = cfg_.slots[i];
+  const double mission = cfg_.mission_hours;
+
+  double install = 0.0;
+  while (install < mission) {
+    const double life = m.time_to_op_failure->sample(rs);
+    const double fail = install + life;
+
+    // Latent defects of this drive: alternating d_Ld / d_Scrub renewal
+    // inside (install, min(fail, mission)); each defect is cleared by its
+    // scrub or by the drive's own replacement, and a new countdown only
+    // starts after the scrub (paper §5).
+    if (m.latent_defects_enabled()) {
+      const double end = std::min(fail, mission);
+      double cursor = install;
+      // A rebuilt (non-initial) drive may start life with a write-error
+      // defect from its own reconstruction (paper §4.2).
+      if (install > 0.0 && cfg_.reconstruction_defect_probability > 0.0 &&
+          rs.bernoulli(cfg_.reconstruction_defect_probability) &&
+          install < end) {
+        ++out.latent_defects;
+        double clears = kInf;
+        if (m.scrubbing_enabled()) {
+          clears = install + m.time_to_scrub->sample(rs);
+          if (clears <= end) ++out.scrubs_completed;
+        }
+        timeline.defects.push_back({install, std::min(clears, fail)});
+        if (clears >= end) {
+          // Defective (or scrubbing) until the drive dies: no renewal.
+          cursor = end;
+        } else {
+          cursor = clears;
+        }
+      }
+      for (;;) {
+        double gap;
+        if (cfg_.latent_clock == raid::LatentClock::kDriveAge) {
+          gap = m.time_to_latent_defect->sample_residual(cursor - install,
+                                                         rs);
+        } else {
+          gap = m.time_to_latent_defect->sample(rs);
+        }
+        const double occurred = cursor + gap;
+        if (occurred >= end) break;
+        ++out.latent_defects;
+        double clears = kInf;
+        if (m.scrubbing_enabled()) {
+          clears = occurred + m.time_to_scrub->sample(rs);
+          if (clears <= end) ++out.scrubs_completed;
+        }
+        // The defect cannot outlive the drive.
+        timeline.defects.push_back({occurred, std::min(clears, fail)});
+        if (clears >= end) break;  // defective (or scrubbing) until the end
+        cursor = clears;
+      }
+    }
+
+    if (fail >= mission) break;
+    ++out.op_failures;
+    const double restored = fail + m.time_to_restore->sample(rs);
+    timeline.downs.push_back({fail, restored});
+    if (restored < mission) ++out.restores_completed;
+    install = restored;
+  }
+}
+
+void TimingDiagramEngine::run_trial(rng::RandomStream& rs, TrialResult& out) {
+  out.clear();
+  for (std::size_t i = 0; i < timelines_.size(); ++i) {
+    build_timeline(i, rs, timelines_[i], out);
+  }
+
+  // Pairwise comparison pass: walk all operational failures in time order
+  // and census the other slots at each failure instant.
+  struct Failure {
+    double time;
+    double restored;
+    std::size_t slot;
+  };
+  std::vector<Failure> failures;
+  for (std::size_t i = 0; i < timelines_.size(); ++i) {
+    for (const auto& d : timelines_[i].downs) {
+      failures.push_back({d.fail, d.restored, i});
+    }
+  }
+  std::sort(failures.begin(), failures.end(),
+            [](const Failure& a, const Failure& b) { return a.time < b.time; });
+
+  double frozen_until = 0.0;
+  for (const auto& f : failures) {
+    if (f.time < frozen_until) continue;
+    unsigned down = 1;
+    unsigned defective = 0;
+    for (std::size_t j = 0; j < timelines_.size(); ++j) {
+      if (j == f.slot) continue;
+      const auto& tl = timelines_[j];
+      bool is_down = false;
+      for (const auto& d : tl.downs) {
+        if (d.fail <= f.time && f.time < d.restored) {
+          is_down = true;
+          break;
+        }
+        if (d.fail > f.time) break;
+      }
+      if (is_down) {
+        ++down;
+        continue;
+      }
+      for (const auto& ld : tl.defects) {
+        if (ld.occurred <= f.time && f.time < ld.clears) {
+          ++defective;
+          break;
+        }
+        if (ld.occurred > f.time) break;
+      }
+    }
+    if (down + defective > cfg_.redundancy) {
+      const raid::DdfKind kind = down > cfg_.redundancy
+                                     ? raid::DdfKind::kDoubleOperational
+                                     : raid::DdfKind::kLatentThenOp;
+      out.ddfs.push_back({f.time, kind});
+      frozen_until = f.restored;
+    }
+  }
+}
+
+}  // namespace raidrel::sim

@@ -1,0 +1,60 @@
+// Independent re-implementation of the paper's §5 sampling procedure
+// ("timing diagram" engine), used to cross-validate GroupSimulator.
+//
+// Instead of a global event loop, each slot's whole mission is generated up
+// front as in the paper's Fig. 5:
+//   * an alternating sequence of up-intervals (drive lifetimes drawn fresh
+//     from d_Op after every replacement) and down-intervals (d_Restore);
+//   * latent defects as the paper's alternating renewal: a d_Ld countdown
+//     to the defect, a d_Scrub residence (forever without scrubbing), then
+//     a fresh d_Ld countdown; defect intervals are truncated at the drive's
+//     own failure (the defect leaves with the drive).
+// DDFs are then detected by interval overlap, exactly the paper's pairwise
+// TTF/TTR comparison: an operational failure at time f is a DDF when some
+// *other* slot is inside a down-interval at f, or carries a defect interval
+// containing f. After a DDF, detection is suppressed until the initiating
+// failure's restore completes (paper: "a subsequent one cannot occur until
+// the first is restored").
+//
+// The two engines share semantics but no code path, so statistical
+// agreement between them is a strong correctness check. (They are not
+// bit-identical: this engine does not clear surviving drives' defects after
+// a DDF, a rare-path difference that is negligible at the defect rates the
+// paper studies and is bounded in the cross-validation test.)
+#pragma once
+
+#include "raid/group_config.h"
+#include "rng/rng.h"
+#include "sim/group_simulator.h"
+
+namespace raidrel::sim {
+
+class TimingDiagramEngine {
+ public:
+  explicit TimingDiagramEngine(const raid::GroupConfig& config);
+
+  /// Simulate one mission; fills `out` (probe entries are not produced).
+  void run_trial(rng::RandomStream& rs, TrialResult& out);
+
+ private:
+  struct DownInterval {
+    double fail;     ///< operational failure time
+    double restored; ///< end of the rebuild
+  };
+  struct DefectInterval {
+    double occurred;
+    double clears;
+  };
+  struct SlotTimeline {
+    std::vector<DownInterval> downs;
+    std::vector<DefectInterval> defects;
+  };
+
+  void build_timeline(std::size_t i, rng::RandomStream& rs,
+                      SlotTimeline& timeline, TrialResult& out) const;
+
+  const raid::GroupConfig& cfg_;
+  std::vector<SlotTimeline> timelines_;
+};
+
+}  // namespace raidrel::sim

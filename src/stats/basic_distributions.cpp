@@ -1,0 +1,291 @@
+#include "stats/basic_distributions.h"
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "util/error.h"
+#include "util/math.h"
+
+namespace raidrel::stats {
+
+// ---------------------------------------------------------------- Exponential
+
+Exponential::Exponential(double rate) : rate_(rate) {
+  RAIDREL_REQUIRE(rate > 0.0, "Exponential rate must be > 0");
+}
+
+double Exponential::pdf(double t) const {
+  return t < 0.0 ? 0.0 : rate_ * std::exp(-rate_ * t);
+}
+
+double Exponential::cdf(double t) const {
+  return t <= 0.0 ? 0.0 : -std::expm1(-rate_ * t);
+}
+
+double Exponential::survival(double t) const {
+  return t <= 0.0 ? 1.0 : std::exp(-rate_ * t);
+}
+
+double Exponential::hazard(double t) const { return t < 0.0 ? 0.0 : rate_; }
+
+double Exponential::cum_hazard(double t) const {
+  return t <= 0.0 ? 0.0 : rate_ * t;
+}
+
+double Exponential::quantile(double p) const {
+  RAIDREL_REQUIRE(p >= 0.0 && p < 1.0, "quantile requires p in [0,1)");
+  return -std::log1p(-p) / rate_;
+}
+
+double Exponential::mean() const { return 1.0 / rate_; }
+
+double Exponential::variance() const { return 1.0 / (rate_ * rate_); }
+
+double Exponential::sample(rng::RandomStream& rs) const {
+  return rs.exponential() / rate_;
+}
+
+double Exponential::sample_residual(double /*age*/,
+                                    rng::RandomStream& rs) const {
+  return rs.exponential() / rate_;  // memoryless
+}
+
+std::string Exponential::describe() const {
+  std::ostringstream os;
+  os << "Exponential(rate=" << rate_ << ")";
+  return os.str();
+}
+
+DistributionPtr Exponential::clone() const {
+  return std::make_unique<Exponential>(*this);
+}
+
+// ------------------------------------------------------------------ LogNormal
+
+LogNormal::LogNormal(double mu, double sigma) : mu_(mu), sigma_(sigma) {
+  RAIDREL_REQUIRE(sigma > 0.0, "LogNormal sigma must be > 0");
+}
+
+double LogNormal::pdf(double t) const {
+  if (t <= 0.0) return 0.0;
+  const double z = (std::log(t) - mu_) / sigma_;
+  return std::exp(-0.5 * z * z) / (t * sigma_ * std::sqrt(2.0 * M_PI));
+}
+
+double LogNormal::cdf(double t) const {
+  if (t <= 0.0) return 0.0;
+  const double z = (std::log(t) - mu_) / sigma_;
+  return 0.5 * util::erfc_fn(-z / std::sqrt(2.0));
+}
+
+double LogNormal::survival(double t) const {
+  if (t <= 0.0) return 1.0;
+  const double z = (std::log(t) - mu_) / sigma_;
+  return 0.5 * util::erfc_fn(z / std::sqrt(2.0));
+}
+
+double LogNormal::quantile(double p) const {
+  RAIDREL_REQUIRE(p >= 0.0 && p < 1.0, "quantile requires p in [0,1)");
+  if (p == 0.0) return 0.0;
+  return std::exp(mu_ + sigma_ * util::normal_quantile(p));
+}
+
+double LogNormal::mean() const {
+  return std::exp(mu_ + 0.5 * sigma_ * sigma_);
+}
+
+double LogNormal::variance() const {
+  const double s2 = sigma_ * sigma_;
+  return (std::exp(s2) - 1.0) * std::exp(2.0 * mu_ + s2);
+}
+
+double LogNormal::sample(rng::RandomStream& rs) const {
+  return std::exp(mu_ + sigma_ * rs.normal());
+}
+
+std::string LogNormal::describe() const {
+  std::ostringstream os;
+  os << "LogNormal(mu=" << mu_ << ", sigma=" << sigma_ << ")";
+  return os.str();
+}
+
+DistributionPtr LogNormal::clone() const {
+  return std::make_unique<LogNormal>(*this);
+}
+
+// ---------------------------------------------------------------------- Gamma
+
+Gamma::Gamma(double shape, double scale) : shape_(shape), scale_(scale) {
+  RAIDREL_REQUIRE(shape > 0.0, "Gamma shape must be > 0");
+  RAIDREL_REQUIRE(scale > 0.0, "Gamma scale must be > 0");
+}
+
+double Gamma::pdf(double t) const {
+  if (t < 0.0) return 0.0;
+  if (t == 0.0) {
+    if (shape_ < 1.0) return std::numeric_limits<double>::infinity();
+    if (shape_ == 1.0) return 1.0 / scale_;
+    return 0.0;
+  }
+  const double x = t / scale_;
+  return std::exp((shape_ - 1.0) * std::log(x) - x - util::log_gamma(shape_)) /
+         scale_;
+}
+
+double Gamma::cdf(double t) const {
+  if (t <= 0.0) return 0.0;
+  return util::gamma_p(shape_, t / scale_);
+}
+
+double Gamma::survival(double t) const {
+  if (t <= 0.0) return 1.0;
+  return util::gamma_q(shape_, t / scale_);
+}
+
+double Gamma::quantile(double p) const {
+  RAIDREL_REQUIRE(p >= 0.0 && p < 1.0, "quantile requires p in [0,1)");
+  if (p == 0.0) return 0.0;
+  // Wilson–Hilferty starting point, then safeguarded Newton on the CDF.
+  const double g = util::normal_quantile(p);
+  const double k = shape_;
+  double x0 = k * std::pow(1.0 - 1.0 / (9.0 * k) + g / (3.0 * std::sqrt(k)),
+                           3.0);
+  if (!(x0 > 0.0) || !std::isfinite(x0)) x0 = k;
+  double lo = 0.0;
+  double hi = std::max(x0 * 8.0, k * 64.0);
+  while (util::gamma_p(k, hi) < p) hi *= 2.0;
+  auto res = util::newton_safe(
+      [&](double x) {
+        const double f = util::gamma_p(k, x) - p;
+        const double d =
+            std::exp((k - 1.0) * std::log(std::max(x, 1e-300)) - x -
+                     util::log_gamma(k));
+        return std::make_pair(f, d);
+      },
+      lo, hi, std::min(std::max(x0, lo + 1e-12), hi),
+      {.x_tol = 1e-12, .f_tol = 1e-14, .max_iter = 200});
+  return res.root * scale_;
+}
+
+double Gamma::mean() const { return shape_ * scale_; }
+
+double Gamma::variance() const { return shape_ * scale_ * scale_; }
+
+double Gamma::sample(rng::RandomStream& rs) const {
+  // Marsaglia–Tsang squeeze method; boost for shape < 1 via the standard
+  // U^(1/k) trick.
+  double k = shape_;
+  double boost = 1.0;
+  if (k < 1.0) {
+    boost = std::pow(rs.uniform_open(), 1.0 / k);
+    k += 1.0;
+  }
+  const double d = k - 1.0 / 3.0;
+  const double c = 1.0 / std::sqrt(9.0 * d);
+  for (;;) {
+    double x, v;
+    do {
+      x = rs.normal();
+      v = 1.0 + c * x;
+    } while (v <= 0.0);
+    v = v * v * v;
+    const double u = rs.uniform_open();
+    if (u < 1.0 - 0.0331 * x * x * x * x) {
+      return boost * d * v * scale_;
+    }
+    if (std::log(u) < 0.5 * x * x + d * (1.0 - v + std::log(v))) {
+      return boost * d * v * scale_;
+    }
+  }
+}
+
+std::string Gamma::describe() const {
+  std::ostringstream os;
+  os << "Gamma(shape=" << shape_ << ", scale=" << scale_ << ")";
+  return os.str();
+}
+
+DistributionPtr Gamma::clone() const { return std::make_unique<Gamma>(*this); }
+
+// -------------------------------------------------------------------- Uniform
+
+Uniform::Uniform(double a, double b) : a_(a), b_(b) {
+  RAIDREL_REQUIRE(a >= 0.0, "Uniform lower bound must be >= 0");
+  RAIDREL_REQUIRE(a < b, "Uniform requires a < b");
+}
+
+double Uniform::pdf(double t) const {
+  return (t < a_ || t > b_) ? 0.0 : 1.0 / (b_ - a_);
+}
+
+double Uniform::cdf(double t) const {
+  if (t <= a_) return 0.0;
+  if (t >= b_) return 1.0;
+  return (t - a_) / (b_ - a_);
+}
+
+double Uniform::quantile(double p) const {
+  RAIDREL_REQUIRE(p >= 0.0 && p < 1.0, "quantile requires p in [0,1)");
+  return a_ + p * (b_ - a_);
+}
+
+double Uniform::mean() const { return 0.5 * (a_ + b_); }
+
+double Uniform::variance() const {
+  const double w = b_ - a_;
+  return w * w / 12.0;
+}
+
+double Uniform::sample(rng::RandomStream& rs) const {
+  return rs.uniform(a_, b_);
+}
+
+std::string Uniform::describe() const {
+  std::ostringstream os;
+  os << "Uniform(a=" << a_ << ", b=" << b_ << ")";
+  return os.str();
+}
+
+DistributionPtr Uniform::clone() const {
+  return std::make_unique<Uniform>(*this);
+}
+
+// ----------------------------------------------------------------- Degenerate
+
+Degenerate::Degenerate(double c) : c_(c) {
+  RAIDREL_REQUIRE(c >= 0.0, "Degenerate point must be >= 0");
+}
+
+double Degenerate::pdf(double t) const {
+  return t == c_ ? std::numeric_limits<double>::infinity() : 0.0;
+}
+
+double Degenerate::cdf(double t) const { return t >= c_ ? 1.0 : 0.0; }
+
+double Degenerate::quantile(double p) const {
+  RAIDREL_REQUIRE(p >= 0.0 && p < 1.0, "quantile requires p in [0,1)");
+  return c_;
+}
+
+double Degenerate::mean() const { return c_; }
+
+double Degenerate::variance() const { return 0.0; }
+
+double Degenerate::sample(rng::RandomStream& /*rs*/) const { return c_; }
+
+double Degenerate::sample_residual(double age, rng::RandomStream&) const {
+  return age >= c_ ? 0.0 : c_ - age;
+}
+
+std::string Degenerate::describe() const {
+  std::ostringstream os;
+  os << "Degenerate(c=" << c_ << ")";
+  return os.str();
+}
+
+DistributionPtr Degenerate::clone() const {
+  return std::make_unique<Degenerate>(*this);
+}
+
+}  // namespace raidrel::stats

@@ -1,0 +1,52 @@
+#include "stats/bootstrap.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+
+namespace raidrel::stats {
+
+BootstrapCi bootstrap_ci(
+    const LifeData& data,
+    const std::function<double(const LifeData&)>& statistic,
+    std::size_t replicates, double level, rng::RandomStream& rs) {
+  RAIDREL_REQUIRE(!data.empty(), "bootstrap needs data");
+  RAIDREL_REQUIRE(replicates >= 10, "bootstrap needs >= 10 replicates");
+  RAIDREL_REQUIRE(level > 0.0 && level < 1.0, "level must be in (0,1)");
+
+  BootstrapCi ci;
+  ci.level = level;
+  ci.point = statistic(data);
+
+  std::vector<double> stats;
+  stats.reserve(replicates);
+  LifeData resample(data.size());
+  for (std::size_t b = 0; b < replicates; ++b) {
+    for (auto& slot : resample) {
+      slot = data[rs.uniform_index(data.size())];
+    }
+    double v;
+    try {
+      v = statistic(resample);
+    } catch (...) {
+      continue;  // degenerate resample (e.g. too few failures to fit)
+    }
+    if (std::isfinite(v)) stats.push_back(v);
+  }
+  RAIDREL_REQUIRE(stats.size() >= 10,
+                  "too many degenerate bootstrap replicates");
+  std::sort(stats.begin(), stats.end());
+  const double alpha = (1.0 - level) / 2.0;
+  const auto n = static_cast<double>(stats.size());
+  auto pick = [&](double q) {
+    auto idx = static_cast<std::size_t>(q * (n - 1.0) + 0.5);
+    return stats[std::min(idx, stats.size() - 1)];
+  };
+  ci.lower = pick(alpha);
+  ci.upper = pick(1.0 - alpha);
+  ci.replicates = stats.size();
+  return ci;
+}
+
+}  // namespace raidrel::stats

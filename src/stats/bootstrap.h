@@ -1,0 +1,29 @@
+// Nonparametric bootstrap confidence intervals for statistics of life data.
+// Used to put uncertainty bands on fitted Weibull parameters (the paper
+// reports point fits; we report fits with CIs in EXPERIMENTS.md).
+#pragma once
+
+#include <functional>
+
+#include "rng/rng.h"
+#include "stats/empirical.h"
+
+namespace raidrel::stats {
+
+struct BootstrapCi {
+  double point = 0.0;   ///< statistic on the original sample
+  double lower = 0.0;   ///< percentile CI lower bound
+  double upper = 0.0;   ///< percentile CI upper bound
+  double level = 0.95;  ///< confidence level
+  std::size_t replicates = 0;
+};
+
+/// Percentile bootstrap of `statistic` over resamples of `data`.
+/// `statistic` may throw / return NaN for degenerate resamples; those
+/// replicates are dropped (counted out of `replicates`).
+BootstrapCi bootstrap_ci(const LifeData& data,
+                         const std::function<double(const LifeData&)>& statistic,
+                         std::size_t replicates, double level,
+                         rng::RandomStream& rs);
+
+}  // namespace raidrel::stats

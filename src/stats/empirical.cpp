@@ -1,0 +1,141 @@
+#include "stats/empirical.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+
+namespace raidrel::stats {
+
+double median_rank(std::size_t i, std::size_t n) {
+  RAIDREL_REQUIRE(i >= 1 && i <= n, "median_rank requires 1 <= i <= n");
+  return (static_cast<double>(i) - 0.3) / (static_cast<double>(n) + 0.4);
+}
+
+namespace {
+
+WeibullPlotPoint make_point(double t, double f) {
+  return WeibullPlotPoint{t, f, std::log(t), std::log(-std::log1p(-f))};
+}
+
+}  // namespace
+
+std::vector<WeibullPlotPoint> weibull_plot_points(std::vector<double> times) {
+  RAIDREL_REQUIRE(!times.empty(), "need at least one failure time");
+  std::sort(times.begin(), times.end());
+  RAIDREL_REQUIRE(times.front() > 0.0, "failure times must be positive");
+  std::vector<WeibullPlotPoint> pts;
+  pts.reserve(times.size());
+  const std::size_t n = times.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    pts.push_back(make_point(times[i], median_rank(i + 1, n)));
+  }
+  return pts;
+}
+
+std::vector<WeibullPlotPoint> weibull_plot_points_censored(LifeData data) {
+  RAIDREL_REQUIRE(!data.empty(), "need at least one observation");
+  std::sort(data.begin(), data.end(),
+            [](const LifeObservation& a, const LifeObservation& b) {
+              if (a.time != b.time) return a.time < b.time;
+              // Failures sort before suspensions at equal times (standard
+              // convention: the suspension is known to have survived the
+              // failure time).
+              return a.event && !b.event;
+            });
+  const auto n = static_cast<double>(data.size());
+  std::vector<WeibullPlotPoint> pts;
+  double prev_adjusted_rank = 0.0;
+  std::size_t seen = 0;  // units already processed (failed or suspended)
+  for (const auto& obs : data) {
+    ++seen;
+    if (!obs.event) continue;
+    RAIDREL_REQUIRE(obs.time > 0.0, "failure times must be positive");
+    // Johnson rank increment: (n + 1 - previous adjusted rank) /
+    // (1 + number of units remaining beyond the previous item).
+    const double remaining = n - static_cast<double>(seen - 1);
+    const double increment = (n + 1.0 - prev_adjusted_rank) / (1.0 + remaining);
+    const double adjusted = prev_adjusted_rank + increment;
+    prev_adjusted_rank = adjusted;
+    const double f = (adjusted - 0.3) / (n + 0.4);  // Bernard on adjusted rank
+    pts.push_back(make_point(obs.time, f));
+  }
+  RAIDREL_REQUIRE(!pts.empty(), "all observations were censored");
+  return pts;
+}
+
+EmpiricalCdf::EmpiricalCdf(std::vector<double> samples)
+    : sorted_(std::move(samples)) {
+  RAIDREL_REQUIRE(!sorted_.empty(), "empirical CDF needs data");
+  std::sort(sorted_.begin(), sorted_.end());
+}
+
+double EmpiricalCdf::cdf(double t) const {
+  const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), t);
+  return static_cast<double>(it - sorted_.begin()) /
+         static_cast<double>(sorted_.size());
+}
+
+double EmpiricalCdf::quantile(double p) const {
+  RAIDREL_REQUIRE(p >= 0.0 && p <= 1.0, "quantile requires p in [0,1]");
+  if (p <= 0.0) return sorted_.front();
+  const auto n = sorted_.size();
+  auto idx = static_cast<std::size_t>(std::ceil(p * static_cast<double>(n)));
+  if (idx == 0) idx = 1;
+  if (idx > n) idx = n;
+  return sorted_[idx - 1];
+}
+
+KaplanMeier::KaplanMeier(LifeData data) {
+  RAIDREL_REQUIRE(!data.empty(), "Kaplan-Meier needs data");
+  std::sort(data.begin(), data.end(),
+            [](const LifeObservation& a, const LifeObservation& b) {
+              if (a.time != b.time) return a.time < b.time;
+              return a.event && !b.event;
+            });
+  const std::size_t n = data.size();
+  double s = 1.0;
+  std::size_t i = 0;
+  while (i < n) {
+    const double t = data[i].time;
+    std::size_t deaths = 0;
+    std::size_t removed = 0;
+    const std::size_t at_risk = n - i;
+    while (i < n && data[i].time == t) {
+      if (data[i].event) {
+        ++deaths;
+      }
+      ++removed;
+      ++i;
+    }
+    (void)removed;
+    if (deaths > 0) {
+      s *= 1.0 - static_cast<double>(deaths) / static_cast<double>(at_risk);
+      steps_.push_back(Step{t, deaths, at_risk, s});
+    }
+  }
+}
+
+double KaplanMeier::survival(double t) const {
+  double s = 1.0;
+  for (const auto& step : steps_) {
+    if (step.time > t) break;
+    s = step.survival;
+  }
+  return s;
+}
+
+double KaplanMeier::greenwood_variance(double t) const {
+  double sum = 0.0;
+  double s = 1.0;
+  for (const auto& step : steps_) {
+    if (step.time > t) break;
+    const auto d = static_cast<double>(step.deaths);
+    const auto r = static_cast<double>(step.at_risk);
+    if (r > d) sum += d / (r * (r - d));
+    s = step.survival;
+  }
+  return s * s * sum;
+}
+
+}  // namespace raidrel::stats

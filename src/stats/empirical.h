@@ -1,0 +1,85 @@
+// Empirical (nonparametric) estimators used to analyse field data:
+// plotting positions for Weibull probability plots, the empirical CDF, and
+// the Kaplan–Meier product-limit estimator for right-censored samples
+// (drives still running when the study ended — the "S=10433" suspensions in
+// the paper's Fig. 2).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace raidrel::stats {
+
+/// One observation of a unit's life: time on test plus whether the unit
+/// failed at that time (event=true) or was removed/still running
+/// (event=false, right-censored; "suspension" in reliability jargon).
+struct LifeObservation {
+  double time = 0.0;
+  bool event = true;
+};
+
+using LifeData = std::vector<LifeObservation>;
+
+/// Median-rank plotting position (Bernard's approximation):
+/// F_i ~ (i - 0.3) / (n + 0.4) for the i-th order statistic (1-based).
+double median_rank(std::size_t i, std::size_t n);
+
+/// A point on a Weibull probability plot: x = ln(t), y = ln(-ln(1 - F)).
+/// A dataset that follows a 2-parameter Weibull lies on a straight line with
+/// slope beta and intercept -beta*ln(eta).
+struct WeibullPlotPoint {
+  double time;       ///< original failure time
+  double f_estimate; ///< plotting-position CDF estimate
+  double x;          ///< ln(time)
+  double y;          ///< ln(-ln(1 - F))
+};
+
+/// Build Weibull plot points from complete (uncensored) failure times.
+std::vector<WeibullPlotPoint> weibull_plot_points(std::vector<double> times);
+
+/// Build Weibull plot points from censored data using the rank-adjustment
+/// (Johnson) method: suspensions shift the adjusted ranks of later failures.
+std::vector<WeibullPlotPoint> weibull_plot_points_censored(LifeData data);
+
+/// Empirical CDF over complete data.
+class EmpiricalCdf {
+ public:
+  explicit EmpiricalCdf(std::vector<double> samples);
+
+  [[nodiscard]] double cdf(double t) const;
+  [[nodiscard]] double quantile(double p) const;
+  [[nodiscard]] std::size_t size() const noexcept { return sorted_.size(); }
+  [[nodiscard]] const std::vector<double>& sorted_samples() const noexcept {
+    return sorted_;
+  }
+
+ private:
+  std::vector<double> sorted_;
+};
+
+/// Kaplan–Meier product-limit survival estimate for right-censored data.
+class KaplanMeier {
+ public:
+  explicit KaplanMeier(LifeData data);
+
+  /// Estimated S(t); step function, right-continuous.
+  [[nodiscard]] double survival(double t) const;
+
+  struct Step {
+    double time;        ///< distinct event time
+    std::size_t deaths; ///< events at this time
+    std::size_t at_risk;///< units at risk just before this time
+    double survival;    ///< estimate just after this time
+  };
+  [[nodiscard]] const std::vector<Step>& steps() const noexcept {
+    return steps_;
+  }
+
+  /// Greenwood variance of the survival estimate at t.
+  [[nodiscard]] double greenwood_variance(double t) const;
+
+ private:
+  std::vector<Step> steps_;
+};
+
+}  // namespace raidrel::stats

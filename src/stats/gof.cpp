@@ -1,0 +1,152 @@
+#include "stats/gof.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/basic_distributions.h"
+#include "util/error.h"
+#include "util/math.h"
+
+namespace raidrel::stats {
+
+double kolmogorov_p_value(double statistic, std::size_t n) {
+  RAIDREL_REQUIRE(n > 0, "KS p-value requires n > 0");
+  const double sn = std::sqrt(static_cast<double>(n));
+  // Small-sample correction due to Stephens.
+  const double x = (sn + 0.12 + 0.11 / sn) * statistic;
+  if (x < 1.18) {
+    // Small-x form (the large-x alternating series converges hopelessly
+    // slowly here): K(x) = (sqrt(2*pi)/x) sum exp(-(2k-1)^2 pi^2 / (8x^2)).
+    if (x < 0.04) return 1.0;  // K(x) < 1e-200 territory
+    const double a = M_PI * M_PI / (8.0 * x * x);
+    double cdf = 0.0;
+    for (int k = 1; k <= 20; ++k) {
+      const double m = 2.0 * k - 1.0;
+      const double term = std::exp(-m * m * a);
+      cdf += term;
+      if (term < 1e-16 * cdf) break;
+    }
+    cdf *= std::sqrt(2.0 * M_PI) / x;
+    return std::clamp(1.0 - cdf, 0.0, 1.0);
+  }
+  // Large-x alternating series: Q(x) = 2 sum (-1)^(k-1) exp(-2 k^2 x^2).
+  double sum = 0.0;
+  double sign = 1.0;
+  for (int k = 1; k <= 100; ++k) {
+    const double term = std::exp(-2.0 * k * k * x * x);
+    sum += sign * term;
+    if (term < 1e-16) break;
+    sign = -sign;
+  }
+  return std::clamp(2.0 * sum, 0.0, 1.0);
+}
+
+KsResult ks_test(std::vector<double> samples, const Distribution& dist) {
+  RAIDREL_REQUIRE(!samples.empty(), "KS test needs data");
+  std::sort(samples.begin(), samples.end());
+  const std::size_t n = samples.size();
+  double d = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double f = dist.cdf(samples[i]);
+    const double lo = static_cast<double>(i) / static_cast<double>(n);
+    const double hi = static_cast<double>(i + 1) / static_cast<double>(n);
+    d = std::max(d, std::max(f - lo, hi - f));
+  }
+  return {d, kolmogorov_p_value(d, n), n};
+}
+
+ChiSquareResult chi_square_test(const std::vector<double>& samples,
+                                const Distribution& dist, std::size_t bins,
+                                std::size_t params_estimated) {
+  RAIDREL_REQUIRE(bins >= 2, "chi-square needs >= 2 bins");
+  RAIDREL_REQUIRE(samples.size() >= 5 * bins,
+                  "chi-square needs >= 5 samples per bin on average");
+  // Equiprobable bins: edges at the dist quantiles i/bins.
+  std::vector<double> edges(bins - 1);
+  for (std::size_t i = 1; i < bins; ++i) {
+    edges[i - 1] =
+        dist.quantile(static_cast<double>(i) / static_cast<double>(bins));
+  }
+  std::vector<std::size_t> counts(bins, 0);
+  for (double s : samples) {
+    const auto it = std::upper_bound(edges.begin(), edges.end(), s);
+    ++counts[static_cast<std::size_t>(it - edges.begin())];
+  }
+  const double expected =
+      static_cast<double>(samples.size()) / static_cast<double>(bins);
+  double stat = 0.0;
+  for (std::size_t c : counts) {
+    const double d = static_cast<double>(c) - expected;
+    stat += d * d / expected;
+  }
+  ChiSquareResult r;
+  r.statistic = stat;
+  RAIDREL_REQUIRE(bins > 1 + params_estimated,
+                  "not enough bins for the estimated parameter count");
+  r.dof = bins - 1 - params_estimated;
+  r.p_value = util::gamma_q(static_cast<double>(r.dof) / 2.0, stat / 2.0);
+  return r;
+}
+
+AndersonDarlingResult anderson_darling_test(std::vector<double> samples,
+                                            const Distribution& dist) {
+  RAIDREL_REQUIRE(samples.size() >= 8, "AD test needs >= 8 samples");
+  std::sort(samples.begin(), samples.end());
+  const std::size_t n = samples.size();
+  const double dn = static_cast<double>(n);
+  double s = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    // Clamp the CDF away from {0,1}: a sample in the extreme numeric tail
+    // must not produce log(0).
+    const double fi =
+        std::clamp(dist.cdf(samples[i]), 1e-300, 1.0 - 1e-16);
+    const double fj =
+        std::clamp(dist.cdf(samples[n - 1 - i]), 1e-300, 1.0 - 1e-16);
+    s += (2.0 * static_cast<double>(i) + 1.0) *
+         (std::log(fi) + std::log1p(-fj));
+  }
+  const double a2 = -dn - s / dn;
+
+  AndersonDarlingResult r;
+  r.n = n;
+  r.statistic = a2;
+  // Marsaglia & Marsaglia's adinf: the limiting case-0 CDF of A^2
+  // (parameters known, not estimated). p = 1 - CDF.
+  const double z = a2;
+  double cdf;
+  if (z <= 0.0) {
+    cdf = 0.0;
+  } else if (z < 2.0) {
+    cdf = std::exp(-1.2337141 / z) / std::sqrt(z) *
+          (2.00012 +
+           (0.247105 -
+            (0.0649821 - (0.0347962 - (0.011672 - 0.00168691 * z) * z) * z) *
+                z) *
+               z);
+  } else {
+    cdf = std::exp(-std::exp(
+        1.0776 -
+        (2.30695 -
+         (0.43424 - (0.082433 - (0.008056 - 0.0003146 * z) * z) * z) * z) *
+            z));
+  }
+  r.p_value = std::clamp(1.0 - cdf, 0.0, 1.0);
+  return r;
+}
+
+RateCi poisson_mean_ci(std::uint64_t count, double level) {
+  RAIDREL_REQUIRE(level > 0.0 && level < 1.0, "level must be in (0,1)");
+  const double alpha = (1.0 - level) / 2.0;
+  RateCi ci;
+  ci.level = level;
+  // Garwood: lower = Gamma(count, 1).quantile(alpha),
+  //          upper = Gamma(count + 1, 1).quantile(1 - alpha).
+  ci.lower = count == 0
+                 ? 0.0
+                 : Gamma(static_cast<double>(count), 1.0).quantile(alpha);
+  ci.upper = Gamma(static_cast<double>(count) + 1.0, 1.0)
+                 .quantile(1.0 - alpha);
+  return ci;
+}
+
+}  // namespace raidrel::stats

@@ -1,0 +1,65 @@
+// Goodness-of-fit tests: Kolmogorov–Smirnov and chi-square against a fully
+// specified Distribution. Used by the test suite to property-check sampled
+// variates against their analytic laws, and by the field module to quantify
+// how badly the "everything is exponential" assumption fits mixed
+// populations.
+#pragma once
+
+#include <vector>
+
+#include "stats/distribution.h"
+
+namespace raidrel::stats {
+
+struct KsResult {
+  double statistic = 0.0;  ///< sup |F_n - F|
+  double p_value = 0.0;    ///< asymptotic Kolmogorov p-value
+  std::size_t n = 0;
+};
+
+/// One-sample KS test of `samples` against `dist` (parameters assumed known,
+/// not estimated from the same data).
+KsResult ks_test(std::vector<double> samples, const Distribution& dist);
+
+/// Asymptotic Kolmogorov survival function: P(sqrt(n) D_n > x).
+double kolmogorov_p_value(double statistic, std::size_t n);
+
+struct ChiSquareResult {
+  double statistic = 0.0;
+  std::size_t dof = 0;
+  double p_value = 0.0;  ///< via the regularized upper incomplete gamma
+};
+
+/// Chi-square test with equiprobable bins (bin edges from dist quantiles).
+/// `params_estimated` reduces the degrees of freedom.
+ChiSquareResult chi_square_test(const std::vector<double>& samples,
+                                const Distribution& dist, std::size_t bins,
+                                std::size_t params_estimated = 0);
+
+struct AndersonDarlingResult {
+  double statistic = 0.0;  ///< A^2
+  double p_value = 0.0;    ///< case-0 (fully specified parameters)
+  std::size_t n = 0;
+};
+
+/// One-sample Anderson–Darling test against a fully specified law. More
+/// powerful than KS in the tails — which is where reliability mistakes
+/// live (early-life DDFs come from the lower tail of TTOp). The p-value
+/// uses Marsaglia & Marsaglia's case-0 approximation on the
+/// small-sample-adjusted statistic.
+AndersonDarlingResult anderson_darling_test(std::vector<double> samples,
+                                            const Distribution& dist);
+
+struct RateCi {
+  double lower = 0.0;
+  double upper = 0.0;
+  double level = 0.95;
+};
+
+/// Exact (Garwood) confidence interval for a Poisson mean given an
+/// observed `count`, via the gamma/chi-square relation. Divide by the
+/// exposure to get a rate CI — used to put honest error bars on DDF
+/// counts (e.g. the Table 3 first-year cells).
+RateCi poisson_mean_ci(std::uint64_t count, double level = 0.95);
+
+}  // namespace raidrel::stats

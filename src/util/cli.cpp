@@ -1,0 +1,69 @@
+#include "util/cli.h"
+
+#include <cstdlib>
+
+#include "util/error.h"
+
+namespace raidrel::util {
+
+CliArgs::CliArgs(int argc, const char* const* argv) {
+  RAIDREL_REQUIRE(argc >= 1, "CliArgs requires argv[0]");
+  program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    std::string body = arg.substr(2);
+    const auto eq = body.find('=');
+    if (eq != std::string::npos) {
+      flags_[body.substr(0, eq)] = body.substr(eq + 1);
+      continue;
+    }
+    // "--name value" when the next token is not itself a flag.
+    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      flags_[body] = std::string(argv[i + 1]);
+      ++i;
+    } else {
+      flags_[body] = std::nullopt;
+    }
+  }
+}
+
+bool CliArgs::has(const std::string& name) const {
+  return flags_.count(name) != 0;
+}
+
+std::optional<std::string> CliArgs::value(const std::string& name) const {
+  auto it = flags_.find(name);
+  if (it == flags_.end()) return std::nullopt;
+  return it->second;  // nullopt when the flag was given without a value
+}
+
+std::string CliArgs::get_string(const std::string& name,
+                                const std::string& fallback) const {
+  auto v = value(name);
+  return v ? *v : fallback;
+}
+
+long long CliArgs::get_int(const std::string& name, long long fallback) const {
+  auto v = value(name);
+  if (!v) return fallback;
+  return std::strtoll(v->c_str(), nullptr, 10);
+}
+
+double CliArgs::get_double(const std::string& name, double fallback) const {
+  auto v = value(name);
+  if (!v) return fallback;
+  return std::strtod(v->c_str(), nullptr);
+}
+
+bool CliArgs::get_bool(const std::string& name, bool fallback) const {
+  if (!has(name)) return fallback;
+  auto v = value(name);
+  if (!v) return true;  // bare --flag
+  return !(*v == "0" || *v == "false" || *v == "no" || *v == "off");
+}
+
+}  // namespace raidrel::util

@@ -1,0 +1,44 @@
+// Minimal command-line flag parser for the example applications and bench
+// harnesses: `--name value` and `--name=value` pairs plus `--flag` booleans.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace raidrel::util {
+
+/// Parsed command line. Unknown flags are kept (queryable); positional
+/// arguments are collected in order.
+class CliArgs {
+ public:
+  CliArgs(int argc, const char* const* argv);
+
+  /// True when `--name` appeared (with or without a value).
+  [[nodiscard]] bool has(const std::string& name) const;
+
+  /// Raw string value of `--name`; empty when the flag is absent or was
+  /// given without a value.
+  [[nodiscard]] std::optional<std::string> value(const std::string& name) const;
+
+  [[nodiscard]] std::string get_string(const std::string& name,
+                                       const std::string& fallback) const;
+  [[nodiscard]] long long get_int(const std::string& name,
+                                  long long fallback) const;
+  [[nodiscard]] double get_double(const std::string& name,
+                                  double fallback) const;
+  [[nodiscard]] bool get_bool(const std::string& name, bool fallback) const;
+
+  [[nodiscard]] const std::vector<std::string>& positional() const {
+    return positional_;
+  }
+  [[nodiscard]] const std::string& program() const { return program_; }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::optional<std::string>> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace raidrel::util

@@ -1,0 +1,59 @@
+// Error handling primitives for the raidrel library.
+//
+// The library is exception-based at API boundaries (invalid distribution
+// parameters, malformed configs) and assertion-based for internal invariants.
+// `ModelError` is the single exception type thrown by raidrel code so callers
+// can catch one type.
+#pragma once
+
+#include <source_location>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace raidrel {
+
+/// Exception thrown for all raidrel precondition and configuration errors.
+class ModelError : public std::runtime_error {
+ public:
+  explicit ModelError(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void fail(std::string_view kind, std::string_view cond,
+                              std::string_view msg,
+                              const std::source_location& loc) {
+  std::ostringstream os;
+  os << kind << " failed: " << cond;
+  if (!msg.empty()) os << " — " << msg;
+  os << " [" << loc.file_name() << ':' << loc.line() << ' '
+     << loc.function_name() << ']';
+  throw ModelError(os.str());
+}
+
+}  // namespace detail
+
+/// Precondition check: throws ModelError when `cond` is false.
+/// Used for caller-visible contract violations (bad parameters).
+#define RAIDREL_REQUIRE(cond, msg)                                      \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      ::raidrel::detail::fail("precondition", #cond, (msg),             \
+                              std::source_location::current());         \
+    }                                                                   \
+  } while (0)
+
+/// Internal invariant check: throws ModelError when `cond` is false.
+/// Kept on in release builds — the simulator is cheap relative to the cost
+/// of silently wrong reliability numbers.
+#define RAIDREL_ASSERT(cond, msg)                                       \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      ::raidrel::detail::fail("invariant", #cond, (msg),                \
+                              std::source_location::current());         \
+    }                                                                   \
+  } while (0)
+
+}  // namespace raidrel

@@ -1,0 +1,28 @@
+// Evenly spaced grids and time-bucket helpers used by the experiment
+// harnesses (e.g. "cumulative DDFs sampled every 2 000 hours").
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace raidrel::util {
+
+/// n evenly spaced points from lo to hi inclusive (n >= 2).
+std::vector<double> linspace(double lo, double hi, std::size_t n);
+
+/// n logarithmically spaced points from lo to hi inclusive (lo, hi > 0).
+std::vector<double> logspace(double lo, double hi, std::size_t n);
+
+/// Fixed-width time buckets over [0, horizon]: a grid of bucket upper edges.
+/// The final bucket is clipped to end exactly at `horizon`.
+std::vector<double> bucket_edges(double horizon, double width);
+
+/// Index of the bucket containing time t for buckets of `width` over
+/// [0, horizon]; times at bucket boundaries go to the right bucket,
+/// t == horizon goes to the last bucket.
+std::size_t bucket_index(double t, double horizon, double width);
+
+/// Number of fixed-width buckets covering [0, horizon].
+std::size_t bucket_count(double horizon, double width);
+
+}  // namespace raidrel::util

@@ -1,0 +1,66 @@
+#include "workload/duty_cycle.h"
+
+#include "util/error.h"
+
+namespace raidrel::workload {
+
+void DutyCycleProfile::validate() const {
+  RAIDREL_REQUIRE(!phases.empty(), "profile needs at least one phase");
+  RAIDREL_REQUIRE(phases.front().start_hours == 0.0,
+                  "first phase must start at 0");
+  for (std::size_t i = 0; i < phases.size(); ++i) {
+    RAIDREL_REQUIRE(phases[i].bytes_per_hour >= 0.0,
+                    "read volume must be >= 0");
+    if (i > 0) {
+      RAIDREL_REQUIRE(phases[i].start_hours > phases[i - 1].start_hours,
+                      "phase starts must be strictly increasing");
+    }
+  }
+  RAIDREL_REQUIRE(phases.back().bytes_per_hour > 0.0,
+                  "final phase must read at a positive rate");
+}
+
+double DutyCycleProfile::average_bytes_per_hour(double mission_hours) const {
+  validate();
+  RAIDREL_REQUIRE(mission_hours > phases.back().start_hours,
+                  "mission must extend past the last phase start");
+  double volume = 0.0;
+  for (std::size_t i = 0; i < phases.size(); ++i) {
+    const double end =
+        i + 1 < phases.size() ? phases[i + 1].start_hours : mission_hours;
+    volume += phases[i].bytes_per_hour * (end - phases[i].start_hours);
+  }
+  return volume / mission_hours;
+}
+
+stats::PiecewiseConstantHazard ttld_from_profile(
+    const DutyCycleProfile& profile, double errors_per_byte) {
+  profile.validate();
+  RAIDREL_REQUIRE(errors_per_byte > 0.0, "RER must be positive");
+  std::vector<stats::PiecewiseConstantHazard::Segment> segments;
+  segments.reserve(profile.phases.size());
+  for (const auto& phase : profile.phases) {
+    segments.push_back(
+        {phase.start_hours, errors_per_byte * phase.bytes_per_hour});
+  }
+  return stats::PiecewiseConstantHazard(std::move(segments));
+}
+
+DutyCycleProfile ingest_then_archive_profile() {
+  // Year 1 at the paper's high read volume, then the low volume.
+  return {"ingest-then-archive",
+          {{"ingest", 0.0, 1.35e10}, {"archive", 8760.0, 1.35e9}}};
+}
+
+DutyCycleProfile archive_then_mining_profile() {
+  // Quiet cold storage for seven years, then heavy analytical scans.
+  return {"archive-then-mining",
+          {{"archive", 0.0, 1.35e9}, {"mining", 61320.0, 1.35e10}}};
+}
+
+DutyCycleProfile steady_profile(double bytes_per_hour) {
+  RAIDREL_REQUIRE(bytes_per_hour > 0.0, "read volume must be positive");
+  return {"steady", {{"steady", 0.0, bytes_per_hour}}};
+}
+
+}  // namespace raidrel::workload

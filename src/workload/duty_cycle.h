@@ -1,0 +1,43 @@
+// Phase-of-life duty cycles: time-varying read intensity and the latent-
+// defect law it induces (paper §6.3: defect rate = RER x Bytes read/h, so
+// a workload with phases gives a piecewise-constant defect intensity).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "stats/piecewise.h"
+
+namespace raidrel::workload {
+
+/// One phase of a deployment's life.
+struct WorkloadPhase {
+  std::string name;
+  double start_hours = 0.0;     ///< phase start (first phase must be 0)
+  double bytes_per_hour = 0.0;  ///< average read volume during the phase
+};
+
+/// A named multi-phase profile. The last phase extends to the end of the
+/// mission.
+struct DutyCycleProfile {
+  std::string name;
+  std::vector<WorkloadPhase> phases;
+
+  void validate() const;
+
+  /// Mission-average read volume (for the "equivalent constant" law),
+  /// weighting the final phase to `mission_hours`.
+  [[nodiscard]] double average_bytes_per_hour(double mission_hours) const;
+};
+
+/// Latent-defect law induced by a profile at a given read-error rate:
+/// piecewise-constant hazard with rate RER x Bytes/h per phase.
+stats::PiecewiseConstantHazard ttld_from_profile(
+    const DutyCycleProfile& profile, double errors_per_byte);
+
+/// Common archetypes (rates built from the paper's Table 1 levels).
+DutyCycleProfile ingest_then_archive_profile();  ///< heavy year 1, quiet after
+DutyCycleProfile archive_then_mining_profile();  ///< quiet early, heavy late
+DutyCycleProfile steady_profile(double bytes_per_hour);
+
+}  // namespace raidrel::workload

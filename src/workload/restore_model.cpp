@@ -1,0 +1,76 @@
+#include "workload/restore_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+
+namespace raidrel::workload {
+
+namespace {
+
+void validate(const RebuildEnvironment& env) {
+  RAIDREL_REQUIRE(env.drive_capacity_gb > 0.0, "capacity must be > 0");
+  RAIDREL_REQUIRE(env.drive_rate_mb_s > 0.0, "drive rate must be > 0");
+  RAIDREL_REQUIRE(env.bus_rate_gbit_s > 0.0, "bus rate must be > 0");
+  RAIDREL_REQUIRE(env.group_size >= 2, "group size must be >= 2");
+  RAIDREL_REQUIRE(
+      env.foreground_io_fraction >= 0.0 && env.foreground_io_fraction < 1.0,
+      "foreground I/O fraction must be in [0, 1)");
+}
+
+}  // namespace
+
+double minimum_rebuild_hours(const RebuildEnvironment& env) {
+  validate(env);
+  // Rebuild streams all N surviving drives across the shared bus while the
+  // replacement is written: the per-drive share of the bus is the binding
+  // constraint when the bus is slower than the aggregate drive rate.
+  const double bus_mb_s = env.bus_rate_gbit_s * 1000.0 / 8.0;  // Gbit -> MB
+  const double per_drive_share =
+      bus_mb_s / static_cast<double>(env.group_size);
+  const double effective_rate =
+      std::min(env.drive_rate_mb_s, per_drive_share) *
+      (1.0 - env.foreground_io_fraction);
+  const double capacity_mb = env.drive_capacity_gb * 1000.0;
+  const double seconds = capacity_mb / effective_rate;
+  return seconds / 3600.0;
+}
+
+double minimum_scrub_hours(const RebuildEnvironment& env) {
+  validate(env);
+  // A scrub pass reads one drive end to end at whatever bandwidth is not
+  // spent on foreground I/O; the bus is shared but a single-drive stream
+  // rarely saturates it, so the drive rate binds.
+  const double bus_mb_s = env.bus_rate_gbit_s * 1000.0 / 8.0;
+  const double effective_rate = std::min(env.drive_rate_mb_s, bus_mb_s) *
+                                (1.0 - env.foreground_io_fraction);
+  const double capacity_mb = env.drive_capacity_gb * 1000.0;
+  return capacity_mb / effective_rate / 3600.0;
+}
+
+stats::Weibull restore_distribution(const RebuildEnvironment& env,
+                                    const RestoreShape& shape) {
+  RAIDREL_REQUIRE(shape.characteristic_hours > 0.0, "eta must be > 0");
+  RAIDREL_REQUIRE(shape.beta > 0.0, "beta must be > 0");
+  return stats::Weibull(minimum_rebuild_hours(env),
+                        shape.characteristic_hours, shape.beta);
+}
+
+stats::Weibull scrub_distribution(const RebuildEnvironment& env,
+                                  double scrub_duration_hours, double beta) {
+  RAIDREL_REQUIRE(scrub_duration_hours > 0.0, "scrub duration must be > 0");
+  RAIDREL_REQUIRE(beta > 0.0, "beta must be > 0");
+  return stats::Weibull(minimum_scrub_hours(env), scrub_duration_hours, beta);
+}
+
+double reconstruction_defect_probability(const RebuildEnvironment& env,
+                                         double write_errors_per_byte) {
+  validate(env);
+  RAIDREL_REQUIRE(write_errors_per_byte >= 0.0,
+                  "write-error rate must be >= 0");
+  const double bytes = env.drive_capacity_gb * 1e9;
+  return -std::expm1(-bytes * write_errors_per_byte);
+}
+
+}  // namespace raidrel::workload

@@ -1,0 +1,62 @@
+// Physical models for the minimum restore and scrub times (paper §6.2, §6.4).
+//
+// "A constant restoration rate ... is clearly unrealistic": there is a
+// finite minimum time to rebuild a drive, set by the drive capacity, the
+// drive's sustained transfer rate, the shared data-bus rate divided across
+// the group, and the fraction of bandwidth consumed by foreground I/O.
+// The paper's worked examples:
+//   * 144 GB FC drive, 100 MB/s drive rate, 2 Gb/s bus, group of 14
+//     -> minimum ~3 h with no foreground I/O;
+//   * 500 GB SATA drive on a 1.5 Gb/s bus -> ~10.4 h.
+// These minimums become the location parameter (gamma) of the restore /
+// scrub Weibulls.
+#pragma once
+
+#include "stats/weibull.h"
+
+namespace raidrel::workload {
+
+/// Hardware/geometry description of a RAID group for rebuild-time purposes.
+struct RebuildEnvironment {
+  double drive_capacity_gb = 144.0;      ///< per-drive capacity, GB
+  double drive_rate_mb_s = 100.0;        ///< sustained drive transfer, MB/s
+  double bus_rate_gbit_s = 2.0;          ///< shared data-bus rate, Gbit/s
+  unsigned group_size = 14;              ///< drives sharing the bus
+  double foreground_io_fraction = 0.0;   ///< bandwidth consumed by user I/O
+};
+
+/// Minimum hours to read every surviving drive and write the replacement:
+/// capacity / min(drive rate, bus share), inflated by foreground I/O.
+double minimum_rebuild_hours(const RebuildEnvironment& env);
+
+/// Minimum hours for a full-drive background scrub pass: capacity at the
+/// residual (non-foreground) drive bandwidth. Scrubbing is per-drive, so the
+/// bus is not divided across the group.
+double minimum_scrub_hours(const RebuildEnvironment& env);
+
+/// Parameters shaping a restore-time law around its physical minimum.
+struct RestoreShape {
+  double characteristic_hours = 12.0;  ///< eta above the minimum
+  double beta = 2.0;                   ///< right-skewed (paper §6.2)
+};
+
+/// Build the three-parameter restore Weibull: gamma = physical minimum.
+stats::Weibull restore_distribution(const RebuildEnvironment& env,
+                                    const RestoreShape& shape);
+
+/// Build the scrub Weibull for a target scrub duration: gamma = physical
+/// minimum scrub pass, eta = requested duration, beta = 3 ("Normal shaped
+/// after the delay", paper §6.4).
+stats::Weibull scrub_distribution(const RebuildEnvironment& env,
+                                  double scrub_duration_hours,
+                                  double beta = 3.0);
+
+/// Probability that rebuilding a full drive leaves at least one
+/// uncorrected write error behind (paper §3.2/§4.2: "written data is
+/// rarely checked immediately after writing"): with independent per-Byte
+/// errors, 1 - exp(-capacity_bytes x write_errors_per_byte). Feed into
+/// raid::GroupConfig::reconstruction_defect_probability.
+double reconstruction_defect_probability(const RebuildEnvironment& env,
+                                         double write_errors_per_byte);
+
+}  // namespace raidrel::workload

@@ -1,0 +1,92 @@
+#include "stats/bootstrap.h"
+
+#include <gtest/gtest.h>
+
+#include "stats/fit.h"
+#include "stats/weibull.h"
+#include "util/error.h"
+
+namespace raidrel::stats {
+namespace {
+
+double mean_time(const LifeData& d) {
+  double s = 0.0;
+  for (const auto& o : d) s += o.time;
+  return s / static_cast<double>(d.size());
+}
+
+TEST(Bootstrap, CiBracketsPointEstimate) {
+  rng::RandomStream gen(1);
+  const Weibull w(0.0, 100.0, 2.0);
+  LifeData data;
+  for (int i = 0; i < 500; ++i) data.push_back({w.sample(gen), true});
+  rng::RandomStream rs(2);
+  const auto ci = bootstrap_ci(data, mean_time, 500, 0.95, rs);
+  EXPECT_LE(ci.lower, ci.point);
+  EXPECT_GE(ci.upper, ci.point);
+  EXPECT_GT(ci.upper - ci.lower, 0.0);
+  EXPECT_EQ(ci.replicates, 500u);
+}
+
+TEST(Bootstrap, CiCoversTrueMeanAtNominalRate) {
+  // Repeat the experiment and check coverage is near 95%.
+  const Weibull w(0.0, 100.0, 2.0);
+  const double true_mean = w.mean();
+  int covered = 0;
+  const int experiments = 60;
+  for (int e = 0; e < experiments; ++e) {
+    rng::RandomStream gen(100 + e);
+    LifeData data;
+    for (int i = 0; i < 200; ++i) data.push_back({w.sample(gen), true});
+    rng::RandomStream rs(1000 + e);
+    const auto ci = bootstrap_ci(data, mean_time, 300, 0.95, rs);
+    covered += (ci.lower <= true_mean && true_mean <= ci.upper) ? 1 : 0;
+  }
+  // Binomial(60, 0.95): >= 50 successes with overwhelming probability.
+  EXPECT_GE(covered, 50);
+}
+
+TEST(Bootstrap, WiderIntervalForSmallerSample) {
+  const Weibull w(0.0, 100.0, 1.5);
+  rng::RandomStream gen(7);
+  LifeData small, large;
+  for (int i = 0; i < 50; ++i) small.push_back({w.sample(gen), true});
+  for (int i = 0; i < 2000; ++i) large.push_back({w.sample(gen), true});
+  rng::RandomStream rs1(8), rs2(9);
+  const auto ci_small = bootstrap_ci(small, mean_time, 400, 0.95, rs1);
+  const auto ci_large = bootstrap_ci(large, mean_time, 400, 0.95, rs2);
+  EXPECT_GT(ci_small.upper - ci_small.lower,
+            ci_large.upper - ci_large.lower);
+}
+
+TEST(Bootstrap, WorksWithWeibullBetaStatistic) {
+  // Bootstrap the fitted shape parameter of censored data — the statistic
+  // EXPERIMENTS.md reports with uncertainty.
+  const Weibull w(0.0, 1000.0, 1.4);
+  rng::RandomStream gen(11);
+  LifeData data;
+  for (int i = 0; i < 400; ++i) {
+    const double t = w.sample(gen);
+    data.push_back(t < 1500.0 ? LifeObservation{t, true}
+                              : LifeObservation{1500.0, false});
+  }
+  rng::RandomStream rs(12);
+  const auto ci = bootstrap_ci(
+      data, [](const LifeData& d) { return fit_weibull_mle(d).params.beta; },
+      300, 0.90, rs);
+  EXPECT_GT(ci.lower, 0.9);
+  EXPECT_LT(ci.upper, 2.1);
+  EXPECT_LE(ci.lower, 1.4);
+  EXPECT_GE(ci.upper, 1.4);
+}
+
+TEST(Bootstrap, ValidatesArguments) {
+  rng::RandomStream rs(1);
+  LifeData data{{1.0, true}};
+  EXPECT_THROW(bootstrap_ci({}, mean_time, 100, 0.95, rs), ModelError);
+  EXPECT_THROW(bootstrap_ci(data, mean_time, 5, 0.95, rs), ModelError);
+  EXPECT_THROW(bootstrap_ci(data, mean_time, 100, 1.5, rs), ModelError);
+}
+
+}  // namespace
+}  // namespace raidrel::stats

@@ -1,0 +1,94 @@
+#include "sim/convergence.h"
+
+#include <gtest/gtest.h>
+
+#include "stats/weibull.h"
+#include "util/error.h"
+
+namespace raidrel::sim {
+namespace {
+
+raid::GroupConfig busy_group() {
+  raid::SlotModel m;
+  m.time_to_op_failure = std::make_unique<stats::Weibull>(0.0, 4000.0, 1.2);
+  m.time_to_restore = std::make_unique<stats::Weibull>(6.0, 100.0, 2.0);
+  m.time_to_latent_defect = std::make_unique<stats::Weibull>(0.0, 2000.0, 1.0);
+  m.time_to_scrub = std::make_unique<stats::Weibull>(6.0, 300.0, 3.0);
+  return raid::make_uniform_group(8, 1, m, 20000.0);
+}
+
+TEST(Convergence, ReachesTargetOnBusyScenario) {
+  ConvergenceOptions opt;
+  opt.target_relative_sem = 0.05;
+  opt.batch_trials = 500;
+  opt.min_trials = 500;
+  opt.max_trials = 100000;
+  opt.seed = 1;
+  const auto run = run_until_converged(busy_group(), opt);
+  EXPECT_TRUE(run.converged);
+  EXPECT_LE(run.relative_sem, 0.05);
+  EXPECT_GE(run.batches, 1u);
+  EXPECT_LE(run.result.trials(), opt.max_trials);
+}
+
+TEST(Convergence, StopsAtBudgetWhenTargetUnreachable) {
+  ConvergenceOptions opt;
+  opt.target_relative_sem = 1e-6;  // unreachable at this budget
+  opt.batch_trials = 500;
+  opt.min_trials = 500;
+  opt.max_trials = 2000;
+  opt.seed = 2;
+  const auto run = run_until_converged(busy_group(), opt);
+  EXPECT_FALSE(run.converged);
+  EXPECT_EQ(run.result.trials(), 2000u);
+  EXPECT_EQ(run.batches, 4u);
+}
+
+TEST(Convergence, BatchedUnionEqualsSingleRun) {
+  // Disjoint stream-index batches must reproduce one big run exactly
+  // (counting statistics are integer sums).
+  const auto cfg = busy_group();
+  ConvergenceOptions opt;
+  opt.target_relative_sem = 1e-9;  // force it to run out the budget
+  opt.batch_trials = 300;
+  opt.min_trials = 300;
+  opt.max_trials = 900;
+  opt.seed = 3;
+  const auto batched = run_until_converged(cfg, opt);
+  const auto single = run_monte_carlo(
+      cfg, {.trials = 900, .seed = 3, .threads = 0, .bucket_hours = 730.0});
+  EXPECT_DOUBLE_EQ(batched.result.total_ddfs_per_1000(),
+                   single.total_ddfs_per_1000());
+  EXPECT_EQ(batched.result.op_failures(), single.op_failures());
+  EXPECT_EQ(batched.result.latent_defects(), single.latent_defects());
+}
+
+TEST(Convergence, MoreDemandingTargetUsesMoreTrials) {
+  const auto cfg = busy_group();
+  ConvergenceOptions loose;
+  loose.target_relative_sem = 0.10;
+  loose.batch_trials = 100;
+  loose.min_trials = 100;
+  loose.max_trials = 100000;
+  loose.seed = 4;
+  ConvergenceOptions tight = loose;
+  tight.target_relative_sem = 0.005;
+  const auto a = run_until_converged(cfg, loose);
+  const auto b = run_until_converged(cfg, tight);
+  ASSERT_TRUE(a.converged);
+  ASSERT_TRUE(b.converged);
+  EXPECT_LT(a.result.trials(), b.result.trials());
+}
+
+TEST(Convergence, Validation) {
+  ConvergenceOptions opt;
+  opt.target_relative_sem = 0.0;
+  EXPECT_THROW(run_until_converged(busy_group(), opt), ModelError);
+  opt = {};
+  opt.min_trials = 100;
+  opt.max_trials = 50;
+  EXPECT_THROW(run_until_converged(busy_group(), opt), ModelError);
+}
+
+}  // namespace
+}  // namespace raidrel::sim

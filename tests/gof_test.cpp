@@ -1,0 +1,192 @@
+#include "stats/gof.h"
+
+#include <gtest/gtest.h>
+
+#include "rng/rng.h"
+#include "stats/basic_distributions.h"
+#include "stats/weibull.h"
+#include "util/error.h"
+
+namespace raidrel::stats {
+namespace {
+
+std::vector<double> draw(const Distribution& d, int n, std::uint64_t seed) {
+  rng::RandomStream rs(seed);
+  std::vector<double> out(n);
+  for (auto& x : out) x = d.sample(rs);
+  return out;
+}
+
+TEST(KolmogorovPValue, KnownAsymptotics) {
+  // sqrt(n) D = 1.36 is the classic 5% critical value.
+  EXPECT_NEAR(kolmogorov_p_value(1.36 / 100.0, 10000), 0.05, 0.01);
+  // Tiny statistic -> p ~ 1; huge statistic -> p ~ 0.
+  EXPECT_GT(kolmogorov_p_value(1e-4, 100), 0.999);
+  EXPECT_LT(kolmogorov_p_value(0.5, 1000), 1e-10);
+}
+
+TEST(KsTest, AcceptsTrueDistribution) {
+  const Weibull w(0.0, 100.0, 1.5);
+  const auto r = ks_test(draw(w, 5000, 1), w);
+  EXPECT_LT(r.statistic, 0.03);
+  EXPECT_GT(r.p_value, 0.01);
+}
+
+TEST(KsTest, RejectsWrongShape) {
+  const Weibull truth(0.0, 100.0, 3.0);
+  const Weibull wrong(0.0, 100.0, 1.0);
+  const auto r = ks_test(draw(truth, 5000, 2), wrong);
+  EXPECT_LT(r.p_value, 1e-6);
+}
+
+TEST(KsTest, RejectsWrongScale) {
+  const Exponential truth(1.0 / 100.0);
+  const Exponential wrong(1.0 / 150.0);
+  const auto r = ks_test(draw(truth, 8000, 3), wrong);
+  EXPECT_LT(r.p_value, 1e-4);
+}
+
+TEST(KsTest, StatisticIsSupDifference) {
+  // Two points at the 0.25/0.75 quantiles of U(0,1): D = 0.25.
+  const Uniform u(0.0, 1.0);
+  const auto r = ks_test({0.25, 0.75}, u);
+  EXPECT_NEAR(r.statistic, 0.25, 1e-12);
+  EXPECT_EQ(r.n, 2u);
+}
+
+TEST(ChiSquare, AcceptsTrueDistribution) {
+  const Weibull w(6.0, 12.0, 2.0);
+  const auto r = chi_square_test(draw(w, 10000, 4), w, 20);
+  EXPECT_EQ(r.dof, 19u);
+  EXPECT_GT(r.p_value, 0.001);
+}
+
+TEST(ChiSquare, RejectsWrongDistribution) {
+  const Weibull truth(0.0, 100.0, 0.8);
+  const Weibull wrong(0.0, 100.0, 1.6);
+  const auto r = chi_square_test(draw(truth, 10000, 5), wrong, 20);
+  EXPECT_LT(r.p_value, 1e-10);
+}
+
+TEST(ChiSquare, DofAccountsForEstimatedParams) {
+  const Weibull w(0.0, 50.0, 1.0);
+  const auto r = chi_square_test(draw(w, 2000, 6), w, 10, 2);
+  EXPECT_EQ(r.dof, 7u);
+}
+
+TEST(ChiSquare, ValidatesInput) {
+  const Weibull w(0.0, 50.0, 1.0);
+  const auto samples = draw(w, 20, 7);
+  EXPECT_THROW(chi_square_test(samples, w, 10), ModelError);   // too few
+  EXPECT_THROW(chi_square_test(samples, w, 1), ModelError);    // 1 bin
+  const auto more = draw(w, 100, 8);
+  EXPECT_THROW(chi_square_test(more, w, 3, 5), ModelError);    // dof <= 0
+}
+
+TEST(AndersonDarling, AcceptsTrueDistribution) {
+  const Weibull w(0.0, 100.0, 1.5);
+  const auto r = anderson_darling_test(draw(w, 4000, 11), w);
+  EXPECT_GT(r.p_value, 0.005);
+  EXPECT_LT(r.statistic, 4.0);
+}
+
+TEST(AndersonDarling, RejectsWrongShape) {
+  const Weibull truth(0.0, 100.0, 2.0);
+  const Weibull wrong(0.0, 100.0, 1.0);
+  const auto r = anderson_darling_test(draw(truth, 4000, 12), wrong);
+  EXPECT_LT(r.p_value, 1e-6);
+}
+
+TEST(AndersonDarling, CriticalValueCalibration) {
+  // Case-0 5% critical value of A^2 is ~2.492: p(2.492) ~ 0.05.
+  const Uniform u(0.0, 1.0);
+  // Build a synthetic sample whose statistic we only use via the p-curve:
+  // instead, check the p-value formula monotonicity around the critical
+  // point using crafted statistics through the public API is indirect, so
+  // verify empirically: uniform samples against the true law produce
+  // p-values spread over (0,1) and reject ~5% of the time at alpha=0.05.
+  int rejects = 0;
+  const int experiments = 200;
+  for (int e = 0; e < experiments; ++e) {
+    rng::RandomStream rs(1000 + e);
+    std::vector<double> s(100);
+    for (auto& x : s) x = rs.uniform();
+    if (anderson_darling_test(std::move(s), u).p_value < 0.05) ++rejects;
+  }
+  // Binomial(200, 0.05): mean 10, sd ~3.1; accept a wide band.
+  EXPECT_GE(rejects, 1);
+  EXPECT_LE(rejects, 25);
+}
+
+TEST(AndersonDarling, MoreSensitiveThanKsToTailError) {
+  // Same eta, shifted lower tail: a 3-parameter Weibull mistaken for a
+  // 2-parameter one. AD (tail-weighted) should produce a p-value no
+  // larger than KS on the same data.
+  const Weibull truth(20.0, 100.0, 2.0);
+  const Weibull wrong(0.0, 120.0, 2.0);
+  const auto samples = draw(truth, 2000, 13);
+  const auto ad = anderson_darling_test(samples, wrong);
+  const auto ks = ks_test(samples, wrong);
+  EXPECT_LE(ad.p_value, ks.p_value + 1e-12);
+}
+
+TEST(AndersonDarling, NeedsEnoughSamples) {
+  const Weibull w(0.0, 1.0, 1.0);
+  EXPECT_THROW(anderson_darling_test({1.0, 2.0}, w), ModelError);
+}
+
+TEST(PoissonCi, KnownTableValues) {
+  // Garwood exact 95% CI for observed counts (standard tables).
+  const auto c0 = poisson_mean_ci(0, 0.95);
+  EXPECT_DOUBLE_EQ(c0.lower, 0.0);
+  EXPECT_NEAR(c0.upper, 3.689, 0.002);
+  const auto c5 = poisson_mean_ci(5, 0.95);
+  EXPECT_NEAR(c5.lower, 1.623, 0.002);
+  EXPECT_NEAR(c5.upper, 11.668, 0.002);
+  const auto c100 = poisson_mean_ci(100, 0.95);
+  EXPECT_NEAR(c100.lower, 81.36, 0.05);
+  EXPECT_NEAR(c100.upper, 121.63, 0.05);
+}
+
+TEST(PoissonCi, CoverageAtNominalRate) {
+  // Simulate Poisson(12) counts; the 90% CI must cover 12 about 90% of
+  // the time (exact intervals are conservative: >= nominal).
+  rng::RandomStream rs(77);
+  const Exponential gap(1.0);
+  int covered = 0;
+  const int experiments = 400;
+  for (int e = 0; e < experiments; ++e) {
+    std::uint64_t count = 0;
+    double t = gap.sample(rs);
+    while (t <= 12.0) {
+      ++count;
+      t += gap.sample(rs);
+    }
+    const auto ci = poisson_mean_ci(count, 0.90);
+    covered += (ci.lower <= 12.0 && 12.0 <= ci.upper) ? 1 : 0;
+  }
+  EXPECT_GE(covered, static_cast<int>(0.87 * experiments));
+}
+
+TEST(PoissonCi, WidthShrinksRelatively) {
+  const auto small = poisson_mean_ci(10, 0.95);
+  const auto large = poisson_mean_ci(1000, 0.95);
+  EXPECT_GT((small.upper - small.lower) / 10.0,
+            (large.upper - large.lower) / 1000.0);
+}
+
+TEST(PoissonCi, Validation) {
+  EXPECT_THROW(poisson_mean_ci(5, 0.0), ModelError);
+  EXPECT_THROW(poisson_mean_ci(5, 1.0), ModelError);
+}
+
+TEST(KsTest, PowerGrowsWithSampleSize) {
+  const Weibull truth(0.0, 100.0, 1.2);
+  const Weibull wrong(0.0, 100.0, 1.0);
+  const auto small = ks_test(draw(truth, 200, 9), wrong);
+  const auto large = ks_test(draw(truth, 20000, 9), wrong);
+  EXPECT_LT(large.p_value, small.p_value);
+}
+
+}  // namespace
+}  // namespace raidrel::stats

@@ -1,0 +1,135 @@
+#include "analytic/latent_ddf.h"
+
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "core/model.h"
+#include "core/presets.h"
+#include "stats/weibull.h"
+#include "util/error.h"
+
+namespace raidrel::analytic {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+LatentDdfInputs base_inputs(const stats::Weibull& ttop) {
+  LatentDdfInputs in;
+  in.total_drives = 8;
+  in.redundancy = 1;
+  in.ttop = &ttop;
+  in.latent_rate = 1.0 / 9259.0;
+  // E[TTScrub] for Weibull(6, 168, 3): 6 + 168*Gamma(4/3).
+  in.mean_scrub_residence = stats::Weibull(6.0, 168.0, 3.0).mean();
+  in.mean_restore = stats::Weibull(6.0, 12.0, 2.0).mean();
+  return in;
+}
+
+TEST(LatentDdf, SteadyStateDefectiveProbability) {
+  const stats::Weibull ttop(0.0, 461386.0, 1.12);
+  const auto in = base_inputs(ttop);
+  // lambda*E[S] ~ 156/9259 ~ 0.0166 -> q_ss ~ 0.0163.
+  const double q_ss = defective_probability_steady_state(in);
+  EXPECT_NEAR(q_ss, (156.0 / 9259.0) / (1.0 + 156.0 / 9259.0), 1e-3);
+  // The transient reaches steady state within a few scrub residences.
+  EXPECT_NEAR(defective_probability(in, 2000.0), q_ss, 1e-4);
+  EXPECT_LT(defective_probability(in, 50.0), q_ss);
+  EXPECT_DOUBLE_EQ(defective_probability(in, 0.0), 0.0);
+}
+
+TEST(LatentDdf, NoScrubDefectiveProbabilityIsCdf) {
+  const stats::Weibull ttop(0.0, 461386.0, 1.12);
+  auto in = base_inputs(ttop);
+  in.mean_scrub_residence = kInf;
+  EXPECT_NEAR(defective_probability(in, 9259.0), 1.0 - std::exp(-1.0),
+              1e-12);
+  EXPECT_DOUBLE_EQ(defective_probability_steady_state(in), 1.0);
+}
+
+TEST(LatentDdf, IntensityIncreasesWithDefectRate) {
+  const stats::Weibull ttop(0.0, 461386.0, 1.12);
+  auto lo = base_inputs(ttop);
+  auto hi = base_inputs(ttop);
+  hi.latent_rate = 10.0 * lo.latent_rate;
+  EXPECT_GT(ddf_intensity(hi, 5000.0), 5.0 * ddf_intensity(lo, 5000.0));
+}
+
+TEST(LatentDdf, MatchesMonteCarloBaseCase) {
+  // The analytic estimate and the simulator must agree on the paper's
+  // base case (the analytic model's assumptions hold there).
+  const stats::Weibull ttop(0.0, 461386.0, 1.12);
+  const auto in = base_inputs(ttop);
+  const double analytic = expected_latent_ddfs(in, 87600.0, 1000.0);
+  const auto mc = core::evaluate_scenario(core::presets::base_case(),
+                                          {.trials = 20000, .seed = 77});
+  const double simulated = mc.run.total_ddfs_per_1000();
+  EXPECT_NEAR(analytic / simulated, 1.0, 0.12)
+      << "analytic=" << analytic << " simulated=" << simulated;
+}
+
+TEST(LatentDdf, MatchesMonteCarloFirstYear) {
+  const stats::Weibull ttop(0.0, 461386.0, 1.12);
+  const auto in = base_inputs(ttop);
+  const double analytic = expected_latent_ddfs(in, 8760.0, 1000.0);
+  const auto mc = core::evaluate_scenario(core::presets::base_case(),
+                                          {.trials = 60000, .seed = 78});
+  const double simulated = mc.run.ddfs_per_1000_at(8760.0);
+  EXPECT_NEAR(analytic / simulated, 1.0, 0.2)
+      << "analytic=" << analytic << " simulated=" << simulated;
+}
+
+TEST(LatentDdf, NoScrubApproachesMonteCarloDespiteResets) {
+  // Without scrubbing the simulator's post-DDF state-1 reset matters; the
+  // analytic value (which ignores resets) should sit at or above the
+  // simulated one, within ~25%.
+  const stats::Weibull ttop(0.0, 461386.0, 1.12);
+  auto in = base_inputs(ttop);
+  in.mean_scrub_residence = kInf;
+  const double analytic = expected_latent_ddfs(in, 87600.0, 1000.0);
+  const auto mc = core::evaluate_scenario(core::presets::base_case_no_scrub(),
+                                          {.trials = 10000, .seed = 79});
+  const double simulated = mc.run.total_ddfs_per_1000();
+  EXPECT_GT(analytic, 0.8 * simulated);
+  EXPECT_LT(analytic, 1.35 * simulated);
+}
+
+TEST(LatentDdf, DoubleOpTermMatchesMttdlWhenExponential) {
+  // With no latent contribution (rate -> tiny) and beta = 1, the op term
+  // integrates to ~ the MTTDL prediction.
+  const stats::Weibull ttop(0.0, 461386.0, 1.0);
+  auto in = base_inputs(ttop);
+  in.latent_rate = 1e-12;  // effectively off
+  in.mean_restore = 12.0;
+  const double analytic = expected_latent_ddfs(in, 87600.0, 1000.0);
+  const double mttdl = expected_ddfs({7, 461386.0, 12.0}, 87600.0, 1000.0);
+  EXPECT_NEAR(analytic / mttdl, 1.0, 0.02);
+}
+
+TEST(LatentDdf, Raid6IntensityFarBelowRaid5) {
+  const stats::Weibull ttop(0.0, 461386.0, 1.12);
+  auto r5 = base_inputs(ttop);
+  auto r6 = base_inputs(ttop);
+  r6.total_drives = 10;
+  r6.redundancy = 2;
+  const double i5 = expected_latent_ddfs(r5, 87600.0, 1000.0);
+  const double i6 = expected_latent_ddfs(r6, 87600.0, 1000.0);
+  EXPECT_LT(i6, 0.2 * i5);
+}
+
+TEST(LatentDdf, Validation) {
+  const stats::Weibull ttop(0.0, 461386.0, 1.12);
+  auto in = base_inputs(ttop);
+  in.ttop = nullptr;
+  EXPECT_THROW(ddf_intensity(in, 10.0), ModelError);
+  auto bad = base_inputs(ttop);
+  bad.latent_rate = 0.0;
+  EXPECT_THROW(defective_probability(bad, 10.0), ModelError);
+  auto bad2 = base_inputs(ttop);
+  bad2.redundancy = 8;
+  EXPECT_THROW(ddf_intensity(bad2, 10.0), ModelError);
+}
+
+}  // namespace
+}  // namespace raidrel::analytic

@@ -1,0 +1,125 @@
+#include "analytic/markov.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "analytic/mttdl.h"
+#include "util/error.h"
+
+namespace raidrel::analytic {
+namespace {
+
+TEST(MarkovChain, ValidatesGenerator) {
+  // Row sum not zero.
+  EXPECT_THROW(MarkovChain(2, {-1.0, 0.5, 0.0, 0.0}), ModelError);
+  // Negative off-diagonal.
+  EXPECT_THROW(MarkovChain(2, {1.0, -1.0, 0.0, 0.0}), ModelError);
+  // Size mismatch.
+  EXPECT_THROW(MarkovChain(2, {0.0, 0.0, 0.0}), ModelError);
+}
+
+TEST(MarkovChain, AbsorbingDetection) {
+  const auto chain = raid5_chain(7, 1e-5, 1.0 / 12.0);
+  EXPECT_FALSE(chain.is_absorbing(0));
+  EXPECT_FALSE(chain.is_absorbing(1));
+  EXPECT_TRUE(chain.is_absorbing(2));
+}
+
+TEST(MarkovChain, TwoStateExponentialDecay) {
+  // 0 -> 1 at rate r: P(still in 0 at t) = exp(-rt).
+  const double r = 0.01;
+  MarkovChain chain(2, {-r, r, 0.0, 0.0});
+  for (double t : {10.0, 100.0, 500.0}) {
+    const auto pi = chain.transient_distribution(0, t);
+    EXPECT_NEAR(pi[0], std::exp(-r * t), 1e-9) << t;
+    EXPECT_NEAR(pi[0] + pi[1], 1.0, 1e-9);
+  }
+  EXPECT_NEAR(chain.mean_time_to_absorption(0), 100.0, 1e-9);
+}
+
+TEST(MarkovChain, DistributionSumsToOne) {
+  const auto chain = raid5_chain(7, 1.0 / 461386.0, 1.0 / 12.0);
+  for (double t : {1.0, 100.0, 87600.0}) {
+    const auto pi = chain.transient_distribution(0, t);
+    double total = 0.0;
+    for (double p : pi) total += p;
+    EXPECT_NEAR(total, 1.0, 1e-9) << t;
+    for (double p : pi) EXPECT_GE(p, -1e-12);
+  }
+}
+
+TEST(MarkovChain, Raid5MeanAbsorptionMatchesEq1) {
+  const double lambda = 1.0 / 461386.0;
+  const double mu = 1.0 / 12.0;
+  const auto chain = raid5_chain(7, lambda, mu);
+  const double mtta = chain.mean_time_to_absorption(0);
+  const double eq1 = mttdl_exact_hours({7, 461386.0, 12.0});
+  EXPECT_NEAR(mtta / eq1, 1.0, 1e-9);
+  EXPECT_NEAR(raid5_mttdl_closed_form(7, lambda, mu) / eq1, 1.0, 1e-12);
+}
+
+TEST(MarkovChain, AbsorptionProbabilityMatchesHppApproximation) {
+  // For t << MTTDL, P(loss by t) ~ t/MTTDL.
+  const auto chain = raid5_chain(7, 1.0 / 461386.0, 1.0 / 12.0);
+  const double mttdl = chain.mean_time_to_absorption(0);
+  const double t = 87600.0;
+  const double p = chain.absorption_probability(0, 2, t);
+  EXPECT_NEAR(p / (t / mttdl), 1.0, 0.01);
+}
+
+TEST(MarkovChain, AbsorptionProbabilityMonotoneInTime) {
+  const auto chain = raid5_chain(7, 1e-4, 1.0 / 12.0);
+  double prev = 0.0;
+  for (double t : {1000.0, 10000.0, 50000.0, 200000.0}) {
+    const double p = chain.absorption_probability(0, 2, t);
+    EXPECT_GE(p, prev);
+    prev = p;
+  }
+}
+
+TEST(MarkovChain, Raid6MeanAbsorptionMatchesApproxFormula) {
+  const double lambda = 1.0 / 461386.0;
+  const double mu = 1.0 / 12.0;
+  const auto chain = raid6_chain(7, lambda, mu);
+  const double mtta = chain.mean_time_to_absorption(0);
+  const double approx = mttdl_raid6_approx_hours({7, 461386.0, 12.0});
+  // The approximation drops O(lambda/mu) terms; agree within 1%.
+  EXPECT_NEAR(mtta / approx, 1.0, 0.01);
+}
+
+TEST(MarkovChain, Raid6FarSaferThanRaid5) {
+  const double lambda = 1.0 / 461386.0;
+  const double mu = 1.0 / 12.0;
+  const double t = 87600.0;
+  const double p5 = raid5_chain(7, lambda, mu).absorption_probability(0, 2, t);
+  const double p6 = raid6_chain(7, lambda, mu).absorption_probability(0, 3, t);
+  EXPECT_GT(p5 / p6, 1000.0);
+}
+
+TEST(MarkovChain, RequiresAbsorbingTargetForAbsorptionQuery) {
+  const auto chain = raid5_chain(7, 1e-5, 0.1);
+  EXPECT_THROW(static_cast<void>(chain.absorption_probability(0, 1, 10.0)),
+               ModelError);
+}
+
+TEST(MarkovChain, MeanTimeFromAbsorbingStateRejected) {
+  const auto chain = raid5_chain(7, 1e-5, 0.1);
+  EXPECT_THROW(static_cast<void>(chain.mean_time_to_absorption(2)),
+               ModelError);
+}
+
+TEST(MarkovChain, StiffChainStaysStable) {
+  // mu/lambda ~ 4e4 and long horizon: uniformization must not blow up.
+  const auto chain = raid5_chain(7, 1.0 / 461386.0, 1.0 / 6.0);
+  const auto pi = chain.transient_distribution(0, 87600.0);
+  double total = 0.0;
+  for (double p : pi) {
+    EXPECT_TRUE(std::isfinite(p));
+    total += p;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-8);
+}
+
+}  // namespace
+}  // namespace raidrel::analytic

@@ -1,0 +1,68 @@
+#include "analytic/mttdl.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace raidrel::analytic {
+namespace {
+
+TEST(Mttdl, PaperEq3WorkedExample) {
+  // MTBF = 461,386 h, MTTR = 12 h, N = 7 -> MTTDL ~ 36,162 years and
+  // E[N(t)] ~ 0.277 DDFs for 1000 groups over 10 years (paper eq. 3).
+  const MttdlInputs in{7, 461386.0, 12.0};
+  const double years = mttdl_exact_hours(in) / kHoursPerYear;
+  EXPECT_NEAR(years, 36162.0, 40.0);
+  EXPECT_NEAR(expected_ddfs(in, 87600.0, 1000.0), 0.277, 0.003);
+}
+
+TEST(Mttdl, ApproximationCloseWhenRepairFast) {
+  const MttdlInputs in{7, 461386.0, 12.0};
+  const double exact = mttdl_exact_hours(in);
+  const double approx = mttdl_approx_hours(in);
+  // mu >> lambda: the simplification is accurate to ~(2N+1) lambda/mu.
+  EXPECT_NEAR(approx / exact, 1.0, 1e-3);
+  // And the approximation always underestimates (drops positive terms).
+  EXPECT_LT(approx, exact);
+}
+
+TEST(Mttdl, ApproximationDivergesWhenRepairSlow) {
+  const MttdlInputs in{7, 1000.0, 500.0};  // repair nearly as slow as failure
+  const double exact = mttdl_exact_hours(in);
+  const double approx = mttdl_approx_hours(in);
+  EXPECT_GT(exact / approx, 3.0);
+}
+
+TEST(Mttdl, ScalesInverselyWithGroupSizeSquaredish) {
+  // Doubling N roughly quadruples the DDF rate (N(N+1) term).
+  const MttdlInputs small{4, 461386.0, 12.0};
+  const MttdlInputs large{8, 461386.0, 12.0};
+  const double ratio =
+      mttdl_approx_hours(small) / mttdl_approx_hours(large);
+  EXPECT_NEAR(ratio, (8.0 * 9.0) / (4.0 * 5.0), 1e-12);
+}
+
+TEST(Mttdl, ExpectedDdfsLinearInTimeAndGroups) {
+  const MttdlInputs in{7, 461386.0, 12.0};
+  const double one = expected_ddfs(in, 8760.0, 1000.0);
+  EXPECT_NEAR(expected_ddfs(in, 2.0 * 8760.0, 1000.0), 2.0 * one, 1e-12);
+  EXPECT_NEAR(expected_ddfs(in, 8760.0, 2000.0), 2.0 * one, 1e-12);
+}
+
+TEST(Mttdl, Raid6VastlyOutlivesRaid5) {
+  const MttdlInputs in{7, 461386.0, 12.0};
+  const double r5 = mttdl_approx_hours(in);
+  const double r6 = mttdl_raid6_approx_hours(in);
+  // Third failure needs another lambda*MTTR window: ~ mu/lambda gain.
+  EXPECT_GT(r6 / r5, 1000.0);
+}
+
+TEST(Mttdl, InputValidation) {
+  EXPECT_THROW(mttdl_exact_hours({0, 100.0, 1.0}), ModelError);
+  EXPECT_THROW(mttdl_exact_hours({7, 0.0, 1.0}), ModelError);
+  EXPECT_THROW(mttdl_exact_hours({7, 100.0, 0.0}), ModelError);
+  EXPECT_THROW(expected_ddfs({7, 100.0, 1.0}, -1.0, 10.0), ModelError);
+}
+
+}  // namespace
+}  // namespace raidrel::analytic

@@ -1,0 +1,38 @@
+// The umbrella header must compile standalone and expose the advertised
+// surface; this doubles as a smoke test of the README quickstart snippet.
+#include "raidrel/raidrel.h"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+TEST(Umbrella, VersionAndCitation) {
+  EXPECT_EQ(raidrel::kVersionMajor, 1);
+  EXPECT_STREQ(raidrel::kVersionString, "1.0.0");
+  EXPECT_NE(std::string(raidrel::kPaperCitation).find("DSN 2007"),
+            std::string::npos);
+}
+
+TEST(Umbrella, ReadmeQuickstartSnippetWorks) {
+  raidrel::core::ScenarioConfig scenario =
+      raidrel::core::presets::base_case();
+  raidrel::core::ScenarioResult r = raidrel::core::evaluate_scenario(
+      scenario, {.trials = 2000, .seed = 42});
+  const double model = r.run.total_ddfs_per_1000();
+  const double mttdl = r.mttdl_ddfs_per_1000_at(87600.0);
+  EXPECT_GT(model / mttdl, 100.0);  // the paper's headline ratio
+}
+
+TEST(Umbrella, EverySubsystemReachable) {
+  // One touch per re-exported module, so a header regression fails here.
+  EXPECT_GT(raidrel::stats::Weibull(0.0, 1.0, 1.0).mean(), 0.0);
+  EXPECT_GT(raidrel::analytic::mttdl_exact_hours({7, 461386.0, 12.0}), 0.0);
+  EXPECT_EQ(raidrel::workload::table1_grid().size(), 6u);
+  EXPECT_EQ(raidrel::field::figure2_vintages().size(), 3u);
+  raidrel::report::Table t({"a"});
+  t.add_row({"b"});
+  EXPECT_EQ(t.rows(), 1u);
+  EXPECT_NO_THROW(raidrel::core::presets::mixed_vintage_group().validate());
+}
+
+}  // namespace

@@ -1,0 +1,59 @@
+#include "util/cli.h"
+
+#include <gtest/gtest.h>
+
+namespace raidrel::util {
+namespace {
+
+CliArgs make(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv{"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return CliArgs(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(CliArgs, SeparateValueForm) {
+  const auto args = make({"--trials", "5000", "--seed", "42"});
+  EXPECT_EQ(args.get_int("trials", 0), 5000);
+  EXPECT_EQ(args.get_int("seed", 0), 42);
+}
+
+TEST(CliArgs, EqualsValueForm) {
+  const auto args = make({"--scrub=168.5"});
+  EXPECT_DOUBLE_EQ(args.get_double("scrub", 0.0), 168.5);
+}
+
+TEST(CliArgs, BareFlagIsBooleanTrue) {
+  const auto args = make({"--verbose"});
+  EXPECT_TRUE(args.has("verbose"));
+  EXPECT_TRUE(args.get_bool("verbose", false));
+}
+
+TEST(CliArgs, BooleanValueParsing) {
+  EXPECT_FALSE(make({"--x", "false"}).get_bool("x", true));
+  EXPECT_FALSE(make({"--x=0"}).get_bool("x", true));
+  EXPECT_TRUE(make({"--x", "yes"}).get_bool("x", false));
+}
+
+TEST(CliArgs, FallbacksWhenAbsent) {
+  const auto args = make({});
+  EXPECT_EQ(args.get_int("missing", 7), 7);
+  EXPECT_DOUBLE_EQ(args.get_double("missing", 1.5), 1.5);
+  EXPECT_EQ(args.get_string("missing", "dflt"), "dflt");
+  EXPECT_FALSE(args.get_bool("missing", false));
+}
+
+TEST(CliArgs, PositionalsCollected) {
+  const auto args = make({"pos1", "--k", "v", "pos2"});
+  ASSERT_EQ(args.positional().size(), 2u);
+  EXPECT_EQ(args.positional()[0], "pos1");
+  EXPECT_EQ(args.positional()[1], "pos2");
+  EXPECT_EQ(args.program(), "prog");
+}
+
+TEST(CliArgs, StringValues) {
+  const auto args = make({"--out", "results.csv"});
+  EXPECT_EQ(args.get_string("out", ""), "results.csv");
+}
+
+}  // namespace
+}  // namespace raidrel::util

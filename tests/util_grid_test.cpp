@@ -1,0 +1,72 @@
+#include "util/grid.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace raidrel::util {
+namespace {
+
+TEST(Linspace, EndpointsAndSpacing) {
+  const auto v = linspace(0.0, 10.0, 11);
+  ASSERT_EQ(v.size(), 11u);
+  EXPECT_DOUBLE_EQ(v.front(), 0.0);
+  EXPECT_DOUBLE_EQ(v.back(), 10.0);
+  EXPECT_DOUBLE_EQ(v[3], 3.0);
+}
+
+TEST(Linspace, TwoPoints) {
+  const auto v = linspace(-1.0, 1.0, 2);
+  ASSERT_EQ(v.size(), 2u);
+  EXPECT_DOUBLE_EQ(v[0], -1.0);
+  EXPECT_DOUBLE_EQ(v[1], 1.0);
+}
+
+TEST(Linspace, RejectsSinglePoint) {
+  EXPECT_THROW(linspace(0.0, 1.0, 1), ModelError);
+}
+
+TEST(Logspace, GeometricSpacing) {
+  const auto v = logspace(1.0, 1000.0, 4);
+  ASSERT_EQ(v.size(), 4u);
+  EXPECT_NEAR(v[0], 1.0, 1e-12);
+  EXPECT_NEAR(v[1], 10.0, 1e-9);
+  EXPECT_NEAR(v[2], 100.0, 1e-9);
+  EXPECT_DOUBLE_EQ(v[3], 1000.0);
+}
+
+TEST(Logspace, RejectsNonPositive) {
+  EXPECT_THROW(logspace(0.0, 10.0, 3), ModelError);
+}
+
+TEST(Buckets, CountAndEdges) {
+  EXPECT_EQ(bucket_count(100.0, 10.0), 10u);
+  EXPECT_EQ(bucket_count(105.0, 10.0), 11u);
+  const auto edges = bucket_edges(105.0, 10.0);
+  ASSERT_EQ(edges.size(), 11u);
+  EXPECT_DOUBLE_EQ(edges[0], 10.0);
+  EXPECT_DOUBLE_EQ(edges[9], 100.0);
+  EXPECT_DOUBLE_EQ(edges.back(), 105.0);  // clipped final bucket
+}
+
+TEST(Buckets, IndexBoundaries) {
+  EXPECT_EQ(bucket_index(0.0, 100.0, 10.0), 0u);
+  EXPECT_EQ(bucket_index(9.999, 100.0, 10.0), 0u);
+  EXPECT_EQ(bucket_index(10.0, 100.0, 10.0), 1u);
+  EXPECT_EQ(bucket_index(99.99, 100.0, 10.0), 9u);
+  EXPECT_EQ(bucket_index(100.0, 100.0, 10.0), 9u);  // horizon -> last bucket
+}
+
+TEST(Buckets, IndexRejectsOutOfRange) {
+  EXPECT_THROW(bucket_index(-1.0, 100.0, 10.0), ModelError);
+  EXPECT_THROW(bucket_index(101.0, 100.0, 10.0), ModelError);
+}
+
+TEST(Buckets, PaperGeometry) {
+  // 10-year mission, ~monthly buckets: the geometry every bench uses.
+  EXPECT_EQ(bucket_count(87600.0, 730.0), 120u);
+  EXPECT_EQ(bucket_index(8760.0, 87600.0, 730.0), 12u);  // year-1 edge
+}
+
+}  // namespace
+}  // namespace raidrel::util
