@@ -5,6 +5,7 @@
 #include <benchmark/benchmark.h>
 
 #include "core/presets.h"
+#include "obs/run_telemetry.h"
 #include "sim/group_simulator.h"
 #include "sim/runner.h"
 #include "sim/timing_engine.h"
@@ -90,5 +91,25 @@ void BM_FullRun_MultiThreaded(benchmark::State& state) {
                           2000);
 }
 BENCHMARK(BM_FullRun_MultiThreaded)->Unit(benchmark::kMillisecond);
+
+// Same run with a telemetry sink attached — the delta against
+// BM_FullRun_MultiThreaded is the full observability overhead (per-trial
+// counter accumulation plus the once-per-worker merge), which must stay
+// in the noise.
+void BM_FullRun_Telemetry(benchmark::State& state) {
+  const auto cfg = core::presets::base_case().to_group_config();
+  for (auto _ : state) {
+    obs::RunTelemetry telemetry;
+    sim::RunOptions options{.trials = 2000, .seed = 6, .threads = 0,
+                            .bucket_hours = 730.0};
+    options.telemetry = &telemetry;
+    const auto result = sim::run_monte_carlo(cfg, options);
+    benchmark::DoNotOptimize(result.total_ddfs_per_1000());
+    benchmark::DoNotOptimize(telemetry.totals().op_failures);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          2000);
+}
+BENCHMARK(BM_FullRun_Telemetry)->Unit(benchmark::kMillisecond);
 
 }  // namespace

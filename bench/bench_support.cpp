@@ -1,13 +1,71 @@
 #include "bench_support.h"
 
 #include <cstdio>
+#include <cstdlib>
+#include <deque>
+#include <fstream>
 #include <iostream>
 
+#include "obs/json_writer.h"
+#include "obs/run_telemetry.h"
 #include "report/ascii_chart.h"
 #include "report/table.h"
 #include "util/strings.h"
 
 namespace raidrel::bench {
+
+namespace {
+
+// One telemetry sink per Monte Carlo run the bench performs, written out
+// as a single manifest document at exit. A deque keeps the sinks'
+// addresses stable while RunOptions point at them.
+std::deque<obs::RunTelemetry> g_run_sinks;
+std::string g_manifest_path;
+
+void write_bench_manifest() {
+  if (g_manifest_path.empty()) return;
+  std::size_t runs = 0;
+  for (const auto& t : g_run_sinks) {
+    if (!t.batches().empty()) ++runs;
+  }
+  if (runs == 0) return;
+  std::ofstream out(g_manifest_path);
+  if (!out) {
+    std::cerr << "cannot write run manifest: " << g_manifest_path << "\n";
+    return;
+  }
+  obs::JsonWriter w(out);
+  w.begin_object();
+  w.kv("schema", "raidrel-bench-manifest/1");
+  w.key("runs");
+  w.begin_array();
+  for (const auto& t : g_run_sinks) {
+    if (!t.batches().empty()) t.write_json(w);
+  }
+  w.end_array();
+  w.end_object();
+  out << '\n';
+  std::cout << "run manifest (" << runs << " run" << (runs == 1 ? "" : "s")
+            << "): " << g_manifest_path << "\n";
+}
+
+std::string default_manifest_path(int argc, char** argv) {
+  std::string name = argc > 0 && argv[0] != nullptr ? argv[0] : "bench";
+  const std::size_t slash = name.find_last_of("/\\");
+  if (slash != std::string::npos) name = name.substr(slash + 1);
+  return name + ".manifest.json";
+}
+
+}  // namespace
+
+sim::RunOptions BenchOptions::run_options() const {
+  sim::RunOptions run{.trials = trials, .seed = seed, .threads = threads,
+                      .bucket_hours = bucket_hours};
+  if (!manifest_path.empty()) {
+    run.telemetry = &g_run_sinks.emplace_back();
+  }
+  return run;
+}
 
 BenchOptions parse_options(int argc, char** argv,
                            std::size_t default_trials) {
@@ -20,6 +78,16 @@ BenchOptions parse_options(int argc, char** argv,
   opt.bucket_hours = args.get_double("bucket-hours", 730.0);
   opt.chart = !args.get_bool("no-chart", false);
   opt.csv = args.get_bool("csv", false);
+  if (!args.get_bool("no-manifest", false)) {
+    opt.manifest_path =
+        args.get_string("manifest", default_manifest_path(argc, argv));
+  }
+  g_manifest_path = opt.manifest_path;
+  static const bool registered = [] {
+    std::atexit(write_bench_manifest);
+    return true;
+  }();
+  (void)registered;
   return opt;
 }
 

@@ -20,11 +20,17 @@ struct BenchOptions {
   double bucket_hours = 730.0;
   bool chart = true;  ///< draw ASCII figures (disable with --no-chart)
   bool csv = false;   ///< also dump CSV rows (enable with --csv)
+  /// Run-manifest destination (see docs/MODEL.md §8): by default every
+  /// bench writes `<bench-name>.manifest.json` next to its results,
+  /// recording every Monte Carlo run it performed (seed, config digest,
+  /// event totals, throughput). Override with --manifest <path>; disable
+  /// with --no-manifest (empty path = disabled).
+  std::string manifest_path;
 
-  [[nodiscard]] sim::RunOptions run_options() const {
-    return {.trials = trials, .seed = seed, .threads = threads,
-            .bucket_hours = bucket_hours};
-  }
+  /// Options for one Monte Carlo run. When manifests are enabled, each
+  /// call attaches a fresh telemetry sink; all sinks are serialized to
+  /// `manifest_path` when the bench exits.
+  [[nodiscard]] sim::RunOptions run_options() const;
 };
 
 /// Parse the uniform flags; `default_trials` lets heavy benches pick a

@@ -6,11 +6,14 @@
 // This is the five-minute tour of the public API:
 //   1. pick a scenario (presets:: or build your own ScenarioConfig),
 //   2. run it with evaluate_scenario(),
-//   3. read DDF curves, totals and the MTTDL comparison off the result.
+//   3. read DDF curves, totals and the MTTDL comparison off the result,
+//   4. (optionally) save the JSON run manifest with --manifest <path>.
+#include <fstream>
 #include <iostream>
 
 #include "core/model.h"
 #include "core/presets.h"
+#include "obs/run_telemetry.h"
 #include "util/cli.h"
 
 int main(int argc, char** argv) {
@@ -23,10 +26,15 @@ int main(int argc, char** argv) {
   const core::ScenarioConfig scenario = core::presets::base_case();
   std::cout << "Scenario: " << scenario.summary() << "\n\n";
 
-  // 2. Run the sequential Monte Carlo model.
+  // 2. Run the sequential Monte Carlo model. The telemetry sink is
+  //    optional observability: per-worker event counters, throughput, and
+  //    a diffable JSON manifest identifying the run (seed + config
+  //    digest). It never changes the simulated results.
+  obs::RunTelemetry telemetry;
   sim::RunOptions run;
   run.trials = static_cast<std::size_t>(args.get_int("trials", 50000));
   run.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  run.telemetry = &telemetry;
   const core::ScenarioResult result = core::evaluate_scenario(scenario, run);
 
   // 3. Read the answers.
@@ -48,6 +56,26 @@ int main(int argc, char** argv) {
             << "  model: " << result.run.ddfs_per_1000_at(8760.0)
             << " DDFs/1000 groups, MTTDL: "
             << result.mttdl_ddfs_per_1000_at(8760.0) << " -> ratio "
-            << result.ratio_vs_mttdl_at(8760.0) << "\n";
+            << result.ratio_vs_mttdl_at(8760.0) << "\n\n";
+
+  // 4. What the run itself looked like.
+  const obs::WorkerStats totals = telemetry.totals();
+  std::cout << "Run telemetry: " << totals.trials << " trials on "
+            << telemetry.threads() << " threads, "
+            << static_cast<std::uint64_t>(telemetry.trials_per_second())
+            << " trials/s\n  events: " << totals.op_failures
+            << " op failures, " << totals.latent_defects
+            << " latent defects, " << totals.scrubs_completed << " scrubs, "
+            << totals.restores_completed << " restores\n";
+  const std::string manifest = args.get_string("manifest", "");
+  if (!manifest.empty()) {
+    std::ofstream out(manifest);
+    if (!out) {
+      std::cerr << "cannot write manifest: " << manifest << "\n";
+      return 1;
+    }
+    telemetry.write_json(out);
+    std::cout << "run manifest written to " << manifest << "\n";
+  }
   return 0;
 }

@@ -1,0 +1,144 @@
+#include "obs/json_writer.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "util/error.h"
+
+namespace raidrel::obs {
+
+JsonWriter::JsonWriter(std::ostream& os, int indent)
+    : os_(os), indent_(indent) {
+  RAIDREL_REQUIRE(indent >= 0, "indent must be non-negative");
+}
+
+std::string JsonWriter::escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::newline_indent() {
+  if (indent_ == 0) return;
+  os_ << '\n';
+  for (std::size_t i = 0; i < scopes_.size(); ++i) {
+    for (int k = 0; k < indent_; ++k) os_ << ' ';
+  }
+}
+
+void JsonWriter::before_value() {
+  if (scopes_.empty()) return;  // the root value
+  if (scopes_.back() == Scope::kObject) {
+    RAIDREL_REQUIRE(key_pending_, "object members need a key first");
+    key_pending_ = false;
+    return;
+  }
+  // Array element.
+  if (!first_in_scope_.back()) os_ << ',';
+  first_in_scope_.back() = false;
+  newline_indent();
+}
+
+void JsonWriter::key(std::string_view name) {
+  RAIDREL_REQUIRE(!scopes_.empty() && scopes_.back() == Scope::kObject,
+                  "key() is only valid inside an object");
+  RAIDREL_REQUIRE(!key_pending_, "previous key still awaits its value");
+  if (!first_in_scope_.back()) os_ << ',';
+  first_in_scope_.back() = false;
+  newline_indent();
+  os_ << '"' << escape(name) << "\":";
+  if (indent_ > 0) os_ << ' ';
+  key_pending_ = true;
+}
+
+void JsonWriter::begin_object() {
+  before_value();
+  os_ << '{';
+  scopes_.push_back(Scope::kObject);
+  first_in_scope_.push_back(true);
+}
+
+void JsonWriter::end_object() {
+  RAIDREL_REQUIRE(!scopes_.empty() && scopes_.back() == Scope::kObject,
+                  "end_object without matching begin_object");
+  RAIDREL_REQUIRE(!key_pending_, "dangling key at end_object");
+  const bool empty = first_in_scope_.back();
+  scopes_.pop_back();
+  first_in_scope_.pop_back();
+  if (!empty) newline_indent();
+  os_ << '}';
+}
+
+void JsonWriter::begin_array() {
+  before_value();
+  os_ << '[';
+  scopes_.push_back(Scope::kArray);
+  first_in_scope_.push_back(true);
+}
+
+void JsonWriter::end_array() {
+  RAIDREL_REQUIRE(!scopes_.empty() && scopes_.back() == Scope::kArray,
+                  "end_array without matching begin_array");
+  const bool empty = first_in_scope_.back();
+  scopes_.pop_back();
+  first_in_scope_.pop_back();
+  if (!empty) newline_indent();
+  os_ << ']';
+}
+
+void JsonWriter::value(std::string_view s) {
+  before_value();
+  os_ << '"' << escape(s) << '"';
+}
+
+void JsonWriter::value(double v) {
+  before_value();
+  if (!std::isfinite(v)) {
+    // JSON has no inf/nan literals; encode as strings so manifests stay
+    // parseable (readers treat them as sentinels).
+    os_ << (std::isnan(v) ? "\"nan\"" : (v > 0 ? "\"inf\"" : "\"-inf\""));
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  os_ << buf;
+}
+
+void JsonWriter::value(std::uint64_t v) {
+  before_value();
+  os_ << v;
+}
+
+void JsonWriter::value(std::int64_t v) {
+  before_value();
+  os_ << v;
+}
+
+void JsonWriter::value(bool v) {
+  before_value();
+  os_ << (v ? "true" : "false");
+}
+
+void JsonWriter::null() {
+  before_value();
+  os_ << "null";
+}
+
+}  // namespace raidrel::obs

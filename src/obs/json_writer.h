@@ -1,0 +1,77 @@
+// Minimal streaming JSON writer for run manifests and trace dumps.
+//
+// The library deliberately avoids third-party JSON dependencies; manifests
+// are simple enough (objects, arrays, strings, numbers) that a small
+// push-style writer covers them. Numbers round-trip: doubles are printed
+// with up to 17 significant digits and uint64 values with full decimal
+// precision (JSON text carries arbitrary-precision numbers; only readers
+// that coerce to IEEE doubles lose the high bits).
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace raidrel::obs {
+
+/// Push-style JSON writer. Usage:
+///
+///   JsonWriter w(os);
+///   w.begin_object();
+///   w.key("trials"); w.value(std::uint64_t{100000});
+///   w.key("workers"); w.begin_array(); ... w.end_array();
+///   w.end_object();
+///
+/// Structural misuse (a value with no pending key inside an object, or an
+/// unclosed scope at destruction) throws ModelError via the usual
+/// RAIDREL_REQUIRE machinery, keeping manifests well-formed by
+/// construction.
+class JsonWriter {
+ public:
+  /// `indent` spaces per nesting level; 0 writes compact one-line JSON.
+  explicit JsonWriter(std::ostream& os, int indent = 2);
+
+  void begin_object();
+  void end_object();
+  void begin_array();
+  void end_array();
+
+  /// Next value's key (objects only).
+  void key(std::string_view name);
+
+  void value(std::string_view s);
+  void value(const char* s) { value(std::string_view(s)); }
+  void value(double v);
+  void value(std::uint64_t v);
+  void value(std::int64_t v);
+  void value(unsigned v) { value(static_cast<std::uint64_t>(v)); }
+  void value(int v) { value(static_cast<std::int64_t>(v)); }
+  void value(bool v);
+  void null();
+
+  /// Convenience: key + scalar value in one call.
+  template <typename T>
+  void kv(std::string_view name, T v) {
+    key(name);
+    value(v);
+  }
+
+  /// JSON string escaping (exposed for tests).
+  static std::string escape(std::string_view s);
+
+ private:
+  enum class Scope : std::uint8_t { kObject, kArray };
+
+  void before_value();
+  void newline_indent();
+
+  std::ostream& os_;
+  int indent_;
+  std::vector<Scope> scopes_;
+  std::vector<bool> first_in_scope_;
+  bool key_pending_ = false;  ///< a key was written, awaiting its value
+};
+
+}  // namespace raidrel::obs

@@ -1,0 +1,156 @@
+#include "obs/run_telemetry.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "obs/json_writer.h"
+#include "util/error.h"
+
+namespace raidrel::obs {
+
+std::uint64_t fnv1a64(std::string_view bytes, std::uint64_t seed) noexcept {
+  std::uint64_t h = seed;
+  for (const char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+WorkerStats& WorkerStats::operator+=(const WorkerStats& o) noexcept {
+  trials += o.trials;
+  ddfs += o.ddfs;
+  op_failures += o.op_failures;
+  latent_defects += o.latent_defects;
+  scrubs_completed += o.scrubs_completed;
+  restores_completed += o.restores_completed;
+  spare_arrivals += o.spare_arrivals;
+  wall_seconds += o.wall_seconds;
+  return *this;
+}
+
+void RunTelemetry::configure(std::uint64_t master_seed,
+                             std::uint64_t config_digest, unsigned threads) {
+  if (configured_) {
+    RAIDREL_REQUIRE(master_seed == master_seed_ &&
+                        config_digest == config_digest_,
+                    "one RunTelemetry sink accumulates one logical run: "
+                    "batches must share the master seed and configuration");
+  }
+  master_seed_ = master_seed;
+  config_digest_ = config_digest;
+  threads_ = threads;
+  configured_ = true;
+}
+
+void RunTelemetry::add_worker(const WorkerStats& ws) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  workers_.push_back(ws);
+}
+
+void RunTelemetry::add_batch(const BatchStats& bs) { batches_.push_back(bs); }
+
+void RunTelemetry::annotate_last_batch(double relative_sem,
+                                       double absolute_sem) {
+  RAIDREL_REQUIRE(!batches_.empty(), "no batch recorded yet");
+  batches_.back().relative_sem = relative_sem;
+  batches_.back().absolute_sem = absolute_sem;
+}
+
+WorkerStats RunTelemetry::totals() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  WorkerStats sum;
+  for (const auto& w : workers_) sum += w;
+  return sum;
+}
+
+double RunTelemetry::wall_seconds() const {
+  double s = 0.0;
+  for (const auto& b : batches_) s += b.wall_seconds;
+  return s;
+}
+
+double RunTelemetry::trials_per_second() const {
+  const double wall = wall_seconds();
+  if (wall <= 0.0) return 0.0;
+  return static_cast<double>(totals().trials) / wall;
+}
+
+namespace {
+
+void write_counters(JsonWriter& w, const WorkerStats& s) {
+  w.kv("trials", s.trials);
+  w.kv("ddfs", s.ddfs);
+  w.kv("op_failures", s.op_failures);
+  w.kv("latent_defects", s.latent_defects);
+  w.kv("scrubs_completed", s.scrubs_completed);
+  w.kv("restores_completed", s.restores_completed);
+  w.kv("spare_arrivals", s.spare_arrivals);
+}
+
+}  // namespace
+
+void RunTelemetry::write_json(std::ostream& os) const {
+  JsonWriter w(os);
+  write_json(w);
+  os << '\n';
+}
+
+void RunTelemetry::write_json(JsonWriter& w) const {
+  char digest_hex[19];
+  std::snprintf(digest_hex, sizeof digest_hex, "0x%016llx",
+                static_cast<unsigned long long>(config_digest_));
+
+  const WorkerStats sum = totals();
+  w.begin_object();
+  w.kv("schema", "raidrel-run-manifest/1");
+  w.kv("master_seed", master_seed_);
+  w.kv("config_digest", digest_hex);
+  w.kv("threads", threads_);
+  w.kv("wall_seconds", wall_seconds());
+  w.kv("trials_per_second", trials_per_second());
+
+  w.key("totals");
+  w.begin_object();
+  write_counters(w, sum);
+  w.end_object();
+
+  w.key("batches");
+  w.begin_array();
+  for (const auto& b : batches_) {
+    w.begin_object();
+    w.kv("first_trial_index", b.first_trial_index);
+    w.kv("trials", b.trials);
+    w.kv("wall_seconds", b.wall_seconds);
+    w.kv("trials_per_second", b.trials_per_second);
+    if (b.relative_sem >= 0.0 || b.absolute_sem >= 0.0) {
+      w.kv("relative_sem", b.relative_sem);
+      w.kv("absolute_sem", b.absolute_sem);
+    }
+    w.end_object();
+  }
+  w.end_array();
+
+  w.key("workers");
+  w.begin_array();
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& ws : workers_) {
+      w.begin_object();
+      write_counters(w, ws);
+      w.kv("wall_seconds", ws.wall_seconds);
+      w.end_object();
+    }
+  }
+  w.end_array();
+
+  w.end_object();
+}
+
+std::string RunTelemetry::json() const {
+  std::ostringstream os;
+  write_json(os);
+  return os.str();
+}
+
+}  // namespace raidrel::obs

@@ -1,0 +1,120 @@
+// Run telemetry: per-worker-thread counters and the structured JSON run
+// manifest behind every Monte Carlo run.
+//
+// The Monte Carlo driver (sim/runner.cpp) is only trustworthy when its
+// behavior is observable: how many trials each worker actually ran, how the
+// event mix breaks down by type, how fast the engine went, and — for
+// adaptive runs — how the sampling error shrank batch by batch. A
+// RunTelemetry sink collects all of that with zero contention: each worker
+// accumulates a private WorkerStats on its stack and hands it over exactly
+// once, when the worker finishes (the sink's mutex is taken once per
+// worker, not per trial). With no sink attached the driver skips every
+// telemetry branch, so the hot path is unchanged.
+//
+// The manifest (write_json) is the diffable record of a run: master seed,
+// config digest, thread count, per-batch trial ranges and convergence
+// trajectory, event totals. Seed + digest + totals + batch trial ranges
+// are bit-reproducible across machines and thread counts; wall times and
+// the per-worker section are run-specific by nature.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace raidrel::obs {
+
+class JsonWriter;
+
+/// FNV-1a 64-bit hash, used for config digests. `seed` allows chaining:
+/// fnv1a64(b, fnv1a64(a)) hashes the concatenation a||b.
+std::uint64_t fnv1a64(std::string_view bytes,
+                      std::uint64_t seed = 0xcbf29ce484222325ULL) noexcept;
+
+/// Counters accumulated by one worker thread (or one whole run when
+/// single-threaded). Event counts use the same definitions as
+/// sim::TrialResult, so summing workers reproduces the RunResult counters
+/// exactly.
+struct WorkerStats {
+  std::uint64_t trials = 0;
+  std::uint64_t ddfs = 0;                ///< counted data-loss events
+  std::uint64_t op_failures = 0;
+  std::uint64_t latent_defects = 0;
+  std::uint64_t scrubs_completed = 0;
+  std::uint64_t restores_completed = 0;
+  std::uint64_t spare_arrivals = 0;      ///< spares consumed by a waiter
+  double wall_seconds = 0.0;             ///< this worker's busy time
+
+  WorkerStats& operator+=(const WorkerStats& o) noexcept;
+};
+
+/// One driver-level run (a whole run_monte_carlo call). Adaptive runs
+/// (sim/convergence.h) record one batch per round, with the relative /
+/// absolute SEM achieved after the batch merged — the convergence
+/// trajectory.
+struct BatchStats {
+  std::uint64_t first_trial_index = 0;
+  std::uint64_t trials = 0;
+  double wall_seconds = 0.0;     ///< driver wall time, spawn to join
+  double trials_per_second = 0.0;
+  double relative_sem = -1.0;    ///< SEM/mean after this batch; <0 = n/a
+  double absolute_sem = -1.0;    ///< SEM (DDFs/1000) after this batch; <0 = n/a
+};
+
+/// Telemetry sink for one logical run (possibly many batches). Attach via
+/// sim::RunOptions::telemetry; reuse the same sink across convergence
+/// batches so totals accumulate. add_worker is thread-safe; everything
+/// else is meant for the driver thread.
+class RunTelemetry {
+ public:
+  /// Stamp run identity. Called by the driver once per batch; repeated
+  /// calls must agree on seed and digest (batches of one logical run).
+  void configure(std::uint64_t master_seed, std::uint64_t config_digest,
+                 unsigned threads);
+
+  void add_worker(const WorkerStats& ws);  // thread-safe
+  void add_batch(const BatchStats& bs);
+  /// Record the convergence trajectory point for the latest batch.
+  void annotate_last_batch(double relative_sem, double absolute_sem);
+
+  [[nodiscard]] WorkerStats totals() const;  ///< sum over workers
+  [[nodiscard]] const std::vector<WorkerStats>& workers() const noexcept {
+    return workers_;
+  }
+  [[nodiscard]] const std::vector<BatchStats>& batches() const noexcept {
+    return batches_;
+  }
+  [[nodiscard]] std::uint64_t master_seed() const noexcept {
+    return master_seed_;
+  }
+  [[nodiscard]] std::uint64_t config_digest() const noexcept {
+    return config_digest_;
+  }
+  [[nodiscard]] unsigned threads() const noexcept { return threads_; }
+  /// Driver wall time summed over batches.
+  [[nodiscard]] double wall_seconds() const;
+  /// Aggregate throughput: total trials / driver wall time.
+  [[nodiscard]] double trials_per_second() const;
+
+  /// Emit the JSON run manifest (schema: raidrel-run-manifest/1; see
+  /// docs/MODEL.md §8).
+  void write_json(std::ostream& os) const;
+  /// Same manifest as a nested value of an already-open writer — lets a
+  /// harness embed several runs in one enclosing document.
+  void write_json(JsonWriter& w) const;
+  [[nodiscard]] std::string json() const;
+
+ private:
+  mutable std::mutex mutex_;  ///< guards workers_ during the run
+  std::vector<WorkerStats> workers_;
+  std::vector<BatchStats> batches_;
+  std::uint64_t master_seed_ = 0;
+  std::uint64_t config_digest_ = 0;
+  unsigned threads_ = 0;
+  bool configured_ = false;
+};
+
+}  // namespace raidrel::obs

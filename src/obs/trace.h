@@ -1,0 +1,100 @@
+// Bounded event tracing for the simulation engines.
+//
+// A TrialTrace records the full event history of one simulated mission in
+// dispatch order — the exact sequence the engine's event loop processed,
+// including intra-instant ordering (spare arrivals before slot events on
+// ties, scrub-clears before restores before failures within a slot). That
+// makes traces the ground truth for debugging DDF censuses and for
+// cross-validating engines: two engines (or the same engine at different
+// thread counts) agree iff their traces agree event for event.
+//
+// An EventTrace captures the first K trials of a run (by global trial
+// index, so convergence batches and multi-threaded scheduling do not change
+// which trials are traced). Each trial index is simulated by exactly one
+// worker, and the per-trial buffers are pre-allocated, so recording is
+// contention-free: no locks, no allocation races.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <vector>
+
+namespace raidrel::obs {
+
+/// Event classes the engines dispatch. kDdf marks a recorded data-loss
+/// event (emitted right after the op-failure or latent-defect dispatch
+/// that caused it).
+enum class TraceEventKind : std::uint8_t {
+  kOpFailure,
+  kRestoreDone,
+  kLatentDefect,
+  kScrubComplete,
+  kSpareArrival,
+  kDdf,
+};
+
+const char* to_string(TraceEventKind kind) noexcept;
+
+struct TraceEvent {
+  double time = 0.0;
+  TraceEventKind kind = TraceEventKind::kOpFailure;
+  std::uint32_t group = 0;  ///< 0 for single-group engines
+  std::uint32_t slot = 0;   ///< kNoSlot for pool-level events
+
+  static constexpr std::uint32_t kNoSlot = 0xffffffffu;
+
+  [[nodiscard]] bool operator==(const TraceEvent& o) const noexcept {
+    return time == o.time && kind == o.kind && group == o.group &&
+           slot == o.slot;
+  }
+};
+
+/// Bounded per-trial event buffer. Events beyond the cap are counted but
+/// dropped, so a pathological trial cannot exhaust memory.
+class TrialTrace {
+ public:
+  explicit TrialTrace(std::size_t max_events = 4096);
+
+  void clear() noexcept;
+  void record(double time, TraceEventKind kind, std::uint32_t slot,
+              std::uint32_t group = 0);
+
+  [[nodiscard]] const std::vector<TraceEvent>& events() const noexcept {
+    return events_;
+  }
+  [[nodiscard]] std::size_t dropped() const noexcept { return dropped_; }
+  [[nodiscard]] std::size_t capacity() const noexcept { return cap_; }
+
+ private:
+  std::vector<TraceEvent> events_;
+  std::size_t cap_;
+  std::size_t dropped_ = 0;
+};
+
+/// Trace store for the first `trial_capacity` trials of a run (by global
+/// trial index). Attach via sim::RunOptions::trace.
+class EventTrace {
+ public:
+  explicit EventTrace(std::size_t trial_capacity,
+                      std::size_t max_events_per_trial = 4096);
+
+  [[nodiscard]] std::size_t trial_capacity() const noexcept {
+    return trials_.size();
+  }
+
+  /// Buffer for a global trial index, or nullptr when the index is beyond
+  /// the capture window. The driver clears the returned buffer before the
+  /// trial runs; each index is owned by one worker, so this is
+  /// contention-free.
+  [[nodiscard]] TrialTrace* trial_slot(std::uint64_t global_index) noexcept;
+
+  [[nodiscard]] const TrialTrace& trial(std::size_t index) const;
+
+  /// Dump all captured trials as JSON (schema: raidrel-event-trace/1).
+  void write_json(std::ostream& os) const;
+
+ private:
+  std::vector<TrialTrace> trials_;
+};
+
+}  // namespace raidrel::obs

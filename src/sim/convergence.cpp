@@ -6,10 +6,28 @@
 
 namespace raidrel::sim {
 
+const char* to_string(ConvergedRun::StopRule rule) noexcept {
+  switch (rule) {
+    case ConvergedRun::StopRule::kBudget:
+      return "budget";
+    case ConvergedRun::StopRule::kRelativeSem:
+      return "relative-sem";
+    case ConvergedRun::StopRule::kAbsoluteSem:
+      return "absolute-sem";
+    case ConvergedRun::StopRule::kZeroDdf:
+      return "zero-ddf";
+  }
+  return "?";
+}
+
 ConvergedRun run_until_converged(const raid::GroupConfig& config,
                                  const ConvergenceOptions& options) {
   RAIDREL_REQUIRE(options.target_relative_sem > 0.0,
                   "target relative SEM must be positive");
+  RAIDREL_REQUIRE(options.target_absolute_sem >= 0.0,
+                  "target absolute SEM must be non-negative");
+  RAIDREL_REQUIRE(options.zero_ddf_upper_bound >= 0.0,
+                  "zero-DDF bound must be non-negative");
   RAIDREL_REQUIRE(options.batch_trials > 0, "batch size must be positive");
   RAIDREL_REQUIRE(options.min_trials <= options.max_trials,
                   "min_trials must not exceed max_trials");
@@ -25,18 +43,44 @@ ConvergedRun run_until_converged(const raid::GroupConfig& config,
     run.threads = options.threads;
     run.bucket_hours = options.bucket_hours;
     run.first_trial_index = next_index;
+    run.telemetry = options.telemetry;
+    run.trace = options.trace;
     out.result.merge(run_monte_carlo(config, run));
     next_index += batch;
     ++out.batches;
 
+    const std::size_t trials = out.result.trials();
     const double mean = out.result.total_ddfs_per_1000();
     const double sem = out.result.total_ddfs_per_1000_sem();
     out.relative_sem = mean > 0.0
                            ? sem / mean
                            : std::numeric_limits<double>::infinity();
-    if (out.result.trials() >= options.min_trials &&
-        out.relative_sem <= options.target_relative_sem) {
+    out.absolute_sem = sem;
+    if (options.telemetry) {
+      options.telemetry->annotate_last_batch(out.relative_sem, sem);
+    }
+    if (trials < options.min_trials) continue;
+    if (out.relative_sem <= options.target_relative_sem) {
       out.converged = true;
+      out.stop = ConvergedRun::StopRule::kRelativeSem;
+      break;
+    }
+    if (options.target_absolute_sem > 0.0 &&
+        sem <= options.target_absolute_sem) {
+      out.converged = true;
+      out.stop = ConvergedRun::StopRule::kAbsoluteSem;
+      break;
+    }
+    // Rule of three: after n trials without a single DDF, the 95% upper
+    // confidence bound on the rate is ~3/n missions, i.e. 3000/n DDFs per
+    // 1000 groups. Once that bound is tight enough, more trials cannot
+    // change the answer "effectively zero" — stop instead of spinning to
+    // the budget with relative_sem stuck at infinity.
+    if (options.zero_ddf_upper_bound > 0.0 && mean == 0.0 &&
+        3000.0 / static_cast<double>(trials) <=
+            options.zero_ddf_upper_bound) {
+      out.converged = true;
+      out.stop = ConvergedRun::StopRule::kZeroDdf;
       break;
     }
   }

@@ -2,8 +2,17 @@
 // is statistically tight enough (relative SEM target) or a budget is hit.
 // This is what a practitioner wants from the paper's method — "simulate
 // until the answer is trustworthy" — without guessing a trial count.
+//
+// Highly reliable configurations can produce *zero* DDFs; the relative
+// SEM is then undefined (0/0), so the loop also carries an absolute-SEM
+// target and a zero-event stopping rule (the rule of three: after n
+// event-free trials the 95% upper bound on the rate is ~3/n, i.e.
+// 3000/n DDFs per 1000 groups). Without those rules a zero-DDF config
+// would burn the whole max_trials budget chasing an unreachable ratio.
 #pragma once
 
+#include "obs/run_telemetry.h"
+#include "obs/trace.h"
 #include "raid/group_config.h"
 #include "sim/run_result.h"
 #include "sim/runner.h"
@@ -12,22 +21,45 @@ namespace raidrel::sim {
 
 struct ConvergenceOptions {
   double target_relative_sem = 0.02;  ///< stop when SEM/mean <= this
+  /// Absolute stop: SEM of total DDFs per 1000 groups <= this (0 = off).
+  /// Useful when the mean itself may be tiny or zero and a fixed absolute
+  /// uncertainty is what the study needs.
+  double target_absolute_sem = 0.0;
+  /// Zero-event stop: with no DDFs observed after n trials, stop once the
+  /// rule-of-three 95% upper bound 3000/n (DDFs per 1000 groups) falls to
+  /// this value or below. The default stops a zero-DDF config after
+  /// 60000 trials with the bound "fewer than 0.05 DDFs per 1000 groups".
+  /// Set to 0 to disable and recover the old spin-to-budget behavior.
+  double zero_ddf_upper_bound = 0.05;
   std::size_t batch_trials = 20000;   ///< trials added per round
   std::size_t max_trials = 2000000;   ///< hard budget
   std::size_t min_trials = 20000;     ///< never stop before this many
   std::uint64_t seed = 20070625;
   unsigned threads = 0;
   double bucket_hours = 730.0;
+  /// Optional observability sinks, forwarded to every batch's RunOptions.
+  /// The telemetry batch list becomes the convergence trajectory: each
+  /// entry is annotated with the relative/absolute SEM achieved after
+  /// that batch was merged.
+  obs::RunTelemetry* telemetry = nullptr;
+  obs::EventTrace* trace = nullptr;
 };
 
 struct ConvergedRun {
+  /// Which rule ended the loop (kBudget = ran out of max_trials).
+  enum class StopRule { kBudget, kRelativeSem, kAbsoluteSem, kZeroDdf };
+
   RunResult result;
-  bool converged = false;          ///< target reached within the budget
+  bool converged = false;          ///< some target reached within budget
+  StopRule stop = StopRule::kBudget;
   double relative_sem = 0.0;       ///< achieved SEM/mean (inf if mean 0)
+  double absolute_sem = 0.0;       ///< achieved SEM (DDFs per 1000)
   std::size_t batches = 0;
 };
 
-/// Run batches of `config` until the total-DDF estimate meets the target.
+const char* to_string(ConvergedRun::StopRule rule) noexcept;
+
+/// Run batches of `config` until the total-DDF estimate meets a target.
 /// Batches use disjoint per-trial stream indices, so the union is exactly
 /// what a single big run with the same seed would produce.
 ConvergedRun run_until_converged(const raid::GroupConfig& config,

@@ -141,7 +141,7 @@ double FleetSimulator::next_spare_arrival() const noexcept {
   return t;
 }
 
-void FleetSimulator::handle_spare_arrival(double now) {
+void FleetSimulator::handle_spare_arrival(double now, FleetTrialResult& out) {
   for (std::size_t k = 0; k < pending_orders_.size(); ++k) {
     if (pending_orders_[k] <= now) {
       pending_orders_[k] = pending_orders_.back();
@@ -156,6 +156,7 @@ void FleetSimulator::handle_spare_arrival(double now) {
   const SlotRef ref = spare_queue_.front();
   spare_queue_.erase(spare_queue_.begin());
   pending_orders_.push_back(now + cfg_.shared_pool->replenish_hours);
+  ++out.per_group[ref.group].spare_arrivals;
   begin_restore(ref.group, ref.slot, now,
                 groups_[ref.group].slots[ref.slot].pending_restore_duration);
 }
@@ -246,8 +247,10 @@ std::size_t FleetSimulator::waiting_drives_at_end() const noexcept {
   return spare_queue_.size();
 }
 
-void FleetSimulator::run_trial(rng::RandomStream& rs, FleetTrialResult& out) {
+void FleetSimulator::run_trial(rng::RandomStream& rs, FleetTrialResult& out,
+                               obs::TrialTrace* trace) {
   out.clear(groups_.size());
+  if (trace) trace->clear();
   spares_available_ = cfg_.shared_pool ? cfg_.shared_pool->capacity : 0;
   pending_orders_.clear();
   spare_queue_.clear();
@@ -274,23 +277,55 @@ void FleetSimulator::run_trial(rng::RandomStream& rs, FleetTrialResult& out) {
       }
     }
     const double spare_t = next_spare_arrival();
-    if (spare_t < t) {
+    // Ties go to the spare (<=, not <) — same rule as GroupSimulator, so a
+    // fleet of one group stays bit-identical to the single-group engine.
+    if (spare_t <= t && spare_t < kInf) {
       if (spare_t >= mission) break;
-      handle_spare_arrival(spare_t);
+      if (trace) {
+        trace->record(spare_t, obs::TraceEventKind::kSpareArrival,
+                      obs::TraceEvent::kNoSlot);
+      }
+      handle_spare_arrival(spare_t, out);
       continue;
     }
     if (t >= mission) break;
 
     Slot& s = groups_[gi].slots[si];
+    const std::size_t ddfs_before = out.per_group[gi].ddfs.size();
     if (s.defect_clears <= t) {
+      if (trace) {
+        trace->record(t, obs::TraceEventKind::kScrubComplete,
+                      static_cast<std::uint32_t>(si),
+                      static_cast<std::uint32_t>(gi));
+      }
       handle_defect_cleared(gi, si, t, rs, out);
     } else if (s.restore_done <= t) {
+      if (trace) {
+        trace->record(t, obs::TraceEventKind::kRestoreDone,
+                      static_cast<std::uint32_t>(si),
+                      static_cast<std::uint32_t>(gi));
+      }
       handle_restore_done(gi, si, t, rs, out);
     } else if (s.next_op <= t) {
+      if (trace) {
+        trace->record(t, obs::TraceEventKind::kOpFailure,
+                      static_cast<std::uint32_t>(si),
+                      static_cast<std::uint32_t>(gi));
+      }
       handle_op_failure(gi, si, t, rs, out);
     } else {
       RAIDREL_ASSERT(s.next_ld <= t, "event loop picked a phantom event");
+      if (trace) {
+        trace->record(t, obs::TraceEventKind::kLatentDefect,
+                      static_cast<std::uint32_t>(si),
+                      static_cast<std::uint32_t>(gi));
+      }
       handle_latent_defect(gi, si, t, rs, out);
+    }
+    if (trace && out.per_group[gi].ddfs.size() > ddfs_before) {
+      trace->record(t, obs::TraceEventKind::kDdf,
+                    static_cast<std::uint32_t>(si),
+                    static_cast<std::uint32_t>(gi));
     }
   }
 }

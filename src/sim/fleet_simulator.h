@@ -20,6 +20,7 @@
 #include <optional>
 #include <vector>
 
+#include "obs/trace.h"
 #include "raid/group_config.h"
 #include "rng/rng.h"
 #include "sim/group_simulator.h"
@@ -50,8 +51,11 @@ class FleetSimulator {
  public:
   explicit FleetSimulator(const FleetConfig& config);
 
-  /// Simulate one mission of the whole fleet.
-  void run_trial(rng::RandomStream& rs, FleetTrialResult& out);
+  /// Simulate one mission of the whole fleet. A non-null `trace` is
+  /// cleared and receives every dispatched event in processing order with
+  /// its group index (see obs/trace.h); tracing consumes no random draws.
+  void run_trial(rng::RandomStream& rs, FleetTrialResult& out,
+                 obs::TrialTrace* trace = nullptr);
 
   /// Drives still blocked on the pool when the last trial ended — the
   /// backlog signal that tells saturation ("the pool can never catch up")
@@ -98,7 +102,7 @@ class FleetSimulator {
                      double duration);
   void request_spare(std::size_t g, std::size_t i, double now,
                      double duration);
-  void handle_spare_arrival(double now);
+  void handle_spare_arrival(double now, FleetTrialResult& out);
   [[nodiscard]] double next_spare_arrival() const noexcept;
   [[nodiscard]] static double next_event_time(const Slot& s) noexcept;
 

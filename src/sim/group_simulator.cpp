@@ -1,7 +1,6 @@
 #include "sim/group_simulator.h"
 
 #include <algorithm>
-#include <array>
 #include <cmath>
 #include <limits>
 
@@ -20,6 +19,7 @@ void TrialResult::clear() {
   latent_defects = 0;
   scrubs_completed = 0;
   restores_completed = 0;
+  spare_arrivals = 0;
 }
 
 bool GroupSimulator::Slot::restoring() const noexcept {
@@ -34,6 +34,8 @@ GroupSimulator::GroupSimulator(const raid::GroupConfig& config)
     : cfg_(config) {
   cfg_.validate();
   slots_.resize(cfg_.slots.size());
+  probe_p_.resize(slots_.size());
+  probe_dist_.resize(slots_.size() + 1);
 }
 
 void GroupSimulator::start_defect_countdown(std::size_t i, double now,
@@ -73,9 +75,11 @@ double GroupSimulator::next_event_time(const Slot& s) noexcept {
 
 double GroupSimulator::probe_probability(std::size_t failed_slot, double now,
                                          double window) const {
-  // Existing faults among the other drives (down / rebuilding).
+  // Existing faults among the other drives (down / rebuilding). Every
+  // operational peer contributes, no matter how wide the group — the
+  // scratch buffers are sized to the group in the constructor.
   unsigned base_faults = 0;
-  std::array<double, 64> p{};
+  std::vector<double>& p = probe_p_;
   std::size_t np = 0;
   for (std::size_t j = 0; j < slots_.size(); ++j) {
     if (j == failed_slot) continue;
@@ -91,7 +95,7 @@ double GroupSimulator::probe_probability(std::size_t failed_slot, double now,
     const double h0 = op.cum_hazard(age);
     const double h1 = op.cum_hazard(age + window);
     const double pj = -std::expm1(h0 - h1);
-    if (np < p.size()) p[np++] = std::clamp(pj, 0.0, 1.0);
+    p[np++] = std::clamp(pj, 0.0, 1.0);
   }
   const unsigned needed =
       cfg_.redundancy > base_faults ? cfg_.redundancy - base_faults : 0;
@@ -102,7 +106,9 @@ double GroupSimulator::probe_probability(std::size_t failed_slot, double now,
   if (needed > np) return 0.0;
   // Poisson-binomial tail P(#failures >= needed) by dynamic programming
   // over the count distribution (group sizes are small).
-  std::array<double, 65> dist{};
+  std::vector<double>& dist = probe_dist_;
+  std::fill(dist.begin(), dist.begin() + static_cast<std::ptrdiff_t>(np) + 1,
+            0.0);
   dist[0] = 1.0;
   for (std::size_t j = 0; j < np; ++j) {
     for (std::size_t k = j + 1; k > 0; --k) {
@@ -208,7 +214,7 @@ double GroupSimulator::next_spare_arrival() const noexcept {
   return t;
 }
 
-void GroupSimulator::handle_spare_arrival(double now) {
+void GroupSimulator::handle_spare_arrival(double now, TrialResult& out) {
   // Remove the (an) order arriving now.
   for (std::size_t k = 0; k < pending_orders_.size(); ++k) {
     if (pending_orders_[k] <= now) {
@@ -225,6 +231,7 @@ void GroupSimulator::handle_spare_arrival(double now) {
   spare_queue_.erase(spare_queue_.begin());
   // The arriving spare is consumed immediately: reorder.
   pending_orders_.push_back(now + cfg_.spare_pool->replenish_hours);
+  ++out.spare_arrivals;
   begin_restore(slot, now, slots_[slot].pending_restore_duration);
 }
 
@@ -304,8 +311,10 @@ void GroupSimulator::handle_defect_cleared(std::size_t i, double now,
   start_defect_countdown(i, now, rs);
 }
 
-void GroupSimulator::run_trial(rng::RandomStream& rs, TrialResult& out) {
+void GroupSimulator::run_trial(rng::RandomStream& rs, TrialResult& out,
+                               obs::TrialTrace* trace) {
   out.clear();
+  if (trace) trace->clear();
   group_failed_until_ = 0.0;
   ddf_slot_ = SIZE_MAX;
   spares_available_ = cfg_.spare_pool ? cfg_.spare_pool->capacity : 0;
@@ -328,25 +337,54 @@ void GroupSimulator::run_trial(rng::RandomStream& rs, TrialResult& out) {
       }
     }
     const double spare_t = next_spare_arrival();
-    if (spare_t < t) {
+    // Ties go to the spare (<=, not <): a spare arriving at the same
+    // instant as a slot event is in hand before the event is processed —
+    // otherwise an op failure at that instant would queue for a drive that
+    // has already been delivered.
+    if (spare_t <= t && spare_t < kInf) {
       if (spare_t >= mission) break;
-      handle_spare_arrival(spare_t);
+      if (trace) {
+        trace->record(spare_t, obs::TraceEventKind::kSpareArrival,
+                      obs::TraceEvent::kNoSlot);
+      }
+      handle_spare_arrival(spare_t, out);
       continue;
     }
     if (t >= mission) break;
 
     Slot& s = slots_[slot];
+    const std::size_t ddfs_before = out.ddfs.size();
     // Within one slot at one instant, clear defects before censusing, then
     // restores, then failures, then new defects.
     if (s.defect_clears <= t) {
+      if (trace) {
+        trace->record(t, obs::TraceEventKind::kScrubComplete,
+                      static_cast<std::uint32_t>(slot));
+      }
       handle_defect_cleared(slot, t, rs, out);
     } else if (s.restore_done <= t) {
+      if (trace) {
+        trace->record(t, obs::TraceEventKind::kRestoreDone,
+                      static_cast<std::uint32_t>(slot));
+      }
       handle_restore_done(slot, t, rs, out);
     } else if (s.next_op <= t) {
+      if (trace) {
+        trace->record(t, obs::TraceEventKind::kOpFailure,
+                      static_cast<std::uint32_t>(slot));
+      }
       handle_op_failure(slot, t, rs, out);
     } else {
       RAIDREL_ASSERT(s.next_ld <= t, "event loop picked a phantom event");
+      if (trace) {
+        trace->record(t, obs::TraceEventKind::kLatentDefect,
+                      static_cast<std::uint32_t>(slot));
+      }
       handle_latent_defect(slot, t, rs, out);
+    }
+    if (trace && out.ddfs.size() > ddfs_before) {
+      trace->record(t, obs::TraceEventKind::kDdf,
+                    static_cast<std::uint32_t>(slot));
     }
   }
 }

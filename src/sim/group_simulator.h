@@ -33,6 +33,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "obs/trace.h"
 #include "raid/group_config.h"
 #include "rng/rng.h"
 
@@ -57,6 +58,10 @@ struct TrialResult {
   std::uint64_t latent_defects = 0;
   std::uint64_t scrubs_completed = 0;
   std::uint64_t restores_completed = 0;
+  /// Spare-pool replenishments consumed by a drive that was waiting for
+  /// one (arrivals that restock an idle pool are not counted — they have
+  /// no per-drive owner). Always 0 without a spare pool.
+  std::uint64_t spare_arrivals = 0;
 
   void clear();
 };
@@ -70,8 +75,12 @@ class GroupSimulator {
   explicit GroupSimulator(const raid::GroupConfig& config);
 
   /// Simulate one full mission; `out` is cleared first. Deterministic given
-  /// the stream state.
-  void run_trial(rng::RandomStream& rs, TrialResult& out);
+  /// the stream state. When `trace` is non-null it is cleared and then
+  /// receives every dispatched event in processing order (see obs/trace.h);
+  /// tracing does not consume random draws, so traced and untraced runs of
+  /// the same stream are identical.
+  void run_trial(rng::RandomStream& rs, TrialResult& out,
+                 obs::TrialTrace* trace = nullptr);
 
  private:
   struct Slot {
@@ -106,7 +115,7 @@ class GroupSimulator {
   void begin_restore(std::size_t i, double now, double duration);
   /// Take a spare for slot i, or queue it when the pool is empty.
   void request_spare(std::size_t i, double now, double duration);
-  void handle_spare_arrival(double now);
+  void handle_spare_arrival(double now, TrialResult& out);
   [[nodiscard]] double next_spare_arrival() const noexcept;
 
   /// Earliest pending event time for slot i.
@@ -123,6 +132,12 @@ class GroupSimulator {
   std::vector<Slot> slots_;
   double group_failed_until_ = 0.0;  ///< DDF freeze window end
   std::size_t ddf_slot_ = SIZE_MAX;  ///< slot whose restore ends the freeze
+
+  // Scratch buffers for probe_probability, sized to the group so groups of
+  // any width are counted in full (probe_dist_ holds the Poisson-binomial
+  // count distribution, hence one extra element).
+  mutable std::vector<double> probe_p_;
+  mutable std::vector<double> probe_dist_;
 
   // Spare-pool state (unused when cfg_.spare_pool is absent).
   unsigned spares_available_ = 0;

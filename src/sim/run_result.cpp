@@ -45,6 +45,7 @@ void RunResult::add_trial(const TrialResult& trial) {
   latent_defects_ += trial.latent_defects;
   scrubs_completed_ += trial.scrubs_completed;
   restores_completed_ += trial.restores_completed;
+  spare_arrivals_ += trial.spare_arrivals;
   per_trial_ddfs_.add(static_cast<double>(trial.ddfs.size()));
 }
 
@@ -64,6 +65,7 @@ void RunResult::merge(const RunResult& other) {
   latent_defects_ += other.latent_defects_;
   scrubs_completed_ += other.scrubs_completed_;
   restores_completed_ += other.restores_completed_;
+  spare_arrivals_ += other.spare_arrivals_;
   per_trial_ddfs_.merge(other.per_trial_ddfs_);
 }
 

@@ -75,6 +75,11 @@ class RunResult {
   [[nodiscard]] std::uint64_t restores_completed() const noexcept {
     return restores_completed_;
   }
+  /// Spares consumed by drives that had to wait for one (see
+  /// TrialResult::spare_arrivals). 0 without a spare pool.
+  [[nodiscard]] std::uint64_t spare_arrivals() const noexcept {
+    return spare_arrivals_;
+  }
   [[nodiscard]] const util::RunningStats& per_trial_ddfs() const noexcept {
     return per_trial_ddfs_;
   }
@@ -94,6 +99,7 @@ class RunResult {
   std::uint64_t latent_defects_ = 0;
   std::uint64_t scrubs_completed_ = 0;
   std::uint64_t restores_completed_ = 0;
+  std::uint64_t spare_arrivals_ = 0;
   util::RunningStats per_trial_ddfs_;
 };
 

@@ -1,7 +1,10 @@
 #include "sim/runner.h"
 
 #include <atomic>
+#include <chrono>
+#include <cstdio>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -11,6 +14,90 @@
 #include "util/error.h"
 
 namespace raidrel::sim {
+
+namespace {
+
+void append_double(std::string& out, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out += buf;
+}
+
+void append_law(std::string& out, const stats::DistributionPtr& d) {
+  out += d ? d->describe() : "-";
+  out += ';';
+}
+
+// Canonical description of a group: every field that changes simulated
+// behavior, in a fixed order, with doubles printed at full precision.
+// Cosmetic differences (slot order aside) in how a config was built do
+// not change the string, so equal digests really mean "the same model".
+void append_group(std::string& out, const raid::GroupConfig& config) {
+  out += "group{slots=";
+  out += std::to_string(config.slots.size());
+  out += ";redundancy=";
+  out += std::to_string(config.redundancy);
+  out += ";mission=";
+  append_double(out, config.mission_hours);
+  out += ";clear_defects=";
+  out += config.clear_defects_on_ddf_restore ? '1' : '0';
+  out += ";pool=";
+  if (config.spare_pool) {
+    out += std::to_string(config.spare_pool->capacity);
+    out += '@';
+    append_double(out, config.spare_pool->replenish_hours);
+  } else {
+    out += '-';
+  }
+  out += ";zones=";
+  out += std::to_string(config.stripe_zones);
+  out += ";clock=";
+  out += config.latent_clock == raid::LatentClock::kRenewal ? "renewal"
+                                                            : "drive-age";
+  out += ";recon_defect=";
+  append_double(out, config.reconstruction_defect_probability);
+  out += ";laws=[";
+  for (const auto& slot : config.slots) {
+    append_law(out, slot.time_to_op_failure);
+    append_law(out, slot.time_to_restore);
+    append_law(out, slot.time_to_latent_defect);
+    append_law(out, slot.time_to_scrub);
+    out += '|';
+  }
+  out += "]}";
+}
+
+double elapsed_seconds(std::chrono::steady_clock::time_point since) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       since)
+      .count();
+}
+
+}  // namespace
+
+std::uint64_t config_digest(const raid::GroupConfig& config) {
+  std::string canon;
+  canon.reserve(256);
+  append_group(canon, config);
+  return obs::fnv1a64(canon);
+}
+
+std::uint64_t config_digest(const FleetConfig& config) {
+  std::string canon;
+  canon.reserve(256 * config.groups.size());
+  canon += "fleet{pool=";
+  if (config.shared_pool) {
+    canon += std::to_string(config.shared_pool->capacity);
+    canon += '@';
+    append_double(canon, config.shared_pool->replenish_hours);
+  } else {
+    canon += '-';
+  }
+  canon += ";groups=[";
+  for (const auto& g : config.groups) append_group(canon, g);
+  canon += "]}";
+  return obs::fnv1a64(canon);
+}
 
 RunResult run_monte_carlo(const raid::GroupConfig& config,
                           const RunOptions& options) {
@@ -24,12 +111,20 @@ RunResult run_monte_carlo(const raid::GroupConfig& config,
   threads = static_cast<unsigned>(
       std::min<std::size_t>(threads, options.trials));
 
+  if (options.telemetry) {
+    options.telemetry->configure(options.seed, config_digest(config),
+                                 threads);
+  }
+  const auto batch_start = std::chrono::steady_clock::now();
+
   RunResult total(config.mission_hours, options.bucket_hours);
   const rng::StreamFactory streams(options.seed);
   std::atomic<std::size_t> next_trial{0};
   std::mutex merge_mutex;
 
   auto worker = [&] {
+    const auto worker_start = std::chrono::steady_clock::now();
+    obs::WorkerStats ws;
     RunResult local(config.mission_hours, options.bucket_hours);
     GroupSimulator simulator(config);
     TrialResult trial;
@@ -41,13 +136,29 @@ RunResult run_monte_carlo(const raid::GroupConfig& config,
       if (begin >= options.trials) break;
       const std::size_t end = std::min(begin + kChunk, options.trials);
       for (std::size_t i = begin; i < end; ++i) {
-        auto rs = streams.stream(options.first_trial_index + i);
-        simulator.run_trial(rs, trial);
+        const std::uint64_t index = options.first_trial_index + i;
+        auto rs = streams.stream(index);
+        simulator.run_trial(
+            rs, trial,
+            options.trace ? options.trace->trial_slot(index) : nullptr);
         local.add_trial(trial);
+        if (options.telemetry) {
+          ++ws.trials;
+          ws.ddfs += trial.ddfs.size();
+          ws.op_failures += trial.op_failures;
+          ws.latent_defects += trial.latent_defects;
+          ws.scrubs_completed += trial.scrubs_completed;
+          ws.restores_completed += trial.restores_completed;
+          ws.spare_arrivals += trial.spare_arrivals;
+        }
       }
     }
     const std::lock_guard<std::mutex> lock(merge_mutex);
     total.merge(local);
+    if (options.telemetry) {
+      ws.wall_seconds = elapsed_seconds(worker_start);
+      options.telemetry->add_worker(ws);
+    }
   };
 
   if (threads == 1) {
@@ -57,6 +168,17 @@ RunResult run_monte_carlo(const raid::GroupConfig& config,
     pool.reserve(threads);
     for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker);
     for (auto& th : pool) th.join();
+  }
+  if (options.telemetry) {
+    obs::BatchStats batch;
+    batch.first_trial_index = options.first_trial_index;
+    batch.trials = options.trials;
+    batch.wall_seconds = elapsed_seconds(batch_start);
+    batch.trials_per_second =
+        batch.wall_seconds > 0.0
+            ? static_cast<double>(batch.trials) / batch.wall_seconds
+            : 0.0;
+    options.telemetry->add_batch(batch);
   }
   return total;
 }
@@ -74,12 +196,20 @@ RunResult run_fleet_monte_carlo(const FleetConfig& config,
   threads =
       static_cast<unsigned>(std::min<std::size_t>(threads, options.trials));
 
+  if (options.telemetry) {
+    options.telemetry->configure(options.seed, config_digest(config),
+                                 threads);
+  }
+  const auto batch_start = std::chrono::steady_clock::now();
+
   RunResult total(mission, options.bucket_hours);
   const rng::StreamFactory streams(options.seed);
   std::atomic<std::size_t> next_trial{0};
   std::mutex merge_mutex;
 
   auto worker = [&] {
+    const auto worker_start = std::chrono::steady_clock::now();
+    obs::WorkerStats ws;
     RunResult local(mission, options.bucket_hours);
     FleetSimulator simulator(config);
     FleetTrialResult trial;
@@ -89,15 +219,32 @@ RunResult run_fleet_monte_carlo(const FleetConfig& config,
       if (begin >= options.trials) break;
       const std::size_t end = std::min(begin + kChunk, options.trials);
       for (std::size_t i = begin; i < end; ++i) {
-        auto rs = streams.stream(options.first_trial_index + i);
-        simulator.run_trial(rs, trial);
+        const std::uint64_t index = options.first_trial_index + i;
+        auto rs = streams.stream(index);
+        simulator.run_trial(
+            rs, trial,
+            options.trace ? options.trace->trial_slot(index) : nullptr);
         for (const auto& group : trial.per_group) {
           local.add_trial(group);
+          if (options.telemetry) {
+            // Telemetry counts group-missions, matching RunResult::trials.
+            ++ws.trials;
+            ws.ddfs += group.ddfs.size();
+            ws.op_failures += group.op_failures;
+            ws.latent_defects += group.latent_defects;
+            ws.scrubs_completed += group.scrubs_completed;
+            ws.restores_completed += group.restores_completed;
+            ws.spare_arrivals += group.spare_arrivals;
+          }
         }
       }
     }
     const std::lock_guard<std::mutex> lock(merge_mutex);
     total.merge(local);
+    if (options.telemetry) {
+      ws.wall_seconds = elapsed_seconds(worker_start);
+      options.telemetry->add_worker(ws);
+    }
   };
 
   if (threads == 1) {
@@ -107,6 +254,17 @@ RunResult run_fleet_monte_carlo(const FleetConfig& config,
     pool.reserve(threads);
     for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker);
     for (auto& th : pool) th.join();
+  }
+  if (options.telemetry) {
+    obs::BatchStats batch;
+    batch.first_trial_index = options.first_trial_index;
+    batch.trials = options.trials * config.groups.size();
+    batch.wall_seconds = elapsed_seconds(batch_start);
+    batch.trials_per_second =
+        batch.wall_seconds > 0.0
+            ? static_cast<double>(batch.trials) / batch.wall_seconds
+            : 0.0;
+    options.telemetry->add_batch(batch);
   }
   return total;
 }

@@ -9,6 +9,8 @@
 
 #include <cstdint>
 
+#include "obs/run_telemetry.h"
+#include "obs/trace.h"
 #include "raid/group_config.h"
 #include "sim/run_result.h"
 
@@ -22,6 +24,15 @@ struct RunOptions {
   /// First per-trial stream index. Batched runs (see convergence.h) use
   /// disjoint index ranges so their union equals one big run.
   std::uint64_t first_trial_index = 0;
+
+  /// Optional observability sinks (src/obs/, owned by the caller; may be
+  /// shared across batches). `telemetry` collects per-worker counters and
+  /// per-batch throughput and can serialize a JSON run manifest; `trace`
+  /// records the full event history of every trial whose global stream
+  /// index falls inside its window. Neither affects results or random
+  /// draws — a run with sinks attached is bit-identical to one without.
+  obs::RunTelemetry* telemetry = nullptr;
+  obs::EventTrace* trace = nullptr;
 };
 
 /// Run `options.trials` missions of `config` and aggregate.
@@ -36,5 +47,12 @@ RunResult run_monte_carlo(const raid::GroupConfig& config,
 struct FleetConfig;
 RunResult run_fleet_monte_carlo(const FleetConfig& config,
                                 const RunOptions& options);
+
+/// FNV-1a digest of a configuration's canonical description — geometry,
+/// policies, and every slot's distribution parameters. Equal digests mean
+/// the same model; the run manifest embeds the digest so archived results
+/// can be tied to the exact configuration that produced them.
+std::uint64_t config_digest(const raid::GroupConfig& config);
+std::uint64_t config_digest(const FleetConfig& config);
 
 }  // namespace raidrel::sim

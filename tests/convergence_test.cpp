@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+
+#include "stats/basic_distributions.h"
 #include "stats/weibull.h"
 #include "util/error.h"
 
@@ -17,6 +21,15 @@ raid::GroupConfig busy_group() {
   return raid::make_uniform_group(8, 1, m, 20000.0);
 }
 
+// A configuration that cannot lose data within the mission: no latent
+// defects, and drives that outlive the horizon by ten orders of magnitude.
+raid::GroupConfig immortal_group() {
+  raid::SlotModel m;
+  m.time_to_op_failure = std::make_unique<stats::Degenerate>(1e18);
+  m.time_to_restore = std::make_unique<stats::Degenerate>(10.0);
+  return raid::make_uniform_group(4, 1, m, 20000.0);
+}
+
 TEST(Convergence, ReachesTargetOnBusyScenario) {
   ConvergenceOptions opt;
   opt.target_relative_sem = 0.05;
@@ -26,9 +39,71 @@ TEST(Convergence, ReachesTargetOnBusyScenario) {
   opt.seed = 1;
   const auto run = run_until_converged(busy_group(), opt);
   EXPECT_TRUE(run.converged);
+  EXPECT_EQ(run.stop, ConvergedRun::StopRule::kRelativeSem);
   EXPECT_LE(run.relative_sem, 0.05);
+  EXPECT_GT(run.absolute_sem, 0.0);
   EXPECT_GE(run.batches, 1u);
   EXPECT_LE(run.result.trials(), opt.max_trials);
+}
+
+TEST(Convergence, ZeroDdfConfigStopsByRuleOfThree) {
+  // A config that never loses data has mean 0 and relative SEM infinity;
+  // the zero-event rule must stop the loop once the rule-of-three upper
+  // bound (3000/n DDFs per 1000) reaches the requested resolution instead
+  // of spinning to max_trials. With the default bound 0.05 that is
+  // exactly 60000 trials.
+  ConvergenceOptions opt;
+  opt.batch_trials = 5000;
+  opt.min_trials = 5000;
+  opt.max_trials = 2000000;
+  opt.seed = 5;
+  const auto run = run_until_converged(immortal_group(), opt);
+  EXPECT_TRUE(run.converged);
+  EXPECT_EQ(run.stop, ConvergedRun::StopRule::kZeroDdf);
+  EXPECT_EQ(run.result.trials(), 60000u);
+  EXPECT_EQ(run.result.total_ddfs_per_1000(), 0.0);
+  EXPECT_EQ(run.absolute_sem, 0.0);
+  EXPECT_TRUE(std::isinf(run.relative_sem));
+}
+
+TEST(Convergence, ZeroDdfRuleCanBeDisabled) {
+  // Opting out (bound = 0) recovers the old run-out-the-budget behavior.
+  ConvergenceOptions opt;
+  opt.zero_ddf_upper_bound = 0.0;
+  opt.batch_trials = 1000;
+  opt.min_trials = 1000;
+  opt.max_trials = 2000;
+  opt.seed = 6;
+  const auto run = run_until_converged(immortal_group(), opt);
+  EXPECT_FALSE(run.converged);
+  EXPECT_EQ(run.stop, ConvergedRun::StopRule::kBudget);
+  EXPECT_EQ(run.result.trials(), 2000u);
+}
+
+TEST(Convergence, AbsoluteSemTargetStops) {
+  // A generous absolute target stops the loop even when the relative
+  // target is unreachable.
+  ConvergenceOptions opt;
+  opt.target_relative_sem = 1e-9;
+  opt.target_absolute_sem = 1e9;
+  opt.batch_trials = 500;
+  opt.min_trials = 500;
+  opt.max_trials = 100000;
+  opt.seed = 7;
+  const auto run = run_until_converged(busy_group(), opt);
+  EXPECT_TRUE(run.converged);
+  EXPECT_EQ(run.stop, ConvergedRun::StopRule::kAbsoluteSem);
+  EXPECT_EQ(run.result.trials(), 500u);
+  EXPECT_LE(run.absolute_sem, 1e9);
+}
+
+TEST(Convergence, StopRuleNames) {
+  EXPECT_STREQ(to_string(ConvergedRun::StopRule::kBudget), "budget");
+  EXPECT_STREQ(to_string(ConvergedRun::StopRule::kRelativeSem),
+               "relative-sem");
+  EXPECT_STREQ(to_string(ConvergedRun::StopRule::kAbsoluteSem),
+               "absolute-sem");
+  EXPECT_STREQ(to_string(ConvergedRun::StopRule::kZeroDdf), "zero-ddf");
 }
 
 TEST(Convergence, StopsAtBudgetWhenTargetUnreachable) {
@@ -87,6 +162,12 @@ TEST(Convergence, Validation) {
   opt = {};
   opt.min_trials = 100;
   opt.max_trials = 50;
+  EXPECT_THROW(run_until_converged(busy_group(), opt), ModelError);
+  opt = {};
+  opt.target_absolute_sem = -1.0;
+  EXPECT_THROW(run_until_converged(busy_group(), opt), ModelError);
+  opt = {};
+  opt.zero_ddf_upper_bound = -0.1;
   EXPECT_THROW(run_until_converged(busy_group(), opt), ModelError);
 }
 

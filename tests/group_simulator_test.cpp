@@ -284,6 +284,47 @@ TEST(GroupSimulator, ProbeCreditsInitiatorNotCompleter) {
   EXPECT_DOUBLE_EQ(r.double_op_probe[1].second, 0.0);
 }
 
+TEST(GroupSimulator, ProbeSeesAllPeersInWideGroups) {
+  // Regression: probe_probability used to truncate the peer set at 64
+  // drives, silently dropping the rest. Here the only peer certain to
+  // fail inside slot 0's exposure window sits at index 120 of a 128-slot
+  // group — inside the window (100, 150), so the probe must be exactly 1.
+  // The truncating version reported 0.
+  std::vector<SlotModel> slots;
+  slots.push_back(scripted_slot(100.0, 50.0));
+  for (int i = 1; i < 128; ++i) {
+    slots.push_back(scripted_slot(i == 120 ? 120.0 : 1e18, 50.0));
+  }
+  const auto r = simulate(scripted_group(std::move(slots), 130.0));
+  ASSERT_FALSE(r.double_op_probe.empty());
+  EXPECT_DOUBLE_EQ(r.double_op_probe[0].second, 1.0);
+  ASSERT_EQ(r.ddfs.size(), 1u);  // the certain partner failure at 120
+  EXPECT_DOUBLE_EQ(r.ddfs[0].time, 120.0);
+}
+
+TEST(GroupSimulator, SpareArrivingAtFailureInstantPreventsDdf) {
+  // Regression for the spare-tie rule: a spare arriving at the same
+  // instant as an op failure must be handed to the waiting drive before
+  // the failure's fault census runs. Slot 0 drains the pool at t=100
+  // (replenishment lands at 200); slot 1 fails at 150 and waits with a
+  // zero-length rebuild; slot 2 fails exactly at 200. With spares served
+  // first, slot 1 is whole again by the time slot 2's census looks — no
+  // DDF. The old strict-inequality rule processed slot 2 first and
+  // reported a spurious data loss.
+  raid::GroupConfig cfg;
+  cfg.slots.push_back(scripted_slot(100.0, 5.0));
+  cfg.slots.push_back(scripted_slot(150.0, 0.0));
+  cfg.slots.push_back(scripted_slot(200.0, 5.0));
+  cfg.redundancy = 1;
+  cfg.mission_hours = 201.0;
+  cfg.spare_pool = raid::SparePoolConfig{1, 100.0};
+  const auto r = simulate(cfg);
+  EXPECT_TRUE(r.ddfs.empty());
+  EXPECT_EQ(r.op_failures, 3u);
+  EXPECT_EQ(r.restores_completed, 2u);
+  EXPECT_EQ(r.spare_arrivals, 1u);
+}
+
 TEST(GroupSimulator, StatisticalLatentDefectRateMatchesLaw) {
   // Paper base case TTLd (eta 9259 h, beta 1) with an instantaneous scrub:
   // the defect renewal then has period E[TTLd], so expect ~8 * 87600/9259

@@ -1,0 +1,341 @@
+// Tests for the observability layer (src/obs/): JSON writer, config
+// digests, run telemetry, and the bounded event trace — including the
+// contract the manifest rests on: telemetry totals reproduce the
+// RunResult counters exactly, and attaching sinks never changes results.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "obs/json_writer.h"
+#include "obs/run_telemetry.h"
+#include "obs/trace.h"
+#include "sim/convergence.h"
+#include "sim/fleet_simulator.h"
+#include "sim/group_simulator.h"
+#include "sim/runner.h"
+#include "stats/basic_distributions.h"
+#include "stats/weibull.h"
+#include "util/error.h"
+
+namespace raidrel {
+namespace {
+
+// An eventful group: failures, latent defects, scrubs, and a pool small
+// enough that drives regularly wait for spares.
+raid::GroupConfig busy_pool_group() {
+  raid::SlotModel m;
+  m.time_to_op_failure = std::make_unique<stats::Weibull>(0.0, 4000.0, 1.2);
+  m.time_to_restore = std::make_unique<stats::Weibull>(6.0, 100.0, 2.0);
+  m.time_to_latent_defect =
+      std::make_unique<stats::Weibull>(0.0, 2000.0, 1.0);
+  m.time_to_scrub = std::make_unique<stats::Weibull>(6.0, 300.0, 3.0);
+  auto cfg = raid::make_uniform_group(8, 1, m, 20000.0);
+  cfg.spare_pool = raid::SparePoolConfig{1, 200.0};
+  return cfg;
+}
+
+TEST(JsonWriter, CompactDocument) {
+  std::ostringstream os;
+  obs::JsonWriter w(os, /*indent=*/0);
+  w.begin_object();
+  w.kv("a", std::uint64_t{1});
+  w.key("b");
+  w.begin_array();
+  w.value(1.5);
+  w.value("x");
+  w.value(true);
+  w.null();
+  w.end_array();
+  w.end_object();
+  EXPECT_EQ(os.str(), R"({"a":1,"b":[1.5,"x",true,null]})");
+}
+
+TEST(JsonWriter, EscapesControlCharacters) {
+  EXPECT_EQ(obs::JsonWriter::escape("a\"b\\c\n\t\x01"),
+            "a\\\"b\\\\c\\n\\t\\u0001");
+}
+
+TEST(JsonWriter, NonFiniteDoublesBecomeStrings) {
+  std::ostringstream os;
+  obs::JsonWriter w(os, 0);
+  w.begin_array();
+  w.value(std::numeric_limits<double>::infinity());
+  w.value(-std::numeric_limits<double>::infinity());
+  w.value(std::nan(""));
+  w.end_array();
+  EXPECT_EQ(os.str(), R"(["inf","-inf","nan"])");
+}
+
+TEST(JsonWriter, StructuralMisuseThrows) {
+  std::ostringstream os;
+  obs::JsonWriter w(os, 0);
+  w.begin_object();
+  EXPECT_THROW(w.value(1.0), ModelError);   // object member without a key
+  EXPECT_THROW(w.end_array(), ModelError);  // mismatched scope
+}
+
+TEST(Fnv1a64, KnownVectorsAndChaining) {
+  EXPECT_EQ(obs::fnv1a64(""), 0xcbf29ce484222325ULL);
+  EXPECT_EQ(obs::fnv1a64("a"), 0xaf63dc4c8601ec8cULL);
+  // Seeding with a prefix hash hashes the concatenation.
+  EXPECT_EQ(obs::fnv1a64("bc", obs::fnv1a64("a")), obs::fnv1a64("abc"));
+}
+
+TEST(ConfigDigest, StableAndSensitive) {
+  const auto cfg = busy_pool_group();
+  const std::uint64_t base = sim::config_digest(cfg);
+  EXPECT_EQ(base, sim::config_digest(cfg.clone()));
+
+  auto longer = cfg.clone();
+  longer.mission_hours *= 2.0;
+  EXPECT_NE(base, sim::config_digest(longer));
+
+  auto reshaped = cfg.clone();
+  reshaped.slots[3].time_to_op_failure =
+      std::make_unique<stats::Weibull>(0.0, 4000.0, 1.3);
+  EXPECT_NE(base, sim::config_digest(reshaped));
+
+  auto no_pool = cfg.clone();
+  no_pool.spare_pool.reset();
+  EXPECT_NE(base, sim::config_digest(no_pool));
+}
+
+TEST(RunTelemetry, TotalsMatchRunResultCounters) {
+  const auto cfg = busy_pool_group();
+  obs::RunTelemetry telemetry;
+  sim::RunOptions run;
+  run.trials = 2000;
+  run.seed = 11;
+  run.threads = 4;
+  run.telemetry = &telemetry;
+  const auto result = sim::run_monte_carlo(cfg, run);
+
+  const obs::WorkerStats totals = telemetry.totals();
+  EXPECT_EQ(totals.trials, result.trials());
+  EXPECT_EQ(totals.op_failures, result.op_failures());
+  EXPECT_EQ(totals.latent_defects, result.latent_defects());
+  EXPECT_EQ(totals.scrubs_completed, result.scrubs_completed());
+  EXPECT_EQ(totals.restores_completed, result.restores_completed());
+  EXPECT_EQ(totals.spare_arrivals, result.spare_arrivals());
+  EXPECT_GT(totals.spare_arrivals, 0u);  // the pool really was exercised
+  // Counted DDFs agree with the bucketed counting series (integer-valued
+  // doubles, so the comparison is exact).
+  EXPECT_DOUBLE_EQ(static_cast<double>(totals.ddfs) * 1000.0 /
+                       static_cast<double>(result.trials()),
+                   result.total_ddfs_per_1000());
+
+  EXPECT_EQ(telemetry.master_seed(), 11u);
+  EXPECT_EQ(telemetry.config_digest(), sim::config_digest(cfg));
+  EXPECT_EQ(telemetry.threads(), 4u);
+  ASSERT_EQ(telemetry.batches().size(), 1u);
+  EXPECT_EQ(telemetry.batches()[0].trials, 2000u);
+  EXPECT_LE(telemetry.workers().size(), 4u);
+  std::uint64_t worker_trials = 0;
+  for (const auto& ws : telemetry.workers()) worker_trials += ws.trials;
+  EXPECT_EQ(worker_trials, 2000u);
+}
+
+TEST(RunTelemetry, SinksDoNotPerturbResults) {
+  const auto cfg = busy_pool_group();
+  sim::RunOptions plain;
+  plain.trials = 500;
+  plain.seed = 12;
+  plain.threads = 2;
+  const auto expected = sim::run_monte_carlo(cfg, plain);
+
+  obs::RunTelemetry telemetry;
+  obs::EventTrace trace(4);
+  sim::RunOptions observed = plain;
+  observed.telemetry = &telemetry;
+  observed.trace = &trace;
+  const auto got = sim::run_monte_carlo(cfg, observed);
+
+  EXPECT_EQ(got.op_failures(), expected.op_failures());
+  EXPECT_EQ(got.latent_defects(), expected.latent_defects());
+  EXPECT_EQ(got.spare_arrivals(), expected.spare_arrivals());
+  EXPECT_DOUBLE_EQ(got.total_ddfs_per_1000(),
+                   expected.total_ddfs_per_1000());
+}
+
+TEST(RunTelemetry, FleetTotalsMatchRunResultCounters) {
+  raid::SlotModel m;
+  m.time_to_op_failure = std::make_unique<stats::Weibull>(0.0, 4000.0, 1.2);
+  m.time_to_restore = std::make_unique<stats::Weibull>(6.0, 100.0, 2.0);
+  sim::FleetConfig fleet;
+  fleet.groups.push_back(raid::make_uniform_group(4, 1, m, 20000.0));
+  fleet.groups.push_back(raid::make_uniform_group(6, 1, m, 20000.0));
+  fleet.shared_pool = raid::SparePoolConfig{1, 200.0};
+
+  obs::RunTelemetry telemetry;
+  sim::RunOptions run;
+  run.trials = 300;
+  run.seed = 13;
+  run.threads = 3;
+  run.telemetry = &telemetry;
+  const auto result = sim::run_fleet_monte_carlo(fleet, run);
+
+  const obs::WorkerStats totals = telemetry.totals();
+  EXPECT_EQ(totals.trials, result.trials());  // group-missions: 300 * 2
+  EXPECT_EQ(totals.trials, 600u);
+  EXPECT_EQ(totals.op_failures, result.op_failures());
+  EXPECT_EQ(totals.restores_completed, result.restores_completed());
+  EXPECT_EQ(totals.spare_arrivals, result.spare_arrivals());
+  EXPECT_GT(totals.spare_arrivals, 0u);
+  EXPECT_EQ(telemetry.config_digest(), sim::config_digest(fleet));
+}
+
+TEST(RunTelemetry, ManifestJsonCarriesSchemaAndIdentity) {
+  obs::RunTelemetry telemetry;
+  sim::RunOptions run;
+  run.trials = 200;
+  run.seed = 14;
+  run.threads = 1;
+  run.telemetry = &telemetry;
+  sim::run_monte_carlo(busy_pool_group(), run);
+
+  const std::string json = telemetry.json();
+  EXPECT_NE(json.find("\"schema\": \"raidrel-run-manifest/1\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"master_seed\": 14"), std::string::npos);
+  EXPECT_NE(json.find("\"config_digest\": \"0x"), std::string::npos);
+  EXPECT_NE(json.find("\"totals\""), std::string::npos);
+  EXPECT_NE(json.find("\"batches\""), std::string::npos);
+  EXPECT_NE(json.find("\"workers\""), std::string::npos);
+}
+
+TEST(RunTelemetry, MixingConfigsInOneSinkThrows) {
+  obs::RunTelemetry telemetry;
+  telemetry.configure(1, 100, 2);
+  telemetry.configure(1, 100, 4);  // same run, new thread count: fine
+  EXPECT_THROW(telemetry.configure(1, 101, 2), ModelError);
+  EXPECT_THROW(telemetry.configure(2, 100, 2), ModelError);
+}
+
+TEST(RunTelemetry, ConvergenceRecordsTrajectory) {
+  obs::RunTelemetry telemetry;
+  sim::ConvergenceOptions opt;
+  opt.target_relative_sem = 0.10;
+  opt.batch_trials = 200;
+  opt.min_trials = 200;
+  opt.max_trials = 50000;
+  opt.seed = 15;
+  opt.telemetry = &telemetry;
+  raid::SlotModel m;
+  m.time_to_op_failure = std::make_unique<stats::Weibull>(0.0, 4000.0, 1.2);
+  m.time_to_restore = std::make_unique<stats::Weibull>(6.0, 100.0, 2.0);
+  const auto run = sim::run_until_converged(
+      raid::make_uniform_group(8, 1, m, 20000.0), opt);
+
+  ASSERT_EQ(telemetry.batches().size(), run.batches);
+  EXPECT_EQ(telemetry.totals().trials, run.result.trials());
+  std::uint64_t expected_index = 0;
+  for (const auto& b : telemetry.batches()) {
+    EXPECT_EQ(b.first_trial_index, expected_index);
+    expected_index += b.trials;
+    EXPECT_GE(b.relative_sem, 0.0);  // annotated every round
+    EXPECT_GE(b.absolute_sem, 0.0);
+  }
+  EXPECT_DOUBLE_EQ(telemetry.batches().back().absolute_sem,
+                   run.absolute_sem);
+}
+
+TEST(EventTrace, CapturesFirstTrialsExactly) {
+  const auto cfg = busy_pool_group();
+  obs::EventTrace trace(3);
+  sim::RunOptions run;
+  run.trials = 50;
+  run.seed = 16;
+  run.threads = 4;
+  run.trace = &trace;
+  sim::run_monte_carlo(cfg, run);
+
+  EXPECT_EQ(trace.trial_slot(3), nullptr);  // beyond the capture window
+
+  // The captured history of trial 0 must match a fresh single-trial
+  // replay from the same stream, event for event.
+  sim::GroupSimulator simulator(cfg);
+  rng::StreamFactory streams(16);
+  auto rs = streams.stream(0);
+  sim::TrialResult out;
+  obs::TrialTrace replay;
+  simulator.run_trial(rs, out, &replay);
+
+  const auto& captured = trace.trial(0).events();
+  ASSERT_EQ(captured.size(), replay.events().size());
+  for (std::size_t i = 0; i < captured.size(); ++i) {
+    EXPECT_TRUE(captured[i] == replay.events()[i]) << "event " << i;
+  }
+
+  // Event counts in the trace agree with the trial's counters, and
+  // dispatch times never go backwards.
+  std::size_t op = 0, ddf = 0;
+  double last = 0.0;
+  for (const auto& e : captured) {
+    EXPECT_GE(e.time, last);
+    last = e.time;
+    if (e.kind == obs::TraceEventKind::kOpFailure) ++op;
+    if (e.kind == obs::TraceEventKind::kDdf) ++ddf;
+  }
+  EXPECT_EQ(op, out.op_failures);
+  EXPECT_EQ(ddf, out.ddfs.size());
+}
+
+TEST(EventTrace, GroupAndSingleGroupFleetTracesAgree) {
+  // A fleet of one group (no shared pool) is documented to reproduce
+  // GroupSimulator draw for draw; traces pin that down to the full event
+  // sequence, including intra-instant ordering.
+  raid::SlotModel m;
+  m.time_to_op_failure = std::make_unique<stats::Weibull>(0.0, 3000.0, 1.1);
+  m.time_to_restore = std::make_unique<stats::Weibull>(6.0, 100.0, 2.0);
+  m.time_to_latent_defect =
+      std::make_unique<stats::Weibull>(0.0, 2000.0, 1.0);
+  m.time_to_scrub = std::make_unique<stats::Weibull>(6.0, 300.0, 3.0);
+  const auto cfg = raid::make_uniform_group(6, 1, m, 20000.0);
+
+  rng::StreamFactory streams(17);
+  sim::GroupSimulator group(cfg);
+  sim::TrialResult group_out;
+  obs::TrialTrace group_trace;
+  auto rs1 = streams.stream(0);
+  group.run_trial(rs1, group_out, &group_trace);
+
+  sim::FleetConfig fleet;
+  fleet.groups.push_back(cfg.clone());
+  sim::FleetSimulator fleet_sim(fleet);
+  sim::FleetTrialResult fleet_out;
+  obs::TrialTrace fleet_trace;
+  auto rs2 = streams.stream(0);
+  fleet_sim.run_trial(rs2, fleet_out, &fleet_trace);
+
+  ASSERT_EQ(group_trace.events().size(), fleet_trace.events().size());
+  for (std::size_t i = 0; i < group_trace.events().size(); ++i) {
+    EXPECT_TRUE(group_trace.events()[i] == fleet_trace.events()[i])
+        << "event " << i;
+  }
+}
+
+TEST(EventTrace, BoundedBufferDropsExcessEvents) {
+  obs::TrialTrace t(/*max_events=*/2);
+  t.record(1.0, obs::TraceEventKind::kOpFailure, 0);
+  t.record(2.0, obs::TraceEventKind::kRestoreDone, 0);
+  t.record(3.0, obs::TraceEventKind::kOpFailure, 1);
+  EXPECT_EQ(t.events().size(), 2u);
+  EXPECT_EQ(t.dropped(), 1u);
+  t.clear();
+  EXPECT_TRUE(t.events().empty());
+  EXPECT_EQ(t.dropped(), 0u);
+}
+
+TEST(EventTrace, JsonDumpCarriesSchema) {
+  obs::EventTrace trace(1);
+  trace.trial_slot(0)->record(5.0, obs::TraceEventKind::kLatentDefect, 2);
+  std::ostringstream os;
+  trace.write_json(os);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("raidrel-event-trace/1"), std::string::npos);
+  EXPECT_NE(json.find("latent-defect"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace raidrel
