@@ -2,18 +2,51 @@
 // and full group-mission simulation throughput. These bound how many
 // Monte Carlo trials a study can afford — the practical limit the paper's
 // method trades against MTTDL's closed form.
+//
+// Besides the console table the binary emits a machine-readable artifact
+// (BENCH_perf.json by default; --perf-json=<path> overrides,
+// --no-perf-json disables) recording each benchmark's throughput together
+// with the simulated model's config digest and worker thread count, so CI
+// can archive trials/sec next to the commit that produced it.
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_support.h"
 #include "core/presets.h"
 #include "obs/run_telemetry.h"
 #include "sim/group_simulator.h"
 #include "sim/runner.h"
+#include "sim/thread_pool.h"
 #include "sim/timing_engine.h"
 #include "stats/weibull.h"
 
 namespace {
 
 using namespace raidrel;
+
+// Engine benchmarks register which model they run and at how many worker
+// threads; the perf artifact joins this with the measured throughput.
+std::map<std::string, std::pair<std::uint64_t, unsigned>>& perf_meta() {
+  static std::map<std::string, std::pair<std::uint64_t, unsigned>> meta;
+  return meta;
+}
+
+void note_engine_config(const std::string& bench_name,
+                        std::uint64_t config_digest, unsigned threads) {
+  perf_meta()[bench_name] = {config_digest, threads};
+}
+
+unsigned resolved_threads(unsigned requested) {
+  return requested != 0 ? requested
+                        : std::max(1u, std::thread::hardware_concurrency());
+}
 
 void BM_WeibullSample(benchmark::State& state) {
   const stats::Weibull w(6.0, 12.0, 2.0);
@@ -35,6 +68,7 @@ BENCHMARK(BM_WeibullResidualSample);
 
 void BM_GroupMission_BaseCase(benchmark::State& state) {
   const auto cfg = core::presets::base_case().to_group_config();
+  note_engine_config("BM_GroupMission_BaseCase", sim::config_digest(cfg), 1);
   sim::GroupSimulator simulator(cfg);
   rng::StreamFactory streams(3);
   sim::TrialResult out;
@@ -50,6 +84,7 @@ BENCHMARK(BM_GroupMission_BaseCase);
 
 void BM_GroupMission_NoLatent(benchmark::State& state) {
   const auto cfg = core::presets::no_latent_defects().to_group_config();
+  note_engine_config("BM_GroupMission_NoLatent", sim::config_digest(cfg), 1);
   sim::GroupSimulator simulator(cfg);
   rng::StreamFactory streams(4);
   sim::TrialResult out;
@@ -66,6 +101,8 @@ BENCHMARK(BM_GroupMission_NoLatent);
 void BM_TimingEngineMission_BaseCase(benchmark::State& state) {
   auto cfg = core::presets::base_case().to_group_config();
   cfg.clear_defects_on_ddf_restore = false;
+  note_engine_config("BM_TimingEngineMission_BaseCase",
+                     sim::config_digest(cfg), 1);
   sim::TimingDiagramEngine engine(cfg);
   rng::StreamFactory streams(5);
   sim::TrialResult out;
@@ -81,10 +118,16 @@ BENCHMARK(BM_TimingEngineMission_BaseCase);
 
 void BM_FullRun_MultiThreaded(benchmark::State& state) {
   const auto cfg = core::presets::base_case().to_group_config();
+  note_engine_config("BM_FullRun_MultiThreaded", sim::config_digest(cfg),
+                     resolved_threads(0));
+  // One persistent pool across iterations, exactly how the convergence
+  // loop drives batched runs; thread spawn/join is not part of the cost.
+  sim::ThreadPool pool;
   for (auto _ : state) {
-    const auto result = sim::run_monte_carlo(
-        cfg, {.trials = 2000, .seed = 6, .threads = 0,
-              .bucket_hours = 730.0});
+    sim::RunOptions options{.trials = 2000, .seed = 6, .threads = 0,
+                            .bucket_hours = 730.0};
+    options.pool = &pool;
+    const auto result = sim::run_monte_carlo(cfg, options);
     benchmark::DoNotOptimize(result.total_ddfs_per_1000());
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
@@ -98,11 +141,15 @@ BENCHMARK(BM_FullRun_MultiThreaded)->Unit(benchmark::kMillisecond);
 // in the noise.
 void BM_FullRun_Telemetry(benchmark::State& state) {
   const auto cfg = core::presets::base_case().to_group_config();
+  note_engine_config("BM_FullRun_Telemetry", sim::config_digest(cfg),
+                     resolved_threads(0));
+  sim::ThreadPool pool;
   for (auto _ : state) {
     obs::RunTelemetry telemetry;
     sim::RunOptions options{.trials = 2000, .seed = 6, .threads = 0,
                             .bucket_hours = 730.0};
     options.telemetry = &telemetry;
+    options.pool = &pool;
     const auto result = sim::run_monte_carlo(cfg, options);
     benchmark::DoNotOptimize(result.total_ddfs_per_1000());
     benchmark::DoNotOptimize(telemetry.totals().op_failures);
@@ -112,4 +159,76 @@ void BM_FullRun_Telemetry(benchmark::State& state) {
 }
 BENCHMARK(BM_FullRun_Telemetry)->Unit(benchmark::kMillisecond);
 
+// Console output plus a per-benchmark record for the perf artifact.
+class CapturingReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const auto& run : runs) {
+      if (run.run_type != Run::RT_Iteration) continue;  // skip aggregates
+      bench::PerfRecord rec;
+      rec.name = run.benchmark_name();
+      rec.iterations = static_cast<std::uint64_t>(run.iterations);
+      if (run.iterations > 0) {
+        rec.real_time_ns =
+            run.real_accumulated_time / static_cast<double>(run.iterations) *
+            1e9;
+      }
+      const auto it = run.counters.find("items_per_second");
+      if (it != run.counters.end()) {
+        rec.trials_per_second = static_cast<double>(it->second);
+      }
+      const auto meta = perf_meta().find(rec.name);
+      if (meta != perf_meta().end()) {
+        rec.config_digest = meta->second.first;
+        rec.threads = meta->second.second;
+      }
+      records_.push_back(std::move(rec));
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+  [[nodiscard]] const std::vector<bench::PerfRecord>& records() const {
+    return records_;
+  }
+
+ private:
+  std::vector<bench::PerfRecord> records_;
+};
+
 }  // namespace
+
+int main(int argc, char** argv) {
+  // Peel off our flags before google-benchmark sees (and rejects) them.
+  std::string perf_json_path = "BENCH_perf.json";
+  std::vector<char*> passthrough;
+  passthrough.reserve(static_cast<std::size_t>(argc));
+  for (int i = 0; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--perf-json=", 12) == 0) {
+      perf_json_path = argv[i] + 12;
+    } else if (std::strcmp(argv[i], "--no-perf-json") == 0) {
+      perf_json_path.clear();
+    } else {
+      passthrough.push_back(argv[i]);
+    }
+  }
+  int bench_argc = static_cast<int>(passthrough.size());
+  benchmark::Initialize(&bench_argc, passthrough.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc,
+                                             passthrough.data())) {
+    return 1;
+  }
+
+  CapturingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+
+  if (!perf_json_path.empty() && !reporter.records().empty()) {
+    std::ofstream out(perf_json_path);
+    if (!out) {
+      std::cerr << "cannot write perf artifact: " << perf_json_path << "\n";
+      return 1;
+    }
+    raidrel::bench::write_perf_json(out, reporter.records());
+    std::cout << "perf artifact: " << perf_json_path << "\n";
+  }
+  return 0;
+}

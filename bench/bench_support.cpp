@@ -137,6 +137,30 @@ double value_at(const Series& s, double t) {
 
 }  // namespace
 
+void write_perf_json(std::ostream& out,
+                     const std::vector<PerfRecord>& records) {
+  obs::JsonWriter w(out);
+  w.begin_object();
+  w.kv("schema", "raidrel-bench-perf/1");
+  w.key("benchmarks");
+  w.begin_array();
+  for (const auto& r : records) {
+    w.begin_object();
+    w.kv("name", std::string_view(r.name));
+    w.kv("real_time_ns", r.real_time_ns);
+    w.kv("trials_per_second", r.trials_per_second);
+    w.kv("iterations", r.iterations);
+    if (r.config_digest != 0) {
+      w.kv("config_digest", r.config_digest);
+      w.kv("threads", r.threads);
+    }
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  out << '\n';
+}
+
 void print_series_table(const std::vector<Series>& series,
                         const BenchOptions& opt, const std::string& x_label,
                         const std::string& y_label) {

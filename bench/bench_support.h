@@ -4,6 +4,7 @@
 // the experiment index and EXPERIMENTS.md for recorded results.
 #pragma once
 
+#include <iosfwd>
 #include <string>
 #include <vector>
 
@@ -62,5 +63,24 @@ Series rocof_series(const std::string& name, const sim::RunResult& result);
 void print_series_table(const std::vector<Series>& series,
                         const BenchOptions& opt, const std::string& x_label,
                         const std::string& y_label);
+
+/// One benchmark's measured throughput, destined for the machine-readable
+/// perf artifact (BENCH_perf.json). Engine benchmarks also record which
+/// model they simulated (config digest, see sim::config_digest) and the
+/// resolved worker thread count; pure microbenchmarks (e.g. a single
+/// distribution draw) leave both at zero.
+struct PerfRecord {
+  std::string name;
+  double real_time_ns = 0.0;       ///< wall time per iteration
+  double trials_per_second = 0.0;  ///< items/s (0 when not reported)
+  std::uint64_t iterations = 0;
+  std::uint64_t config_digest = 0; ///< simulated model (0 = none)
+  unsigned threads = 0;            ///< engine worker threads (0 = n/a)
+};
+
+/// Serialize perf records as a `raidrel-bench-perf/1` JSON document so CI
+/// can archive throughput next to the commit that produced it.
+void write_perf_json(std::ostream& out,
+                     const std::vector<PerfRecord>& records);
 
 }  // namespace raidrel::bench

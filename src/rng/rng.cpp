@@ -4,20 +4,20 @@
 
 namespace raidrel::rng {
 
+namespace {
+
+constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
 std::uint64_t splitmix64(std::uint64_t& state) {
   std::uint64_t z = (state += 0x9E3779B97F4A7C15ULL);
   z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
   z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
   return z ^ (z >> 31);
 }
-
-namespace {
-
-inline std::uint64_t rotl(std::uint64_t x, int k) noexcept {
-  return (x << k) | (x >> (64 - k));
-}
-
-}  // namespace
 
 Xoshiro256::Xoshiro256(std::uint64_t seed) noexcept {
   std::uint64_t sm = seed;
@@ -31,18 +31,6 @@ Xoshiro256::Xoshiro256(const std::array<std::uint64_t, 4>& state) noexcept
     std::uint64_t sm = 0x9E3779B97F4A7C15ULL;
     for (auto& word : s_) word = splitmix64(sm);
   }
-}
-
-Xoshiro256::result_type Xoshiro256::operator()() noexcept {
-  const std::uint64_t result = rotl(s_[0] + s_[3], 23) + s_[0];
-  const std::uint64_t t = s_[1] << 17;
-  s_[2] ^= s_[0];
-  s_[3] ^= s_[1];
-  s_[1] ^= s_[2];
-  s_[0] ^= s_[3];
-  s_[2] ^= t;
-  s_[3] = rotl(s_[3], 45);
-  return result;
 }
 
 void Xoshiro256::jump() noexcept {
@@ -64,16 +52,6 @@ void Xoshiro256::jump() noexcept {
   s_ = {s0, s1, s2, s3};
 }
 
-double RandomStream::uniform() noexcept {
-  // 53 top bits -> double in [0,1).
-  return static_cast<double>(eng_() >> 11) * 0x1.0p-53;
-}
-
-double RandomStream::uniform_open() noexcept {
-  // (0,1): 52 bits + 0.5 ulp offset; infinitesimally biased but never 0/1.
-  return (static_cast<double>(eng_() >> 12) + 0.5) * 0x1.0p-52;
-}
-
 double RandomStream::uniform(double lo, double hi) noexcept {
   return lo + (hi - lo) * uniform();
 }
@@ -93,10 +71,6 @@ std::uint64_t RandomStream::uniform_index(std::uint64_t n) noexcept {
   }
 }
 
-double RandomStream::exponential() noexcept {
-  return -std::log(uniform_open());
-}
-
 double RandomStream::normal() noexcept {
   if (have_cached_normal_) {
     have_cached_normal_ = false;
@@ -110,8 +84,6 @@ double RandomStream::normal() noexcept {
   have_cached_normal_ = true;
   return r * std::cos(theta);
 }
-
-bool RandomStream::bernoulli(double p) noexcept { return uniform() < p; }
 
 RandomStream StreamFactory::stream(std::uint64_t stream_id) const noexcept {
   // Derive a per-stream seed by feeding (master, id) through splitmix64

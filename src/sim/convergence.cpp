@@ -33,6 +33,10 @@ ConvergedRun run_until_converged(const raid::GroupConfig& config,
                   "min_trials must not exceed max_trials");
 
   ConvergedRun out{RunResult(config.mission_hours, options.bucket_hours)};
+  // One persistent worker pool for every batch of the study: workers are
+  // spawned on the first multi-threaded batch and then parked between
+  // batches instead of being respawned per run_monte_carlo call.
+  ThreadPool pool;
   std::uint64_t next_index = 0;
   while (out.result.trials() < options.max_trials) {
     const std::size_t remaining = options.max_trials - out.result.trials();
@@ -45,6 +49,7 @@ ConvergedRun run_until_converged(const raid::GroupConfig& config,
     run.first_trial_index = next_index;
     run.telemetry = options.telemetry;
     run.trace = options.trace;
+    run.pool = &pool;
     out.result.merge(run_monte_carlo(config, run));
     next_index += batch;
     ++out.batches;

@@ -62,31 +62,43 @@ bool FleetSimulator::Slot::defective() const noexcept {
   return defect_occurred < kInf;
 }
 
-FleetSimulator::FleetSimulator(const FleetConfig& config) : cfg_(config) {
+FleetSimulator::FleetSimulator(const FleetConfig& config, KernelPolicy policy)
+    : cfg_(config) {
   cfg_.validate();
   groups_.resize(cfg_.groups.size());
   for (std::size_t g = 0; g < groups_.size(); ++g) {
     groups_[g].slots.resize(cfg_.groups[g].slots.size());
+    groups_[g].kernels.reserve(cfg_.groups[g].slots.size());
+    for (const auto& slot : cfg_.groups[g].slots) {
+      groups_[g].kernels.push_back(SlotKernel::compile(slot, policy));
+    }
   }
+}
+
+void FleetSimulator::refresh_next_event(Slot& s) noexcept {
+  s.next_event = std::min(std::min(s.next_op, s.restore_done),
+                          std::min(s.next_ld, s.defect_clears));
 }
 
 void FleetSimulator::start_defect_countdown(std::size_t g, std::size_t i,
                                             double now,
                                             rng::RandomStream& rs) {
   Slot& s = groups_[g].slots[i];
-  const raid::SlotModel& m = cfg_.groups[g].slots[i];
+  const CompiledLaw& latent = groups_[g].kernels[i].latent;
   s.defect_occurred = kInf;
   s.defect_clears = kInf;
-  if (!m.latent_defects_enabled()) {
+  if (!latent.present()) {
     s.next_ld = kInf;
+    refresh_next_event(s);
     return;
   }
   if (cfg_.groups[g].latent_clock == raid::LatentClock::kDriveAge) {
     const double age = now - s.install_time;
-    s.next_ld = now + m.time_to_latent_defect->sample_residual(age, rs);
+    s.next_ld = now + latent.sample_residual(age, rs);
   } else {
-    s.next_ld = now + m.time_to_latent_defect->sample(rs);
+    s.next_ld = now + latent.sample(rs);
   }
+  refresh_next_event(s);
 }
 
 void FleetSimulator::install_fresh_drive(std::size_t g, std::size_t i,
@@ -95,13 +107,8 @@ void FleetSimulator::install_fresh_drive(std::size_t g, std::size_t i,
   s.install_time = now;
   s.restore_done = kInf;
   s.awaiting_spare = false;
-  s.next_op = now + cfg_.groups[g].slots[i].time_to_op_failure->sample(rs);
-  start_defect_countdown(g, i, now, rs);
-}
-
-double FleetSimulator::next_event_time(const Slot& s) noexcept {
-  return std::min(std::min(s.next_op, s.restore_done),
-                  std::min(s.next_ld, s.defect_clears));
+  s.next_op = now + groups_[g].kernels[i].op.sample(rs);
+  start_defect_countdown(g, i, now, rs);  // refreshes the cached next event
 }
 
 void FleetSimulator::begin_restore(std::size_t g, std::size_t i, double now,
@@ -110,6 +117,7 @@ void FleetSimulator::begin_restore(std::size_t g, std::size_t i, double now,
   Slot& s = group.slots[i];
   s.awaiting_spare = false;
   s.restore_done = now + duration;
+  refresh_next_event(s);
   if (i == group.ddf_slot) {
     group.failed_until = s.restore_done;
   }
@@ -131,6 +139,7 @@ void FleetSimulator::request_spare(std::size_t g, std::size_t i, double now,
   s.awaiting_spare = true;
   s.restore_done = kInf;
   s.pending_restore_duration = duration;
+  refresh_next_event(s);
   spare_queue_.push_back({g, i});
   if (i == groups_[g].ddf_slot) groups_[g].failed_until = kInf;
 }
@@ -149,12 +158,15 @@ void FleetSimulator::handle_spare_arrival(double now, FleetTrialResult& out) {
       break;
     }
   }
-  if (spare_queue_.empty()) {
+  if (spare_queue_head_ >= spare_queue_.size()) {
     ++spares_available_;
     return;
   }
-  const SlotRef ref = spare_queue_.front();
-  spare_queue_.erase(spare_queue_.begin());
+  const SlotRef ref = spare_queue_[spare_queue_head_++];
+  if (spare_queue_head_ == spare_queue_.size()) {
+    spare_queue_.clear();  // drained: recycle the storage
+    spare_queue_head_ = 0;
+  }
   pending_orders_.push_back(now + cfg_.shared_pool->replenish_hours);
   ++out.per_group[ref.group].spare_arrivals;
   begin_restore(ref.group, ref.slot, now,
@@ -170,7 +182,7 @@ void FleetSimulator::handle_op_failure(std::size_t g, std::size_t i,
   TrialResult& stats = out.per_group[g];
   ++stats.op_failures;
 
-  const double restore_duration = gc.slots[i].time_to_restore->sample(rs);
+  const double restore_duration = group.kernels[i].restore.sample(rs);
 
   if (now >= group.failed_until) {
     unsigned down = 1;
@@ -228,12 +240,12 @@ void FleetSimulator::handle_latent_defect(std::size_t g, std::size_t i,
                                           double now, rng::RandomStream& rs,
                                           FleetTrialResult& out) {
   Slot& s = groups_[g].slots[i];
-  const raid::SlotModel& m = cfg_.groups[g].slots[i];
+  const CompiledLaw& scrub = groups_[g].kernels[i].scrub;
   ++out.per_group[g].latent_defects;
   s.defect_occurred = now;
-  s.defect_clears =
-      m.scrubbing_enabled() ? now + m.time_to_scrub->sample(rs) : kInf;
+  s.defect_clears = scrub.present() ? now + scrub.sample(rs) : kInf;
   s.next_ld = kInf;
+  refresh_next_event(s);
 }
 
 void FleetSimulator::handle_defect_cleared(std::size_t g, std::size_t i,
@@ -244,7 +256,7 @@ void FleetSimulator::handle_defect_cleared(std::size_t g, std::size_t i,
 }
 
 std::size_t FleetSimulator::waiting_drives_at_end() const noexcept {
-  return spare_queue_.size();
+  return spare_queue_.size() - spare_queue_head_;
 }
 
 void FleetSimulator::run_trial(rng::RandomStream& rs, FleetTrialResult& out,
@@ -254,6 +266,7 @@ void FleetSimulator::run_trial(rng::RandomStream& rs, FleetTrialResult& out,
   spares_available_ = cfg_.shared_pool ? cfg_.shared_pool->capacity : 0;
   pending_orders_.clear();
   spare_queue_.clear();
+  spare_queue_head_ = 0;
   for (std::size_t g = 0; g < groups_.size(); ++g) {
     groups_[g].failed_until = 0.0;
     groups_[g].ddf_slot = SIZE_MAX;
@@ -268,7 +281,7 @@ void FleetSimulator::run_trial(rng::RandomStream& rs, FleetTrialResult& out,
     std::size_t gi = 0, si = 0;
     for (std::size_t g = 0; g < groups_.size(); ++g) {
       for (std::size_t i = 0; i < groups_[g].slots.size(); ++i) {
-        const double ti = next_event_time(groups_[g].slots[i]);
+        const double ti = groups_[g].slots[i].next_event;
         if (ti < t) {
           t = ti;
           gi = g;

@@ -49,7 +49,11 @@ struct FleetTrialResult {
 
 class FleetSimulator {
  public:
-  explicit FleetSimulator(const FleetConfig& config);
+  /// `policy` selects between the compiled sampling kernels (default) and
+  /// the reference virtual-dispatch path; both produce bit-identical event
+  /// histories (see slot_kernel.h).
+  explicit FleetSimulator(const FleetConfig& config,
+                          KernelPolicy policy = KernelPolicy::kLowered);
 
   /// Simulate one mission of the whole fleet. A non-null `trace` is
   /// cleared and receives every dispatched event in processing order with
@@ -72,12 +76,16 @@ class FleetSimulator {
     double defect_clears = 0.0;
     bool awaiting_spare = false;
     double pending_restore_duration = 0.0;
+    /// Cached min of the four timers, maintained by every mutator (same
+    /// scheme as GroupSimulator::Slot::next_event).
+    double next_event = 0.0;
 
     [[nodiscard]] bool restoring() const noexcept;
     [[nodiscard]] bool defective() const noexcept;
   };
   struct Group {
     std::vector<Slot> slots;
+    std::vector<SlotKernel> kernels;  ///< lowered laws, one per slot
     double failed_until = 0.0;
     std::size_t ddf_slot = SIZE_MAX;
   };
@@ -104,13 +112,15 @@ class FleetSimulator {
                      double duration);
   void handle_spare_arrival(double now, FleetTrialResult& out);
   [[nodiscard]] double next_spare_arrival() const noexcept;
-  [[nodiscard]] static double next_event_time(const Slot& s) noexcept;
+  static void refresh_next_event(Slot& s) noexcept;
 
   const FleetConfig& cfg_;
   std::vector<Group> groups_;
   unsigned spares_available_ = 0;
   std::vector<double> pending_orders_;
+  // FIFO across groups: vector + head index, O(1) pops (see GroupSimulator).
   std::vector<SlotRef> spare_queue_;
+  std::size_t spare_queue_head_ = 0;
 };
 
 }  // namespace raidrel::sim

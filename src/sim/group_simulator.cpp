@@ -30,32 +30,44 @@ bool GroupSimulator::Slot::defective() const noexcept {
   return defect_occurred < kInf;
 }
 
-GroupSimulator::GroupSimulator(const raid::GroupConfig& config)
+GroupSimulator::GroupSimulator(const raid::GroupConfig& config,
+                               KernelPolicy policy)
     : cfg_(config) {
   cfg_.validate();
+  kernels_.reserve(cfg_.slots.size());
+  for (const auto& slot : cfg_.slots) {
+    kernels_.push_back(SlotKernel::compile(slot, policy));
+  }
   slots_.resize(cfg_.slots.size());
   probe_p_.resize(slots_.size());
   probe_dist_.resize(slots_.size() + 1);
 }
 
+void GroupSimulator::refresh_next_event(Slot& s) noexcept {
+  s.next_event = std::min(std::min(s.next_op, s.restore_done),
+                          std::min(s.next_ld, s.defect_clears));
+}
+
 void GroupSimulator::start_defect_countdown(std::size_t i, double now,
                                             rng::RandomStream& rs) {
   Slot& s = slots_[i];
-  const raid::SlotModel& m = cfg_.slots[i];
+  const CompiledLaw& latent = kernels_[i].latent;
   s.defect_occurred = kInf;
   s.defect_clears = kInf;
-  if (!m.latent_defects_enabled()) {
+  if (!latent.present()) {
     s.next_ld = kInf;
+    refresh_next_event(s);
     return;
   }
   if (cfg_.latent_clock == raid::LatentClock::kDriveAge) {
     // NHPP in drive age: next arrival solves H(age') = H(age) + Exp(1).
     const double age = now - s.install_time;
-    s.next_ld = now + m.time_to_latent_defect->sample_residual(age, rs);
+    s.next_ld = now + latent.sample_residual(age, rs);
   } else {
     // Paper §5 renewal: a fresh TTLd from the moment of defect-freedom.
-    s.next_ld = now + m.time_to_latent_defect->sample(rs);
+    s.next_ld = now + latent.sample(rs);
   }
+  refresh_next_event(s);
 }
 
 void GroupSimulator::install_fresh_drive(std::size_t i, double now,
@@ -64,13 +76,8 @@ void GroupSimulator::install_fresh_drive(std::size_t i, double now,
   s.install_time = now;
   s.restore_done = kInf;
   s.awaiting_spare = false;
-  s.next_op = now + cfg_.slots[i].time_to_op_failure->sample(rs);
-  start_defect_countdown(i, now, rs);
-}
-
-double GroupSimulator::next_event_time(const Slot& s) noexcept {
-  return std::min(std::min(s.next_op, s.restore_done),
-                  std::min(s.next_ld, s.defect_clears));
+  s.next_op = now + kernels_[i].op.sample(rs);
+  start_defect_countdown(i, now, rs);  // refreshes the cached next event
 }
 
 double GroupSimulator::probe_probability(std::size_t failed_slot, double now,
@@ -81,6 +88,7 @@ double GroupSimulator::probe_probability(std::size_t failed_slot, double now,
   unsigned base_faults = 0;
   std::vector<double>& p = probe_p_;
   std::size_t np = 0;
+  double max_p = 0.0;
   for (std::size_t j = 0; j < slots_.size(); ++j) {
     if (j == failed_slot) continue;
     const Slot& s = slots_[j];
@@ -90,12 +98,13 @@ double GroupSimulator::probe_probability(std::size_t failed_slot, double now,
     }
     // Probability this operational drive fails within the window, from its
     // exact residual life: 1 - S(age + w)/S(age).
-    const auto& op = *cfg_.slots[j].time_to_op_failure;
+    const CompiledLaw& op = kernels_[j].op;
     const double age = now - s.install_time;
     const double h0 = op.cum_hazard(age);
     const double h1 = op.cum_hazard(age + window);
     const double pj = -std::expm1(h0 - h1);
     p[np++] = std::clamp(pj, 0.0, 1.0);
+    max_p = std::max(max_p, p[np - 1]);
   }
   const unsigned needed =
       cfg_.redundancy > base_faults ? cfg_.redundancy - base_faults : 0;
@@ -104,6 +113,9 @@ double GroupSimulator::probe_probability(std::size_t failed_slot, double now,
   // exposure window; contributing again here would double count.
   if (needed == 0) return 0.0;
   if (needed > np) return 0.0;
+  // When every peer's window probability underflowed to zero the DP can
+  // only return zero — skip it (common in short windows late in life).
+  if (max_p == 0.0) return 0.0;
   // Poisson-binomial tail P(#failures >= needed) by dynamic programming
   // over the count distribution (group sizes are small).
   std::vector<double>& dist = probe_dist_;
@@ -125,10 +137,9 @@ void GroupSimulator::handle_op_failure(std::size_t i, double now,
                                        rng::RandomStream& rs,
                                        TrialResult& out) {
   Slot& s = slots_[i];
-  const raid::SlotModel& m = cfg_.slots[i];
   ++out.op_failures;
 
-  const double restore_duration = m.time_to_restore->sample(rs);
+  const double restore_duration = kernels_[i].restore.sample(rs);
 
   if (now >= group_failed_until_) {
     // Fault census at the failure instant: drives down or rebuilding
@@ -181,6 +192,7 @@ void GroupSimulator::begin_restore(std::size_t i, double now,
   Slot& s = slots_[i];
   s.awaiting_spare = false;
   s.restore_done = now + duration;
+  refresh_next_event(s);
   if (i == ddf_slot_) {
     // The freeze that a spare-starved DDF left open-ended now has a
     // definite end: the concomitant restore's completion.
@@ -204,6 +216,7 @@ void GroupSimulator::request_spare(std::size_t i, double now,
   s.awaiting_spare = true;
   s.restore_done = kInf;
   s.pending_restore_duration = duration;
+  refresh_next_event(s);
   spare_queue_.push_back(i);
   if (i == ddf_slot_) group_failed_until_ = kInf;  // resolved on arrival
 }
@@ -223,12 +236,17 @@ void GroupSimulator::handle_spare_arrival(double now, TrialResult& out) {
       break;
     }
   }
-  if (spare_queue_.empty()) {
+  if (spare_queue_head_ >= spare_queue_.size()) {
     ++spares_available_;
     return;
   }
-  const std::size_t slot = spare_queue_.front();
-  spare_queue_.erase(spare_queue_.begin());
+  const std::size_t slot = spare_queue_[spare_queue_head_++];
+  if (spare_queue_head_ == spare_queue_.size()) {
+    // Drained: recycle the storage so the vector never grows past the
+    // busiest starvation episode.
+    spare_queue_.clear();
+    spare_queue_head_ = 0;
+  }
   // The arriving spare is consumed immediately: reorder.
   pending_orders_.push_back(now + cfg_.spare_pool->replenish_hours);
   ++out.spare_arrivals;
@@ -265,14 +283,14 @@ void GroupSimulator::handle_latent_defect(std::size_t i, double now,
                                           rng::RandomStream& rs,
                                           TrialResult& out) {
   Slot& s = slots_[i];
-  const raid::SlotModel& m = cfg_.slots[i];
+  const CompiledLaw& scrub = kernels_[i].scrub;
   ++out.latent_defects;
   s.defect_occurred = now;
-  s.defect_clears =
-      m.scrubbing_enabled() ? now + m.time_to_scrub->sample(rs) : kInf;
+  s.defect_clears = scrub.present() ? now + scrub.sample(rs) : kInf;
   // No new defect countdown until this defect is scrubbed away (paper §5's
   // alternating renewal: TTScrub is added, then a new TTLd is sampled).
   s.next_ld = kInf;
+  refresh_next_event(s);
 
   if (cfg_.stripe_zones > 0) {
     // Stripe-collision refinement (off in the paper's model): place the
@@ -320,17 +338,19 @@ void GroupSimulator::run_trial(rng::RandomStream& rs, TrialResult& out,
   spares_available_ = cfg_.spare_pool ? cfg_.spare_pool->capacity : 0;
   pending_orders_.clear();
   spare_queue_.clear();
+  spare_queue_head_ = 0;
   for (std::size_t i = 0; i < slots_.size(); ++i) {
     install_fresh_drive(i, 0.0, rs);
   }
 
   const double mission = cfg_.mission_hours;
   for (;;) {
-    // Earliest pending event across the (small) group.
+    // Earliest pending event across the (small) group, read from the
+    // per-slot cached minima.
     double t = kInf;
     std::size_t slot = 0;
     for (std::size_t i = 0; i < slots_.size(); ++i) {
-      const double ti = next_event_time(slots_[i]);
+      const double ti = slots_[i].next_event;
       if (ti < t) {
         t = ti;
         slot = i;

@@ -36,6 +36,7 @@
 #include "obs/trace.h"
 #include "raid/group_config.h"
 #include "rng/rng.h"
+#include "sim/slot_kernel.h"
 
 namespace raidrel::sim {
 
@@ -72,7 +73,11 @@ struct TrialResult {
 /// is never mutated, so one configuration can back many threads.
 class GroupSimulator {
  public:
-  explicit GroupSimulator(const raid::GroupConfig& config);
+  /// `policy` selects between the compiled sampling kernels (default) and
+  /// the reference virtual-dispatch path; both produce bit-identical event
+  /// histories (see slot_kernel.h).
+  explicit GroupSimulator(const raid::GroupConfig& config,
+                          KernelPolicy policy = KernelPolicy::kLowered);
 
   /// Simulate one full mission; `out` is cleared first. Deterministic given
   /// the stream state. When `trace` is non-null it is cleared and then
@@ -93,6 +98,10 @@ class GroupSimulator {
     std::uint64_t defect_zone = 0;  ///< stripe zone (stripe_zones > 0 only)
     bool awaiting_spare = false; ///< failed, rebuild blocked on the pool
     double pending_restore_duration = 0.0;  ///< sampled TTR while waiting
+    /// Cached min of the four timers above, maintained by every mutator so
+    /// the event loop reads one double per slot instead of recomputing the
+    /// min (same values, same comparisons — ordering is unchanged).
+    double next_event = 0.0;
 
     /// Down: rebuilding or blocked on a spare (counts as a fault either way).
     [[nodiscard]] bool restoring() const noexcept;
@@ -118,8 +127,9 @@ class GroupSimulator {
   void handle_spare_arrival(double now, TrialResult& out);
   [[nodiscard]] double next_spare_arrival() const noexcept;
 
-  /// Earliest pending event time for slot i.
-  [[nodiscard]] static double next_event_time(const Slot& s) noexcept;
+  /// Recompute the cached earliest pending event time of a slot; must run
+  /// after any handler mutates one of the slot's four timers.
+  static void refresh_next_event(Slot& s) noexcept;
 
   /// Probability that enough other currently operational drives fail inside
   /// (now, now + window] to exceed the redundancy, from their exact
@@ -129,6 +139,7 @@ class GroupSimulator {
                                          double window) const;
 
   const raid::GroupConfig& cfg_;
+  std::vector<SlotKernel> kernels_;  ///< lowered laws, one per slot
   std::vector<Slot> slots_;
   double group_failed_until_ = 0.0;  ///< DDF freeze window end
   std::size_t ddf_slot_ = SIZE_MAX;  ///< slot whose restore ends the freeze
@@ -139,10 +150,13 @@ class GroupSimulator {
   mutable std::vector<double> probe_p_;
   mutable std::vector<double> probe_dist_;
 
-  // Spare-pool state (unused when cfg_.spare_pool is absent).
+  // Spare-pool state (unused when cfg_.spare_pool is absent). The FIFO
+  // queue is a vector plus a head index so popping the front is O(1); the
+  // storage is recycled whenever the queue drains.
   unsigned spares_available_ = 0;
   std::vector<double> pending_orders_;   ///< replacement arrival times
   std::vector<std::size_t> spare_queue_; ///< slots waiting, FIFO
+  std::size_t spare_queue_head_ = 0;     ///< index of the queue front
 };
 
 }  // namespace raidrel::sim

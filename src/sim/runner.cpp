@@ -126,7 +126,7 @@ RunResult run_monte_carlo(const raid::GroupConfig& config,
     const auto worker_start = std::chrono::steady_clock::now();
     obs::WorkerStats ws;
     RunResult local(config.mission_hours, options.bucket_hours);
-    GroupSimulator simulator(config);
+    GroupSimulator simulator(config, options.kernel_policy);
     TrialResult trial;
     // Claim trials in chunks to keep the atomic out of the hot path while
     // preserving per-trial seeding (work split does not affect results).
@@ -163,6 +163,8 @@ RunResult run_monte_carlo(const raid::GroupConfig& config,
 
   if (threads == 1) {
     worker();
+  } else if (options.pool != nullptr) {
+    options.pool->run(threads, worker);
   } else {
     std::vector<std::thread> pool;
     pool.reserve(threads);
@@ -211,7 +213,7 @@ RunResult run_fleet_monte_carlo(const FleetConfig& config,
     const auto worker_start = std::chrono::steady_clock::now();
     obs::WorkerStats ws;
     RunResult local(mission, options.bucket_hours);
-    FleetSimulator simulator(config);
+    FleetSimulator simulator(config, options.kernel_policy);
     FleetTrialResult trial;
     constexpr std::size_t kChunk = 8;  // fleet trials are heavyweight
     for (;;) {
@@ -249,6 +251,8 @@ RunResult run_fleet_monte_carlo(const FleetConfig& config,
 
   if (threads == 1) {
     worker();
+  } else if (options.pool != nullptr) {
+    options.pool->run(threads, worker);
   } else {
     std::vector<std::thread> pool;
     pool.reserve(threads);

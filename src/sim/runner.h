@@ -13,6 +13,8 @@
 #include "obs/trace.h"
 #include "raid/group_config.h"
 #include "sim/run_result.h"
+#include "sim/slot_kernel.h"
+#include "sim/thread_pool.h"
 
 namespace raidrel::sim {
 
@@ -33,6 +35,17 @@ struct RunOptions {
   /// draws — a run with sinks attached is bit-identical to one without.
   obs::RunTelemetry* telemetry = nullptr;
   obs::EventTrace* trace = nullptr;
+
+  /// Persistent worker pool (owned by the caller, see thread_pool.h). When
+  /// set, multi-threaded runs execute on the pool's parked workers instead
+  /// of spawning and joining std::threads per call — the win for batched
+  /// runs (convergence loops, benches). Null keeps the spawn/join path.
+  /// Work split, telemetry, and results are identical either way.
+  ThreadPool* pool = nullptr;
+
+  /// Compiled-kernel lowering policy (see slot_kernel.h). kVirtualOnly is
+  /// the bit-identical reference path used by the equivalence tests.
+  KernelPolicy kernel_policy = KernelPolicy::kLowered;
 };
 
 /// Run `options.trials` missions of `config` and aggregate.

@@ -1,0 +1,44 @@
+#include "sim/slot_kernel.h"
+
+#include "stats/basic_distributions.h"
+#include "stats/weibull.h"
+
+namespace raidrel::sim {
+
+CompiledLaw CompiledLaw::compile(const stats::Distribution* dist,
+                                 KernelPolicy policy) {
+  CompiledLaw law;
+  if (dist == nullptr) return law;  // kNull
+  law.dist_ = dist;
+  law.kind_ = Kind::kVirtual;
+  if (policy == KernelPolicy::kVirtualOnly) return law;
+
+  if (const auto* w = dynamic_cast<const stats::Weibull*>(dist)) {
+    const stats::WeibullParams& p = w->params();
+    law.a_ = p.gamma;
+    law.b_ = p.eta;
+    law.beta_ = p.beta;
+    law.inv_beta_ = 1.0 / p.beta;  // the constant Weibull itself precomputes
+    law.kind_ =
+        p.beta == 1.0 ? Kind::kExponentialWeibull : Kind::kWeibull;
+    return law;
+  }
+  if (const auto* e = dynamic_cast<const stats::Exponential*>(dist)) {
+    law.b_ = e->rate();
+    law.kind_ = Kind::kExponential;
+    return law;
+  }
+  return law;  // kVirtual fallback (composite/empirical/piecewise/...)
+}
+
+SlotKernel SlotKernel::compile(const raid::SlotModel& model,
+                               KernelPolicy policy) {
+  SlotKernel k;
+  k.op = CompiledLaw::compile(model.time_to_op_failure.get(), policy);
+  k.restore = CompiledLaw::compile(model.time_to_restore.get(), policy);
+  k.latent = CompiledLaw::compile(model.time_to_latent_defect.get(), policy);
+  k.scrub = CompiledLaw::compile(model.time_to_scrub.get(), policy);
+  return k;
+}
+
+}  // namespace raidrel::sim

@@ -1,0 +1,151 @@
+// Compiled sampling kernels for the simulation hot paths.
+//
+// Every simulated event draws lifetimes through the generalized
+// stats::Distribution interface — a virtual call through a DistributionPtr,
+// and for the Weibull family a std::pow even when the shape is 1 and the
+// law is plain exponential. Converged studies run 10^5..10^6 missions per
+// configuration (Fig. 6–10 sweeps), so those per-event costs dominate the
+// engine. At simulator construction each slot's four lifetime laws are
+// lowered once into a flat CompiledLaw: a tagged struct with closed-form
+// fast paths for the laws the paper actually uses, and a Distribution*
+// fallback for everything else (composite, empirical, piecewise, ...).
+//
+// Lowering rules (see docs/MODEL.md §9):
+//   * Weibull with beta == 1  -> kExponentialWeibull: sample is
+//     gamma + eta * E with E ~ Exp(1) (IEEE pow(x, 1.0) == x, so no pow is
+//     needed), cum_hazard is linear, and the residual law collapses to the
+//     same shifted-exponential arithmetic.
+//   * general Weibull         -> kWeibull: the constructor-time constants
+//     (gamma, eta, beta, 1/beta) are stored flat; the arithmetic is the
+//     virtual path's, verbatim, minus the indirect call.
+//   * stats::Exponential      -> kExponential: rate-parameterized closed
+//     forms (sample = E/rate, cum_hazard = rate*t, memoryless residual).
+//   * anything else           -> kVirtual: keep the Distribution* and
+//     forward. Correctness never depends on a law being lowerable.
+//
+// Bit-reproducibility contract: a lowered law consumes exactly the same
+// random draws and performs exactly the same floating-point operations in
+// the same order as the virtual path it replaces (divisions stay divisions;
+// 1/eta is *not* pre-inverted because x/eta and x*(1/eta) differ in the
+// last ulp). Same seed => same event history, verified bitwise by
+// tests/kernel_equivalence_test.cpp against KernelPolicy::kVirtualOnly.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+#include "raid/group_config.h"
+#include "rng/rng.h"
+#include "stats/distribution.h"
+
+namespace raidrel::sim {
+
+/// Whether simulators lower laws into closed-form kernels (the default) or
+/// force every draw through the virtual Distribution interface. The virtual
+/// path exists as the reference for the kernel-equivalence tests and as an
+/// escape hatch when triaging a suspected lowering bug.
+enum class KernelPolicy : std::uint8_t { kLowered, kVirtualOnly };
+
+/// One lifetime law, lowered. Plain value type: copying is cheap and the
+/// kernel never owns the fallback Distribution (the GroupConfig does, and
+/// it must outlive the simulator — the same lifetime rule as before).
+class CompiledLaw {
+ public:
+  enum class Kind : std::uint8_t {
+    kNull,                ///< law absent (optional latent/scrub laws)
+    kExponentialWeibull,  ///< Weibull, beta == 1
+    kWeibull,             ///< Weibull, general beta
+    kExponential,         ///< stats::Exponential
+    kVirtual,             ///< fallback through Distribution*
+  };
+
+  /// Lower `dist` (may be null -> kNull). With kVirtualOnly every non-null
+  /// law becomes kVirtual.
+  static CompiledLaw compile(const stats::Distribution* dist,
+                             KernelPolicy policy = KernelPolicy::kLowered);
+
+  [[nodiscard]] Kind kind() const noexcept { return kind_; }
+  [[nodiscard]] bool present() const noexcept { return kind_ != Kind::kNull; }
+
+  /// Draw one variate; mirrors Distribution::sample bit for bit.
+  [[nodiscard]] double sample(rng::RandomStream& rs) const {
+    switch (kind_) {
+      case Kind::kExponentialWeibull:
+        // Weibull::sample with pow(E, 1.0) == E elided.
+        return a_ + b_ * rs.exponential();
+      case Kind::kWeibull:
+        return a_ + b_ * std::pow(rs.exponential(), inv_beta_);
+      case Kind::kExponential:
+        return rs.exponential() / b_;
+      default:
+        return dist_->sample(rs);
+    }
+  }
+
+  /// Draw the remaining life given survival to `age`; mirrors
+  /// Distribution::sample_residual bit for bit.
+  [[nodiscard]] double sample_residual(double age,
+                                       rng::RandomStream& rs) const {
+    switch (kind_) {
+      case Kind::kExponentialWeibull: {
+        // Weibull::sample_residual with both pow(., 1.0) calls elided:
+        // x1 = h0 + E where h0 = max(age - gamma, 0)/eta.
+        const double x0 = std::max(age - a_, 0.0) / b_;
+        const double t = a_ + b_ * (x0 + rs.exponential());
+        return std::max(0.0, t - age);
+      }
+      case Kind::kWeibull: {
+        const double x0 = std::max(age - a_, 0.0) / b_;
+        const double h0 = x0 > 0.0 ? std::pow(x0, beta_) : 0.0;
+        const double x1 = std::pow(h0 + rs.exponential(), inv_beta_);
+        const double t = a_ + b_ * x1;
+        return std::max(0.0, t - age);
+      }
+      case Kind::kExponential:
+        return rs.exponential() / b_;  // memoryless
+      default:
+        return dist_->sample_residual(age, rs);
+    }
+  }
+
+  /// Cumulative hazard H(t); mirrors Distribution::cum_hazard bit for bit.
+  [[nodiscard]] double cum_hazard(double t) const {
+    switch (kind_) {
+      case Kind::kExponentialWeibull: {
+        const double x = (t - a_) / b_;
+        return x > 0.0 ? x : 0.0;  // pow(x, 1.0) == x
+      }
+      case Kind::kWeibull: {
+        const double x = (t - a_) / b_;
+        return x > 0.0 ? std::pow(x, beta_) : 0.0;
+      }
+      case Kind::kExponential:
+        return t <= 0.0 ? 0.0 : b_ * t;
+      default:
+        return dist_->cum_hazard(t);
+    }
+  }
+
+ private:
+  Kind kind_ = Kind::kNull;
+  // Meaning by kind: Weibull paths use a_ = gamma, b_ = eta;
+  // kExponential uses b_ = rate (a_ unused).
+  double a_ = 0.0;
+  double b_ = 1.0;
+  double beta_ = 1.0;
+  double inv_beta_ = 1.0;
+  const stats::Distribution* dist_ = nullptr;
+};
+
+/// All four lowered laws of one disk slot (Fig. 4's transitions).
+struct SlotKernel {
+  CompiledLaw op;       ///< d_Op
+  CompiledLaw restore;  ///< d_Restore
+  CompiledLaw latent;   ///< d_Ld (kNull when latent defects are off)
+  CompiledLaw scrub;    ///< d_Scrub (kNull when scrubbing is off)
+
+  static SlotKernel compile(const raid::SlotModel& model,
+                            KernelPolicy policy = KernelPolicy::kLowered);
+};
+
+}  // namespace raidrel::sim

@@ -1,0 +1,58 @@
+// Persistent worker pool for the Monte Carlo drivers.
+//
+// run_until_converged issues one run_monte_carlo call per batch, and every
+// call used to spawn and join a fresh std::thread per worker — tens of
+// thread creations per converged study, paid on the hot path between
+// batches. A ThreadPool keeps the workers parked on a condition variable
+// instead: run() hands the same callable to `tasks` workers and blocks
+// until all of them finish, exactly the semantics of the old spawn/join
+// block. The convergence loop owns one pool for all of its batches, and
+// any caller of run_monte_carlo / run_fleet_monte_carlo can pass its own
+// through RunOptions::pool (e.g. a bench iterating over many runs).
+//
+// The pool deliberately has no task queue: the runner's workers already
+// self-schedule by claiming trial chunks from a shared atomic, so the pool
+// only needs "execute this callable N times concurrently, then wait".
+#pragma once
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace raidrel::sim {
+
+class ThreadPool {
+ public:
+  /// Workers are started lazily by run(); construction is free.
+  ThreadPool() = default;
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+  ~ThreadPool();
+
+  /// Execute `fn` `tasks` times concurrently on pool workers and block
+  /// until every invocation returns. Grows the pool to `tasks` workers on
+  /// first use. Not reentrant: one run() at a time (the drivers call it
+  /// from a single coordinating thread, as the old spawn/join did).
+  void run(unsigned tasks, const std::function<void()>& fn);
+
+  /// Workers currently parked or running.
+  [[nodiscard]] unsigned worker_count() const noexcept {
+    return static_cast<unsigned>(workers_.size());
+  }
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable work_ready_;
+  std::condition_variable work_done_;
+  const std::function<void()>* job_ = nullptr;
+  unsigned unclaimed_ = 0;  ///< invocations not yet picked up by a worker
+  unsigned active_ = 0;     ///< invocations picked up and still running
+  bool shutdown_ = false;
+};
+
+}  // namespace raidrel::sim

@@ -11,7 +11,8 @@ namespace {
 constexpr double kInf = std::numeric_limits<double>::infinity();
 }
 
-TimingDiagramEngine::TimingDiagramEngine(const raid::GroupConfig& config)
+TimingDiagramEngine::TimingDiagramEngine(const raid::GroupConfig& config,
+                                         KernelPolicy policy)
     : cfg_(config) {
   cfg_.validate();
   RAIDREL_REQUIRE(!cfg_.spare_pool.has_value(),
@@ -20,6 +21,10 @@ TimingDiagramEngine::TimingDiagramEngine(const raid::GroupConfig& config)
   RAIDREL_REQUIRE(cfg_.stripe_zones == 0,
                   "TimingDiagramEngine does not implement the stripe-"
                   "collision refinement; use GroupSimulator");
+  kernels_.reserve(cfg_.slots.size());
+  for (const auto& slot : cfg_.slots) {
+    kernels_.push_back(SlotKernel::compile(slot, policy));
+  }
   timelines_.resize(cfg_.slots.size());
 }
 
@@ -28,19 +33,19 @@ void TimingDiagramEngine::build_timeline(std::size_t i, rng::RandomStream& rs,
                                          TrialResult& out) const {
   timeline.downs.clear();
   timeline.defects.clear();
-  const raid::SlotModel& m = cfg_.slots[i];
+  const SlotKernel& k = kernels_[i];
   const double mission = cfg_.mission_hours;
 
   double install = 0.0;
   while (install < mission) {
-    const double life = m.time_to_op_failure->sample(rs);
+    const double life = k.op.sample(rs);
     const double fail = install + life;
 
     // Latent defects of this drive: alternating d_Ld / d_Scrub renewal
     // inside (install, min(fail, mission)); each defect is cleared by its
     // scrub or by the drive's own replacement, and a new countdown only
     // starts after the scrub (paper §5).
-    if (m.latent_defects_enabled()) {
+    if (k.latent.present()) {
       const double end = std::min(fail, mission);
       double cursor = install;
       // A rebuilt (non-initial) drive may start life with a write-error
@@ -50,8 +55,8 @@ void TimingDiagramEngine::build_timeline(std::size_t i, rng::RandomStream& rs,
           install < end) {
         ++out.latent_defects;
         double clears = kInf;
-        if (m.scrubbing_enabled()) {
-          clears = install + m.time_to_scrub->sample(rs);
+        if (k.scrub.present()) {
+          clears = install + k.scrub.sample(rs);
           if (clears <= end) ++out.scrubs_completed;
         }
         timeline.defects.push_back({install, std::min(clears, fail)});
@@ -65,17 +70,16 @@ void TimingDiagramEngine::build_timeline(std::size_t i, rng::RandomStream& rs,
       for (;;) {
         double gap;
         if (cfg_.latent_clock == raid::LatentClock::kDriveAge) {
-          gap = m.time_to_latent_defect->sample_residual(cursor - install,
-                                                         rs);
+          gap = k.latent.sample_residual(cursor - install, rs);
         } else {
-          gap = m.time_to_latent_defect->sample(rs);
+          gap = k.latent.sample(rs);
         }
         const double occurred = cursor + gap;
         if (occurred >= end) break;
         ++out.latent_defects;
         double clears = kInf;
-        if (m.scrubbing_enabled()) {
-          clears = occurred + m.time_to_scrub->sample(rs);
+        if (k.scrub.present()) {
+          clears = occurred + k.scrub.sample(rs);
           if (clears <= end) ++out.scrubs_completed;
         }
         // The defect cannot outlive the drive.
@@ -87,7 +91,7 @@ void TimingDiagramEngine::build_timeline(std::size_t i, rng::RandomStream& rs,
 
     if (fail >= mission) break;
     ++out.op_failures;
-    const double restored = fail + m.time_to_restore->sample(rs);
+    const double restored = fail + k.restore.sample(rs);
     timeline.downs.push_back({fail, restored});
     if (restored < mission) ++out.restores_completed;
     install = restored;

@@ -31,7 +31,11 @@ namespace raidrel::sim {
 
 class TimingDiagramEngine {
  public:
-  explicit TimingDiagramEngine(const raid::GroupConfig& config);
+  /// `policy` selects between the compiled sampling kernels (default) and
+  /// the reference virtual-dispatch path; both produce bit-identical
+  /// timelines (see slot_kernel.h).
+  explicit TimingDiagramEngine(const raid::GroupConfig& config,
+                               KernelPolicy policy = KernelPolicy::kLowered);
 
   /// Simulate one mission; fills `out` (probe entries are not produced).
   void run_trial(rng::RandomStream& rs, TrialResult& out);
@@ -54,6 +58,7 @@ class TimingDiagramEngine {
                       SlotTimeline& timeline, TrialResult& out) const;
 
   const raid::GroupConfig& cfg_;
+  std::vector<SlotKernel> kernels_;  ///< lowered laws, one per slot
   std::vector<SlotTimeline> timelines_;
 };
 
