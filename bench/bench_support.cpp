@@ -71,10 +71,13 @@ BenchOptions parse_options(int argc, char** argv,
                            std::size_t default_trials) {
   const util::CliArgs args(argc, argv);
   BenchOptions opt;
-  opt.trials = static_cast<std::size_t>(
-      args.get_int("trials", static_cast<long long>(default_trials)));
+  // Lower bounds before the unsigned casts: "--trials -1" must not wrap
+  // into an 18-quintillion-trial run, "--threads -2" not into 4 billion.
+  opt.trials = static_cast<std::size_t>(args.get_int_at_least(
+      "trials", static_cast<long long>(default_trials), 1));
   opt.seed = static_cast<std::uint64_t>(args.get_int("seed", 20070625));
-  opt.threads = static_cast<unsigned>(args.get_int("threads", 0));
+  opt.threads =
+      static_cast<unsigned>(args.get_int_at_least("threads", 0, 0));
   opt.bucket_hours = args.get_double("bucket-hours", 730.0);
   opt.chart = !args.get_bool("no-chart", false);
   opt.csv = args.get_bool("csv", false);

@@ -15,12 +15,14 @@
 #include "sim/group_simulator.h"
 #include "sim/runner.h"
 #include "util/cli.h"
+#include "util/error.h"
 #include "util/strings.h"
 
-int main(int argc, char** argv) {
+int main(int argc, char** argv) try {
   using namespace raidrel;
   const util::CliArgs args(argc, argv);
-  const auto fleet = static_cast<std::size_t>(args.get_int("fleet", 2000));
+  const auto fleet =
+      static_cast<std::size_t>(args.get_int_at_least("fleet", 2000, 1));
   const double observed_years = args.get_double("observed-years", 4.0);
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 2));
   const double observed_hours = observed_years * 8760.0;
@@ -89,4 +91,7 @@ int main(int argc, char** argv) {
             << " — a monitoring dashboard would alarm on sustained "
                "divergence between these two numbers.\n";
   return 0;
+} catch (const raidrel::ModelError& e) {
+  std::cerr << "error: " << e.what() << "\n";
+  return 2;
 }

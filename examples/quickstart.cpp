@@ -15,8 +15,9 @@
 #include "core/presets.h"
 #include "obs/run_telemetry.h"
 #include "util/cli.h"
+#include "util/error.h"
 
-int main(int argc, char** argv) {
+int main(int argc, char** argv) try {
   using namespace raidrel;
   const util::CliArgs args(argc, argv);
 
@@ -32,7 +33,8 @@ int main(int argc, char** argv) {
   //    digest). It never changes the simulated results.
   obs::RunTelemetry telemetry;
   sim::RunOptions run;
-  run.trials = static_cast<std::size_t>(args.get_int("trials", 50000));
+  run.trials =
+      static_cast<std::size_t>(args.get_int_at_least("trials", 50000, 1));
   run.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
   run.telemetry = &telemetry;
   const core::ScenarioResult result = core::evaluate_scenario(scenario, run);
@@ -78,4 +80,7 @@ int main(int argc, char** argv) {
     std::cout << "run manifest written to " << manifest << "\n";
   }
   return 0;
+} catch (const raidrel::ModelError& e) {
+  std::cerr << "error: " << e.what() << "\n";
+  return 2;
 }

@@ -4,73 +4,105 @@
 // double parity at a fixed usable-capacity target and reports data-loss
 // rates and capacity overhead.
 //
-//   $ ./raid_group_planner [--data-drives 28] [--trials N]
+//   $ ./raid_group_planner [--data-drives 28] [--trials N] [--threads N]
+//                          [--manifest cache.json]
+//
+// The layouts are one axis of a sweep::SweepSpec run on the sharded sweep
+// engine; pass --manifest to cache converged layouts across invocations
+// (replanning for a different capacity reuses every layout already run).
 #include <iostream>
+#include <vector>
 
-#include "core/model.h"
 #include "core/presets.h"
 #include "report/table.h"
+#include "sweep/sweep_runner.h"
 #include "util/cli.h"
+#include "util/error.h"
 #include "util/strings.h"
 
 int main(int argc, char** argv) {
   using namespace raidrel;
-  const util::CliArgs args(argc, argv);
-  // Total data drives the deployment must provide (spread across groups).
-  const auto data_drives =
-      static_cast<unsigned>(args.get_int("data-drives", 28));
+  try {
+    const util::CliArgs args(argc, argv);
+    // Total data drives the deployment must provide (spread across groups).
+    // At least one; a negative count would wrap through the unsigned cast.
+    const auto data_drives =
+        static_cast<unsigned>(args.get_int_at_least("data-drives", 28, 1));
 
-  sim::RunOptions run;
-  run.trials = static_cast<std::size_t>(args.get_int("trials", 40000));
-  run.seed = static_cast<std::uint64_t>(args.get_int("seed", 5));
+    std::cout << "Planning for " << data_drives
+              << " data drives' worth of capacity, paper base-case drives "
+                 "(beta 1.12) with 168 h scrub, 10-year mission.\n\n";
 
-  std::cout << "Planning for " << data_drives
-            << " data drives' worth of capacity, paper base-case drives "
-               "(beta 1.12) with 168 h scrub, 10-year mission.\n\n";
+    struct Layout {
+      unsigned group_width;  // total drives per group
+      unsigned redundancy;
+    };
+    const std::vector<Layout> layouts = {{4, 1}, {8, 1}, {14, 1},
+                                         {6, 2}, {10, 2}, {16, 2}};
 
-  report::Table table({"layout", "groups", "drives total",
-                       "parity overhead", "DDFs per deployment (10 yr)",
-                       "+/- SEM"});
+    sweep::SweepSpec spec("group-planner", core::presets::base_case());
+    sweep::Axis axis{"layout", {}};
+    for (const Layout& layout : layouts) {
+      const unsigned width = layout.group_width;
+      const unsigned redundancy = layout.redundancy;
+      axis.points.push_back(
+          {std::to_string(width - redundancy) + "+" +
+               std::to_string(redundancy),
+           [width, redundancy](core::ScenarioConfig& s) {
+             s.group_drives = width;
+             s.redundancy = redundancy;
+           }});
+    }
+    spec.add_axis(std::move(axis));
 
-  struct Layout {
-    unsigned group_width;  // total drives per group
-    unsigned redundancy;
-  };
-  std::vector<Layout> layouts = {{4, 1}, {8, 1}, {14, 1},
-                                 {6, 2}, {10, 2}, {16, 2}};
-  for (const auto& layout : layouts) {
-    const unsigned data_per_group = layout.group_width - layout.redundancy;
-    const unsigned groups =
-        (data_drives + data_per_group - 1) / data_per_group;
+    const auto trials =
+        static_cast<std::size_t>(args.get_int_at_least("trials", 40000, 1));
+    sweep::SweepOptions opt;
+    opt.convergence.seed = static_cast<std::uint64_t>(args.get_int("seed", 5));
+    opt.convergence.max_trials = trials;
+    opt.convergence.batch_trials = std::min<std::size_t>(20000, trials);
+    opt.convergence.min_trials = opt.convergence.batch_trials;
+    opt.convergence.target_relative_sem = 0.05;
+    opt.threads =
+        static_cast<unsigned>(args.get_int_at_least("threads", 0, 0));
+    opt.manifest_path = args.get_string("manifest", "");
 
-    core::ScenarioConfig scenario = core::presets::base_case();
-    scenario.group_drives = layout.group_width;
-    scenario.redundancy = layout.redundancy;
-    scenario.name = std::to_string(data_per_group) + "+" +
-                    std::to_string(layout.redundancy);
-    const auto result = core::evaluate_scenario(scenario, run);
+    const auto sweep_result = sweep::SweepRunner(opt).run(spec);
 
-    // DDFs for the whole deployment = per-group rate x number of groups.
-    const double per_deployment = result.run.total_ddfs_per_1000() / 1000.0 *
-                                  static_cast<double>(groups);
-    const double sem = result.run.total_ddfs_per_1000_sem() / 1000.0 *
-                       static_cast<double>(groups);
-    const double overhead =
-        static_cast<double>(layout.redundancy * groups) /
-        static_cast<double>(layout.group_width * groups);
-    table.add_row({scenario.name, std::to_string(groups),
-                   std::to_string(layout.group_width * groups),
-                   util::format_fixed(overhead * 100.0, 1) + "%",
-                   util::format_general(per_deployment, 3),
-                   util::format_general(sem, 2)});
+    report::Table table({"layout", "groups", "drives total",
+                         "parity overhead", "DDFs per deployment (10 yr)",
+                         "+/- SEM"});
+    for (std::size_t i = 0; i < sweep_result.cells.size(); ++i) {
+      const auto& cell = sweep_result.cells[i];
+      const Layout& layout = layouts[i];
+      const unsigned data_per_group = layout.group_width - layout.redundancy;
+      const unsigned groups =
+          (data_drives + data_per_group - 1) / data_per_group;
+
+      // DDFs for the whole deployment = per-group rate x number of groups.
+      const double per_deployment = cell.total_ddfs_per_1000 / 1000.0 *
+                                    static_cast<double>(groups);
+      const double sem =
+          cell.sem_per_1000 / 1000.0 * static_cast<double>(groups);
+      const double overhead = static_cast<double>(layout.redundancy) /
+                              static_cast<double>(layout.group_width);
+      table.add_row({cell.coordinates.front().second, std::to_string(groups),
+                     std::to_string(layout.group_width * groups),
+                     util::format_fixed(overhead * 100.0, 1) + "%",
+                     util::format_general(per_deployment, 3),
+                     util::format_general(sem, 2)});
+    }
+    table.print_text(std::cout);
+
+    std::cout
+        << "\nReading the table: wider single-parity groups cost less "
+           "capacity but lose data faster (the paper's N(N+1) scaling, made "
+           "worse by latent defects); double parity buys orders of magnitude "
+           "even at wider widths — the paper's \"eventually, RAID 6 will be "
+           "required\".\n";
+    return 0;
+  } catch (const raidrel::ModelError& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
   }
-  table.print_text(std::cout);
-
-  std::cout
-      << "\nReading the table: wider single-parity groups cost less "
-         "capacity but lose data faster (the paper's N(N+1) scaling, made "
-         "worse by latent defects); double parity buys orders of magnitude "
-         "even at wider widths — the paper's \"eventually, RAID 6 will be "
-         "required\".\n";
-  return 0;
 }

@@ -1,0 +1,197 @@
+// raidrel_sweep — the paper's sensitivity studies in one command.
+//
+// Reproduces the Table 3 scrub comparison and the figure sweeps (scrub
+// period, restore time, latent-defect rate from the Table 1 grid, disk
+// vintage, group size) on the sharded sweep engine, with a digest-keyed
+// result cache per study:
+//
+//   $ ./raidrel_sweep                      # every study, cached manifests
+//   $ ./raidrel_sweep --study table3       # just the Table 3 comparison
+//   $ ./raidrel_sweep --study table3 --max-cells 2   # "interrupt" early
+//   $ ./raidrel_sweep --study table3       # ...and resume the remainder
+//
+// A rerun with the same settings simulates nothing (every cell is cached)
+// and rewrites byte-identical manifests; an interrupted sweep resumes from
+// where it stopped. --trials bounds the per-cell adaptive budget.
+#include <iostream>
+#include <vector>
+
+#include "analytic/mttdl.h"
+#include "core/presets.h"
+#include "field/paper_products.h"
+#include "report/table.h"
+#include "sweep/sweep_runner.h"
+#include "util/cli.h"
+#include "util/error.h"
+#include "util/strings.h"
+
+namespace {
+
+using namespace raidrel;
+
+struct StudyOutput {
+  bool ratio_vs_mttdl = false;  ///< add Table 3's ratio column
+};
+
+sweep::SweepSpec make_study(const std::string& study) {
+  if (study == "table3") {
+    // Table 3: first-year DDFs under each scrub policy, worst (no scrub)
+    // first, against the MTTDL prediction.
+    return sweep::SweepSpec("table3", core::presets::base_case())
+        .add_scrub_period_axis({336.0, 168.0, 48.0, 12.0},
+                               /*include_no_scrub=*/true);
+  }
+  if (study == "scrub") {
+    // The paper's scrub-duration sweep (Fig. 9 in the repo's numbering).
+    return sweep::SweepSpec("scrub", core::presets::base_case())
+        .add_scrub_period_axis(core::presets::fig9_scrub_durations());
+  }
+  if (study == "restore") {
+    // Restore-time sensitivity: the paper's point that rebuild time drives
+    // the double-failure window.
+    return sweep::SweepSpec("restore", core::presets::base_case())
+        .add_restore_eta_axis({6.0, 12.0, 24.0, 48.0, 96.0});
+  }
+  if (study == "latent") {
+    // The full Table 1 RER x read-rate grid of latent-defect rates.
+    return sweep::SweepSpec("latent", core::presets::base_case())
+        .add_table1_latent_axis();
+  }
+  if (study == "vintage") {
+    // The Fig. 2 vintages: same product, different failure laws.
+    std::vector<std::pair<std::string, stats::WeibullParams>> laws;
+    laws.emplace_back("base", core::presets::base_case().ttop);
+    for (const auto& v : field::figure2_vintages()) {
+      laws.emplace_back(v.name, v.true_params);
+    }
+    return sweep::SweepSpec("vintage", core::presets::base_case())
+        .add_op_law_axis(laws);
+  }
+  if (study == "group") {
+    return sweep::SweepSpec("group", core::presets::base_case())
+        .add_group_size_axis({4, 6, 8, 10, 14});
+  }
+  throw ModelError("unknown --study \"" + study +
+                   "\"; valid choices: table3, scrub, restore, latent, "
+                   "vintage, group, all");
+}
+
+void print_study(const sweep::SweepSpec& spec,
+                 const sweep::SweepResult& result, const StudyOutput& out) {
+  const double first_year = 8760.0;
+  double mttdl_first_year = 0.0;
+  if (out.ratio_vs_mttdl) {
+    mttdl_first_year = analytic::expected_ddfs(core::presets::mttdl_inputs(),
+                                               first_year, 1000.0);
+  }
+
+  std::vector<std::string> headers;
+  for (const auto& axis : spec.axes()) headers.push_back(axis.name);
+  headers.insert(headers.end(),
+                 {"trials", "stop", "DDFs/1000 (10 yr)", "+/- SEM",
+                  "year-1 /1000"});
+  if (out.ratio_vs_mttdl) headers.push_back("ratio vs MTTDL");
+
+  report::Table table(std::move(headers));
+  for (const auto& cell : result.cells) {
+    std::vector<std::string> row;
+    for (const auto& [axis, value] : cell.coordinates) row.push_back(value);
+    row.push_back(std::to_string(cell.trials));
+    row.push_back(cell.stop);
+    row.push_back(util::format_general(cell.total_ddfs_per_1000, 4));
+    row.push_back(util::format_general(cell.sem_per_1000, 2));
+    row.push_back(util::format_general(cell.year1_ddfs_per_1000, 4));
+    if (out.ratio_vs_mttdl) {
+      row.push_back(util::format_fixed(
+          cell.year1_ddfs_per_1000 / mttdl_first_year, 0));
+    }
+    table.add_row(std::move(row));
+  }
+  table.print_text(std::cout);
+  if (out.ratio_vs_mttdl) {
+    std::cout << "MTTDL (eq. 3) predicts " << util::format_fixed(
+                     mttdl_first_year, 4)
+              << " DDFs/1000 groups in year 1 — the ratio column is the "
+                 "paper's headline.\n";
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const util::CliArgs args(argc, argv);
+
+    const std::string study = args.get_string("study", "all");
+    std::vector<std::string> studies;
+    if (study == "all") {
+      studies = {"table3", "scrub", "restore", "latent", "vintage", "group"};
+    } else {
+      studies = {study};
+    }
+
+    const auto trials =
+        static_cast<std::size_t>(args.get_int_at_least("trials", 60000, 1));
+    sweep::SweepOptions opt;
+    opt.convergence.seed =
+        static_cast<std::uint64_t>(args.get_int("seed", 20070625));
+    opt.convergence.max_trials = trials;
+    opt.convergence.batch_trials = std::min<std::size_t>(
+        static_cast<std::size_t>(
+            args.get_int_at_least("batch", 20000, 1)),
+        trials);
+    opt.convergence.min_trials = opt.convergence.batch_trials;
+    opt.convergence.target_relative_sem =
+        args.get_double("target-sem", 0.05);
+    opt.threads =
+        static_cast<unsigned>(args.get_int_at_least("threads", 0, 0));
+    opt.resume = !args.get_bool("no-resume", false);
+    opt.max_cells =
+        static_cast<std::size_t>(args.get_int_at_least("max-cells", 0, 0));
+    opt.progress = args.get_bool("quiet", false) ? nullptr : &std::cout;
+
+    // One manifest per study: "--manifest path" names it directly when a
+    // single study runs; otherwise "--manifest-prefix p" yields
+    // "p<study>.manifest.json" (default prefix "sweep.").
+    const std::string manifest_override = args.get_string("manifest", "");
+    RAIDREL_REQUIRE(manifest_override.empty() || studies.size() == 1,
+                    "--manifest needs a single --study; use "
+                    "--manifest-prefix for --study all");
+    const std::string prefix = args.get_string("manifest-prefix", "sweep.");
+    const bool cache = !args.get_bool("no-cache", false);
+
+    for (const auto& name : studies) {
+      const sweep::SweepSpec spec = make_study(name);
+      sweep::SweepOptions study_opt = opt;
+      if (cache) {
+        study_opt.manifest_path = !manifest_override.empty()
+                                      ? manifest_override
+                                      : prefix + name + ".manifest.json";
+      }
+      std::cout << "== study " << name << " (" << spec.cell_count()
+                << " cells, seed " << study_opt.convergence.seed
+                << ", <= " << trials << " trials/cell) ==\n";
+      const sweep::SweepResult result =
+          sweep::SweepRunner(study_opt).run(spec);
+      std::cout << result.simulated << " simulated, " << result.cached
+                << " cached";
+      if (!study_opt.manifest_path.empty()) {
+        std::cout << " -> " << study_opt.manifest_path;
+      }
+      std::cout << "\n";
+      if (!result.complete) {
+        std::cout << "sweep interrupted after " << result.cells.size()
+                  << "/" << result.total_cells
+                  << " cells (--max-cells); rerun to resume.\n\n";
+        continue;
+      }
+      std::cout << "sweep digest: " << result.sweep_digest << "\n";
+      print_study(spec, result, {.ratio_vs_mttdl = name == "table3"});
+      std::cout << "\n";
+    }
+    return 0;
+  } catch (const raidrel::ModelError& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
+}

@@ -17,9 +17,10 @@
 #include "stats/fit.h"
 #include "stats/gof.h"
 #include "util/cli.h"
+#include "util/error.h"
 #include "util/strings.h"
 
-int main(int argc, char** argv) {
+int main(int argc, char** argv) try {
   using namespace raidrel;
   const util::CliArgs args(argc, argv);
   const auto vintages = field::figure2_vintages();
@@ -68,7 +69,8 @@ int main(int argc, char** argv) {
 
   // --- Step 4: plug the fitted vintage into the RAID model.
   sim::RunOptions run;
-  run.trials = static_cast<std::size_t>(args.get_int("trials", 40000));
+  run.trials =
+      static_cast<std::size_t>(args.get_int_at_least("trials", 40000, 1));
   run.seed = 1234;
 
   core::ScenarioConfig scenario = core::presets::base_case();
@@ -93,4 +95,7 @@ int main(int argc, char** argv) {
                "the MTBF the MTTDL method would have assumed — exactly how "
                "a practitioner would (mis)use it.\n";
   return 0;
+} catch (const raidrel::ModelError& e) {
+  std::cerr << "error: " << e.what() << "\n";
+  return 2;
 }

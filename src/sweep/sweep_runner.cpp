@@ -1,0 +1,386 @@
+#include "sweep/sweep_runner.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+#include <thread>
+#include <unordered_map>
+
+#include "obs/json_reader.h"
+#include "obs/json_writer.h"
+#include "obs/run_telemetry.h"
+#include "sim/runner.h"
+#include "sim/thread_pool.h"
+#include "util/error.h"
+
+namespace raidrel::sweep {
+
+namespace {
+
+constexpr const char* kSchema = "raidrel-sweep-manifest/1";
+
+void append_double(std::string& out, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  out += buf;
+}
+
+void append_u64(std::string& out, std::uint64_t v) {
+  out += std::to_string(v);
+}
+
+}  // namespace
+
+std::uint64_t cell_cache_key(std::uint64_t config_digest,
+                             const sim::ConvergenceOptions& options) {
+  std::string canon;
+  canon.reserve(192);
+  canon += "cell{config=";
+  append_u64(canon, config_digest);
+  canon += ";seed=";
+  append_u64(canon, options.seed);
+  canon += ";rel=";
+  append_double(canon, options.target_relative_sem);
+  canon += ";abs=";
+  append_double(canon, options.target_absolute_sem);
+  canon += ";zero=";
+  append_double(canon, options.zero_ddf_upper_bound);
+  canon += ";batch=";
+  append_u64(canon, options.batch_trials);
+  canon += ";min=";
+  append_u64(canon, options.min_trials);
+  canon += ";max=";
+  append_u64(canon, options.max_trials);
+  canon += ";bucket=";
+  append_double(canon, options.bucket_hours);
+  canon += '}';
+  return obs::fnv1a64(canon);
+}
+
+std::uint64_t cell_result_digest(const CellResult& r) {
+  std::string canon;
+  canon.reserve(256);
+  canon += "result{trials=";
+  append_u64(canon, r.trials);
+  canon += ";batches=";
+  append_u64(canon, r.batches);
+  canon += ";converged=";
+  canon += r.converged ? '1' : '0';
+  canon += ";stop=";
+  canon += r.stop;
+  canon += ";total=";
+  append_double(canon, r.total_ddfs_per_1000);
+  canon += ";sem=";
+  append_double(canon, r.sem_per_1000);
+  canon += ";rel=";
+  append_double(canon, r.relative_sem);
+  canon += ";year1=";
+  append_double(canon, r.year1_ddfs_per_1000);
+  canon += ";dop=";
+  append_double(canon, r.double_op_per_1000);
+  canon += ";lto=";
+  append_double(canon, r.latent_then_op_per_1000);
+  canon += ";opf=";
+  append_u64(canon, r.op_failures);
+  canon += ";ld=";
+  append_u64(canon, r.latent_defects);
+  canon += ";scrubs=";
+  append_u64(canon, r.scrubs_completed);
+  canon += ";restores=";
+  append_u64(canon, r.restores_completed);
+  canon += '}';
+  return obs::fnv1a64(canon);
+}
+
+namespace {
+
+/// The manifest cache loaded from disk: result entries keyed by cell key.
+/// Identity fields (index, label, coordinates) always come from the
+/// *current* expansion, so relabeling an axis never stales the cache.
+std::unordered_map<std::uint64_t, CellResult> load_cache(
+    const std::string& path) {
+  std::unordered_map<std::uint64_t, CellResult> cache;
+  std::ifstream in(path);
+  if (!in) return cache;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  obs::JsonValue root;
+  try {
+    root = obs::parse_json(buf.str());
+  } catch (const ModelError&) {
+    return cache;  // corrupt or truncated manifest: resimulate everything
+  }
+  try {
+    if (!root.is_object()) return cache;
+    const obs::JsonValue* schema = root.find("schema");
+    if (schema == nullptr || schema->as_string() != kSchema) return cache;
+    for (const auto& entry : root.get("cells").items()) {
+      CellResult r;
+      r.config_digest = entry.get("config_digest").as_uint64();
+      r.cell_key = entry.get("cell_key").as_uint64();
+      r.trials = entry.get("trials").as_uint64();
+      r.batches = entry.get("batches").as_uint64();
+      r.converged = entry.get("converged").as_bool();
+      r.stop = entry.get("stop").as_string();
+      r.total_ddfs_per_1000 = entry.get("total_ddfs_per_1000").as_double();
+      r.sem_per_1000 = entry.get("sem_per_1000").as_double();
+      r.relative_sem = entry.get("relative_sem").as_double();
+      r.year1_ddfs_per_1000 = entry.get("year1_ddfs_per_1000").as_double();
+      r.double_op_per_1000 = entry.get("double_op_per_1000").as_double();
+      r.latent_then_op_per_1000 =
+          entry.get("latent_then_op_per_1000").as_double();
+      r.op_failures = entry.get("op_failures").as_uint64();
+      r.latent_defects = entry.get("latent_defects").as_uint64();
+      r.scrubs_completed = entry.get("scrubs_completed").as_uint64();
+      r.restores_completed = entry.get("restores_completed").as_uint64();
+      r.result_digest = entry.get("result_digest").as_uint64();
+      // A tampered or bit-rotted entry must not masquerade as a result.
+      if (cell_result_digest(r) != r.result_digest) continue;
+      r.from_cache = true;
+      cache.emplace(r.cell_key, std::move(r));
+    }
+  } catch (const ModelError&) {
+    // A malformed entry invalidates the whole cache: partial trust in a
+    // manifest is worse than an honest resimulation.
+    cache.clear();
+  }
+  return cache;
+}
+
+void write_cell(obs::JsonWriter& w, const CellResult& r) {
+  w.begin_object();
+  w.kv("index", static_cast<std::uint64_t>(r.index));
+  w.kv("label", std::string_view(r.label));
+  w.key("coordinates");
+  w.begin_object();
+  for (const auto& [axis, value] : r.coordinates) {
+    w.kv(std::string_view(axis), std::string_view(value));
+  }
+  w.end_object();
+  w.kv("config_digest", r.config_digest);
+  w.kv("cell_key", r.cell_key);
+  w.kv("trials", r.trials);
+  w.kv("batches", r.batches);
+  w.kv("converged", r.converged);
+  w.kv("stop", std::string_view(r.stop));
+  w.kv("total_ddfs_per_1000", r.total_ddfs_per_1000);
+  w.kv("sem_per_1000", r.sem_per_1000);
+  w.kv("relative_sem", r.relative_sem);
+  w.kv("year1_ddfs_per_1000", r.year1_ddfs_per_1000);
+  w.kv("double_op_per_1000", r.double_op_per_1000);
+  w.kv("latent_then_op_per_1000", r.latent_then_op_per_1000);
+  w.kv("op_failures", r.op_failures);
+  w.kv("latent_defects", r.latent_defects);
+  w.kv("scrubs_completed", r.scrubs_completed);
+  w.kv("restores_completed", r.restores_completed);
+  w.kv("result_digest", r.result_digest);
+  w.end_object();
+}
+
+/// Atomically (re)write the manifest with every completed cell, sorted by
+/// index. No wall-clock or host-specific fields: the final manifest of a
+/// resumed sweep must be byte-identical to a single-pass one.
+void write_manifest(const std::string& path, const std::string& sweep_name,
+                    const sim::ConvergenceOptions& conv,
+                    std::size_t total_cells,
+                    const std::vector<const CellResult*>& completed) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp);
+    RAIDREL_REQUIRE(out.good(),
+                    "cannot write sweep manifest: " + tmp);
+    obs::JsonWriter w(out);
+    w.begin_object();
+    w.kv("schema", kSchema);
+    w.kv("sweep", std::string_view(sweep_name));
+    w.key("options");
+    w.begin_object();
+    w.kv("seed", conv.seed);
+    w.kv("target_relative_sem", conv.target_relative_sem);
+    w.kv("target_absolute_sem", conv.target_absolute_sem);
+    w.kv("zero_ddf_upper_bound", conv.zero_ddf_upper_bound);
+    w.kv("batch_trials", static_cast<std::uint64_t>(conv.batch_trials));
+    w.kv("min_trials", static_cast<std::uint64_t>(conv.min_trials));
+    w.kv("max_trials", static_cast<std::uint64_t>(conv.max_trials));
+    w.kv("bucket_hours", conv.bucket_hours);
+    w.end_object();
+    w.kv("total_cells", static_cast<std::uint64_t>(total_cells));
+    w.key("cells");
+    w.begin_array();
+    for (const CellResult* r : completed) write_cell(w, *r);
+    w.end_array();
+    w.end_object();
+    out << '\n';
+    RAIDREL_REQUIRE(out.good(), "write failed for sweep manifest: " + tmp);
+  }
+  RAIDREL_REQUIRE(std::rename(tmp.c_str(), path.c_str()) == 0,
+                  "cannot move sweep manifest into place: " + path);
+}
+
+CellResult simulate_cell(const SweepCell& cell,
+                         const sim::ConvergenceOptions& base_options) {
+  sim::ConvergenceOptions opt = base_options;
+  opt.threads = 1;  // determinism: a cell is one worker's serial job
+  opt.telemetry = nullptr;
+  opt.trace = nullptr;
+  const raid::GroupConfig config = cell.scenario.to_group_config();
+  const sim::ConvergedRun run = sim::run_until_converged(config, opt);
+
+  CellResult r;
+  r.index = cell.index;
+  r.label = cell.label;
+  r.coordinates = cell.coordinates;
+  r.config_digest = cell.config_digest;
+  r.cell_key = cell_cache_key(cell.config_digest, base_options);
+  r.trials = run.result.trials();
+  r.batches = run.batches;
+  r.converged = run.converged;
+  r.stop = sim::to_string(run.stop);
+  r.total_ddfs_per_1000 = run.result.total_ddfs_per_1000();
+  r.sem_per_1000 = run.absolute_sem;
+  r.relative_sem = std::isfinite(run.relative_sem) ? run.relative_sem : -1.0;
+  const double year1 = std::min(8760.0, config.mission_hours);
+  r.year1_ddfs_per_1000 = run.result.ddfs_per_1000_at(year1);
+  r.double_op_per_1000 =
+      run.result.total_per_1000(raid::DdfKind::kDoubleOperational);
+  r.latent_then_op_per_1000 =
+      run.result.total_per_1000(raid::DdfKind::kLatentThenOp);
+  r.op_failures = run.result.op_failures();
+  r.latent_defects = run.result.latent_defects();
+  r.scrubs_completed = run.result.scrubs_completed();
+  r.restores_completed = run.result.restores_completed();
+  r.result_digest = cell_result_digest(r);
+  return r;
+}
+
+}  // namespace
+
+SweepRunner::SweepRunner(SweepOptions options)
+    : options_(std::move(options)) {}
+
+SweepResult SweepRunner::run(const SweepSpec& spec) {
+  return run(spec.name(), spec.expand());
+}
+
+SweepResult SweepRunner::run(const std::string& sweep_name,
+                             const std::vector<SweepCell>& cells) {
+  RAIDREL_REQUIRE(!cells.empty(), "sweep has no cells");
+
+  std::unordered_map<std::uint64_t, CellResult> cache;
+  if (!options_.manifest_path.empty() && options_.resume) {
+    cache = load_cache(options_.manifest_path);
+  }
+
+  // Slot per cell; cached cells fill immediately, the rest go pending.
+  std::vector<CellResult> slots(cells.size());
+  std::vector<bool> done(cells.size(), false);
+  std::vector<std::size_t> pending;
+  std::size_t cached = 0;
+  for (const SweepCell& cell : cells) {
+    const std::uint64_t key =
+        cell_cache_key(cell.config_digest, options_.convergence);
+    const auto hit = cache.find(key);
+    if (hit != cache.end()) {
+      CellResult r = hit->second;
+      r.index = cell.index;
+      r.label = cell.label;
+      r.coordinates = cell.coordinates;
+      slots[cell.index] = std::move(r);
+      done[cell.index] = true;
+      ++cached;
+    } else {
+      pending.push_back(cell.index);
+    }
+  }
+  if (options_.max_cells > 0 && pending.size() > options_.max_cells) {
+    pending.resize(options_.max_cells);
+  }
+
+  std::mutex mutex;  // guards slots/done, the manifest file and progress
+  std::size_t completed = cached;
+  auto checkpoint = [&] {
+    // Called under the mutex after every cell lands.
+    if (options_.manifest_path.empty()) return;
+    std::vector<const CellResult*> ordered;
+    ordered.reserve(completed);
+    for (std::size_t i = 0; i < slots.size(); ++i) {
+      if (done[i]) ordered.push_back(&slots[i]);
+    }
+    write_manifest(options_.manifest_path, sweep_name, options_.convergence,
+                   cells.size(), ordered);
+  };
+
+  std::atomic<std::size_t> next{0};
+  std::exception_ptr first_error;
+  auto worker = [&] {
+    for (;;) {
+      const std::size_t p = next.fetch_add(1);
+      if (p >= pending.size()) return;
+      const std::size_t idx = pending[p];
+      try {
+        CellResult r = simulate_cell(cells[idx], options_.convergence);
+        const std::lock_guard<std::mutex> lock(mutex);
+        slots[idx] = std::move(r);
+        done[idx] = true;
+        ++completed;
+        checkpoint();
+        if (options_.progress != nullptr) {
+          const CellResult& cr = slots[idx];
+          *options_.progress << "[" << completed << "/" << cells.size()
+                             << "] " << cr.label << ": "
+                             << cr.total_ddfs_per_1000 << " DDFs/1000 ("
+                             << cr.trials << " trials, " << cr.stop << ")\n";
+        }
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(mutex);
+        if (!first_error) first_error = std::current_exception();
+        next.store(pending.size());  // drain the queue
+        return;
+      }
+    }
+  };
+
+  unsigned threads = options_.threads;
+  if (threads == 0) {
+    threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  threads = static_cast<unsigned>(
+      std::min<std::size_t>(threads, std::max<std::size_t>(pending.size(), 1)));
+  if (pending.empty()) {
+    // Fully cached: still rewrite the manifest so a copied/merged cache
+    // file converges to the canonical single-pass bytes.
+    const std::lock_guard<std::mutex> lock(mutex);
+    checkpoint();
+  } else if (threads == 1) {
+    worker();
+  } else {
+    sim::ThreadPool pool;
+    pool.run(threads, worker);
+  }
+  if (first_error) std::rethrow_exception(first_error);
+
+  SweepResult out;
+  out.total_cells = cells.size();
+  out.cached = cached;
+  out.simulated = completed - cached;
+  out.complete = completed == cells.size();
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    if (done[i]) out.cells.push_back(std::move(slots[i]));
+  }
+  if (out.complete) {
+    std::string chain;
+    chain.reserve(out.cells.size() * 21);
+    for (const CellResult& r : out.cells) {
+      append_u64(chain, r.result_digest);
+      chain += ';';
+    }
+    out.sweep_digest = obs::fnv1a64(chain);
+  }
+  return out;
+}
+
+}  // namespace raidrel::sweep

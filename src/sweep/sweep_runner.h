@@ -1,0 +1,128 @@
+// Sharded scenario-sweep engine with a digest-keyed result cache.
+//
+// A sweep is many independent cells; the runner shards them across the
+// persistent sim::ThreadPool, one worker per shard, each cell simulated by
+// sim::run_until_converged. Cells run single-threaded *inside* so every
+// cell's result is a pure function of (config digest, seed, convergence
+// options) — bit-identical no matter which worker runs it, how many cells
+// run concurrently, or whether the sweep was interrupted and resumed.
+//
+// The result cache is a JSON manifest (schema raidrel-sweep-manifest/1,
+// written via obs/json_writer, read back via obs/json_reader). Every cell
+// is keyed by a digest over its config digest plus everything else that
+// determines its result; after each cell completes the manifest is
+// atomically rewritten (temp file + rename), so killing a sweep loses at
+// most the in-flight cells. A rerun loads the manifest, skips cells whose
+// key matches, simulates the rest, and the merged manifest is
+// byte-identical to what a single uninterrupted pass writes.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/convergence.h"
+#include "sweep/sweep_spec.h"
+
+namespace raidrel::sweep {
+
+struct SweepOptions {
+  /// Per-cell adaptive run settings. The seed is shared by every cell:
+  /// cells differ by configuration, and a shared seed is what makes an
+  /// interrupted-then-resumed sweep reproduce a single pass exactly.
+  sim::ConvergenceOptions convergence;
+
+  /// Worker shards for the cell queue (0 = hardware concurrency). Cells
+  /// themselves always run single-threaded — see the header comment.
+  unsigned threads = 0;
+
+  /// Manifest path for the result cache; empty disables caching (the
+  /// sweep still runs, results are only returned in memory).
+  std::string manifest_path;
+
+  /// Load and reuse matching cells from an existing manifest. Off forces
+  /// every cell to resimulate (the manifest is still rewritten).
+  bool resume = true;
+
+  /// Simulate at most this many not-yet-cached cells, then stop (0 = no
+  /// cap). This is a deterministic "interrupt": the manifest holds the
+  /// completed subset and a later run picks up the remainder.
+  std::size_t max_cells = 0;
+
+  /// Optional per-cell progress lines ("[3/12] scrub=168 ... 14.2 /1000").
+  std::ostream* progress = nullptr;
+};
+
+/// One cell's persisted outcome. Every field except `from_cache` is part
+/// of the manifest; `result_digest` is an FNV-1a hash over the canonical
+/// serialization of the numeric outcome, so caches can be verified and
+/// whole sweeps compared by a single number.
+struct CellResult {
+  std::size_t index = 0;
+  std::string label;
+  std::vector<std::pair<std::string, std::string>> coordinates;
+  std::uint64_t config_digest = 0;
+  std::uint64_t cell_key = 0;
+  bool from_cache = false;  ///< not serialized
+
+  std::uint64_t trials = 0;
+  std::uint64_t batches = 0;
+  bool converged = false;
+  std::string stop;  ///< sim::to_string of the stop rule
+  double total_ddfs_per_1000 = 0.0;
+  double sem_per_1000 = 0.0;
+  /// SEM/mean; -1 when the mean is zero (matches obs::BatchStats's "n/a"
+  /// convention — JSON has no infinity).
+  double relative_sem = -1.0;
+  double year1_ddfs_per_1000 = 0.0;  ///< Table 3's first-year column
+  double double_op_per_1000 = 0.0;
+  double latent_then_op_per_1000 = 0.0;
+  std::uint64_t op_failures = 0;
+  std::uint64_t latent_defects = 0;
+  std::uint64_t scrubs_completed = 0;
+  std::uint64_t restores_completed = 0;
+  std::uint64_t result_digest = 0;
+};
+
+struct SweepResult {
+  /// Completed cells in expansion order. Equal to the full cell list
+  /// unless max_cells stopped the sweep early.
+  std::vector<CellResult> cells;
+  std::size_t total_cells = 0;   ///< size of the expansion
+  std::size_t simulated = 0;     ///< cells run this invocation
+  std::size_t cached = 0;        ///< cells loaded from the manifest
+  bool complete = false;         ///< every cell has a result
+  /// FNV-1a chain over the cells' result digests in index order; two
+  /// sweeps with equal digests produced bit-identical results. 0 while
+  /// incomplete.
+  std::uint64_t sweep_digest = 0;
+};
+
+/// Digest keying one cell's cache entry: the config digest chained with
+/// the seed and every convergence option that affects the outcome.
+std::uint64_t cell_cache_key(std::uint64_t config_digest,
+                             const sim::ConvergenceOptions& options);
+
+/// Canonical digest of a cell's numeric outcome (see CellResult).
+std::uint64_t cell_result_digest(const CellResult& r);
+
+class SweepRunner {
+ public:
+  explicit SweepRunner(SweepOptions options);
+
+  /// Expand the spec and run it: load the cache, shard the pending cells
+  /// across the pool, checkpoint the manifest after every completion.
+  SweepResult run(const SweepSpec& spec);
+
+  /// Same, over a pre-expanded cell list (callers that post-process cells
+  /// or splice several specs together).
+  SweepResult run(const std::string& sweep_name,
+                  const std::vector<SweepCell>& cells);
+
+ private:
+  SweepOptions options_;
+};
+
+}  // namespace raidrel::sweep

@@ -1,5 +1,6 @@
 #include "util/cli.h"
 
+#include <cerrno>
 #include <cstdlib>
 
 #include "util/error.h"
@@ -47,16 +48,48 @@ std::string CliArgs::get_string(const std::string& name,
   return v ? *v : fallback;
 }
 
+namespace {
+
+[[noreturn]] void fail_parse(const std::string& name, const std::string& raw,
+                             const char* expected) {
+  throw ModelError("--" + name + ": cannot parse \"" + raw + "\" as " +
+                   expected);
+}
+
+}  // namespace
+
 long long CliArgs::get_int(const std::string& name, long long fallback) const {
   auto v = value(name);
   if (!v) return fallback;
-  return std::strtoll(v->c_str(), nullptr, 10);
+  // strtoll with a checked end pointer: "--trials abc" must be an error,
+  // not a silent 0 (a zero-trial run / zero budget).
+  char* end = nullptr;
+  errno = 0;
+  const long long out = std::strtoll(v->c_str(), &end, 10);
+  if (end == v->c_str() || *end != '\0') fail_parse(name, *v, "an integer");
+  if (errno == ERANGE) fail_parse(name, *v, "an in-range integer");
+  return out;
+}
+
+long long CliArgs::get_int_at_least(const std::string& name, long long fallback,
+                                    long long min_value) const {
+  const long long out = get_int(name, fallback);
+  if (out < min_value) {
+    throw ModelError("--" + name + ": value " + std::to_string(out) +
+                     " is below the minimum of " + std::to_string(min_value));
+  }
+  return out;
 }
 
 double CliArgs::get_double(const std::string& name, double fallback) const {
   auto v = value(name);
   if (!v) return fallback;
-  return std::strtod(v->c_str(), nullptr);
+  char* end = nullptr;
+  errno = 0;
+  const double out = std::strtod(v->c_str(), &end);
+  if (end == v->c_str() || *end != '\0') fail_parse(name, *v, "a number");
+  if (errno == ERANGE) fail_parse(name, *v, "an in-range number");
+  return out;
 }
 
 bool CliArgs::get_bool(const std::string& name, bool fallback) const {

@@ -24,8 +24,18 @@ class CliArgs {
 
   [[nodiscard]] std::string get_string(const std::string& name,
                                        const std::string& fallback) const;
+  /// Integer flag value. Throws ModelError, naming the flag, when the
+  /// value is not a complete integer ("--trials abc" must not silently
+  /// become 0) or overflows a long long.
   [[nodiscard]] long long get_int(const std::string& name,
                                   long long fallback) const;
+  /// get_int plus a lower bound — the guard for counts and sizes that
+  /// would otherwise wrap through an unsigned cast ("--group -3" becoming
+  /// a multi-billion drive group).
+  [[nodiscard]] long long get_int_at_least(const std::string& name,
+                                           long long fallback,
+                                           long long min_value) const;
+  /// Floating-point flag value; same strict-parse contract as get_int.
   [[nodiscard]] double get_double(const std::string& name,
                                   double fallback) const;
   [[nodiscard]] bool get_bool(const std::string& name, bool fallback) const;

@@ -97,6 +97,58 @@ TEST(Convergence, AbsoluteSemTargetStops) {
   EXPECT_LE(run.absolute_sem, 1e9);
 }
 
+TEST(Convergence, RelativeTargetWinsOverAbsolute) {
+  // Both targets are trivially satisfiable in the first batch; the loop
+  // checks relative first, so that is the rule reported.
+  ConvergenceOptions opt;
+  opt.target_relative_sem = 10.0;
+  opt.target_absolute_sem = 1e9;
+  opt.batch_trials = 500;
+  opt.min_trials = 500;
+  opt.max_trials = 100000;
+  opt.seed = 11;
+  const auto run = run_until_converged(busy_group(), opt);
+  ASSERT_TRUE(run.converged);
+  EXPECT_EQ(run.stop, ConvergedRun::StopRule::kRelativeSem);
+  EXPECT_EQ(run.result.trials(), 500u);
+}
+
+TEST(Convergence, AbsoluteTargetWinsOverZeroDdf) {
+  // On a zero-DDF config the relative SEM is infinite, so the relative
+  // rule can never fire. With a 60000-trial batch the rule-of-three bound
+  // (3000/n = 0.05) is satisfied at the same check as a generous absolute
+  // target (SEM 0) — the absolute rule is checked first and must win.
+  ConvergenceOptions opt;
+  opt.target_relative_sem = 1e-9;
+  opt.target_absolute_sem = 1e9;
+  opt.zero_ddf_upper_bound = 0.05;
+  opt.batch_trials = 60000;
+  opt.min_trials = 60000;
+  opt.max_trials = 200000;
+  opt.seed = 12;
+  const auto run = run_until_converged(immortal_group(), opt);
+  ASSERT_TRUE(run.converged);
+  EXPECT_EQ(run.stop, ConvergedRun::StopRule::kAbsoluteSem);
+  EXPECT_EQ(run.result.trials(), 60000u);
+  EXPECT_TRUE(std::isinf(run.relative_sem));
+}
+
+TEST(Convergence, MinTrialsGatesEveryStopRule) {
+  // A trivially satisfiable relative target still may not stop the run
+  // before min_trials accumulate.
+  ConvergenceOptions opt;
+  opt.target_relative_sem = 10.0;
+  opt.batch_trials = 500;
+  opt.min_trials = 1500;
+  opt.max_trials = 100000;
+  opt.seed = 13;
+  const auto run = run_until_converged(busy_group(), opt);
+  ASSERT_TRUE(run.converged);
+  EXPECT_EQ(run.stop, ConvergedRun::StopRule::kRelativeSem);
+  EXPECT_EQ(run.result.trials(), 1500u);
+  EXPECT_EQ(run.batches, 3u);
+}
+
 TEST(Convergence, StopRuleNames) {
   EXPECT_STREQ(to_string(ConvergedRun::StopRule::kBudget), "budget");
   EXPECT_STREQ(to_string(ConvergedRun::StopRule::kRelativeSem),

@@ -1,0 +1,269 @@
+#include "sweep/sweep_runner.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/json_reader.h"
+#include "util/error.h"
+
+namespace raidrel::sweep {
+namespace {
+
+// Small, busy scenario so 600-trial cells finish in milliseconds.
+core::ScenarioConfig small_base() {
+  core::ScenarioConfig s;
+  s.group_drives = 4;
+  s.mission_hours = 20000.0;
+  s.ttop = {0.0, 4000.0, 1.2};
+  s.ttr = {6.0, 100.0, 2.0};
+  s.ttld = stats::WeibullParams{0.0, 2000.0, 1.0};
+  s.ttscrub = stats::WeibullParams{6.0, 300.0, 3.0};
+  return s;
+}
+
+SweepSpec small_spec() {
+  SweepSpec spec("runner-test", small_base());
+  spec.add_restore_eta_axis({12.0, 48.0});
+  spec.add_group_size_axis({4, 6});
+  return spec;
+}
+
+// Unreachable relative target: every cell deterministically runs out the
+// 600-trial budget, so results depend only on (config, seed).
+SweepOptions fast_options(const std::string& manifest = "") {
+  SweepOptions opt;
+  opt.convergence.target_relative_sem = 1e-9;
+  opt.convergence.batch_trials = 300;
+  opt.convergence.min_trials = 300;
+  opt.convergence.max_trials = 600;
+  opt.convergence.seed = 42;
+  opt.threads = 2;
+  opt.manifest_path = manifest;
+  return opt;
+}
+
+std::string temp_manifest(const std::string& name) {
+  const std::string path = ::testing::TempDir() + "raidrel_" + name + ".json";
+  std::remove(path.c_str());
+  return path;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+void expect_same_cells(const SweepResult& a, const SweepResult& b) {
+  ASSERT_EQ(a.cells.size(), b.cells.size());
+  for (std::size_t i = 0; i < a.cells.size(); ++i) {
+    EXPECT_EQ(a.cells[i].result_digest, b.cells[i].result_digest) << i;
+    EXPECT_DOUBLE_EQ(a.cells[i].total_ddfs_per_1000,
+                     b.cells[i].total_ddfs_per_1000)
+        << i;
+    EXPECT_EQ(a.cells[i].trials, b.cells[i].trials) << i;
+    EXPECT_EQ(a.cells[i].label, b.cells[i].label) << i;
+  }
+  EXPECT_EQ(a.sweep_digest, b.sweep_digest);
+}
+
+TEST(SweepRunner, RunsEveryCellWithoutAManifest) {
+  const auto result = SweepRunner(fast_options()).run(small_spec());
+  EXPECT_TRUE(result.complete);
+  EXPECT_EQ(result.total_cells, 4u);
+  EXPECT_EQ(result.simulated, 4u);
+  EXPECT_EQ(result.cached, 0u);
+  ASSERT_EQ(result.cells.size(), 4u);
+  EXPECT_NE(result.sweep_digest, 0u);
+  for (const auto& cell : result.cells) {
+    EXPECT_EQ(cell.trials, 600u);  // budget stop, deterministic
+    EXPECT_EQ(cell.stop, "budget");
+    EXPECT_GT(cell.total_ddfs_per_1000, 0.0);
+    EXPECT_EQ(cell.result_digest, cell_result_digest(cell));
+    EXPECT_FALSE(cell.from_cache);
+  }
+  // Cells in expansion order with their identity intact.
+  EXPECT_EQ(result.cells[0].label, "restore=12 group=4");
+  EXPECT_EQ(result.cells[3].label, "restore=48 group=6");
+}
+
+TEST(SweepRunner, ShardingIsDeterministicAcrossThreadCounts) {
+  auto serial = fast_options();
+  serial.threads = 1;
+  auto parallel = fast_options();
+  parallel.threads = 4;
+  const auto a = SweepRunner(serial).run(small_spec());
+  const auto b = SweepRunner(parallel).run(small_spec());
+  expect_same_cells(a, b);
+}
+
+// The ISSUE's acceptance test: interrupt a sweep after k of n cells, rerun
+// with the same manifest, and only n-k cells simulate — with the final
+// manifest byte-identical to an uninterrupted single pass.
+TEST(SweepRunner, InterruptedSweepResumesAndMatchesSinglePassByteForByte) {
+  const auto spec = small_spec();
+  const std::string resumed = temp_manifest("resumed");
+  const std::string single = temp_manifest("single");
+
+  auto interrupt = fast_options(resumed);
+  interrupt.max_cells = 2;  // deterministic "kill" after 2 of 4 cells
+  const auto partial = SweepRunner(interrupt).run(spec);
+  EXPECT_FALSE(partial.complete);
+  EXPECT_EQ(partial.simulated, 2u);
+  EXPECT_EQ(partial.cells.size(), 2u);
+  EXPECT_EQ(partial.sweep_digest, 0u);  // incomplete sweeps have no digest
+
+  const auto completed = SweepRunner(fast_options(resumed)).run(spec);
+  EXPECT_TRUE(completed.complete);
+  EXPECT_EQ(completed.cached, 2u);     // the interrupted cells came back
+  EXPECT_EQ(completed.simulated, 2u);  // only the remainder ran
+
+  const auto one_pass = SweepRunner(fast_options(single)).run(spec);
+  EXPECT_EQ(one_pass.simulated, 4u);
+  expect_same_cells(completed, one_pass);
+  EXPECT_EQ(read_file(resumed), read_file(single));  // byte-identical
+}
+
+TEST(SweepRunner, FullyCachedRerunSimulatesNothing) {
+  const auto spec = small_spec();
+  const std::string path = temp_manifest("cached");
+  const auto first = SweepRunner(fast_options(path)).run(spec);
+  const std::string bytes = read_file(path);
+  const auto second = SweepRunner(fast_options(path)).run(spec);
+  EXPECT_EQ(second.simulated, 0u);
+  EXPECT_EQ(second.cached, 4u);
+  for (const auto& cell : second.cells) EXPECT_TRUE(cell.from_cache);
+  expect_same_cells(first, second);
+  EXPECT_EQ(read_file(path), bytes);  // rewrite converges to same bytes
+}
+
+TEST(SweepRunner, SeedChangeInvalidatesTheCache) {
+  const auto spec = small_spec();
+  const std::string path = temp_manifest("seed");
+  SweepRunner(fast_options(path)).run(spec);
+  auto reseeded = fast_options(path);
+  reseeded.convergence.seed = 43;
+  const auto result = SweepRunner(reseeded).run(spec);
+  EXPECT_EQ(result.cached, 0u);  // every cell key changed
+  EXPECT_EQ(result.simulated, 4u);
+}
+
+TEST(SweepRunner, NoResumeIgnoresTheCache) {
+  const auto spec = small_spec();
+  const std::string path = temp_manifest("noresume");
+  SweepRunner(fast_options(path)).run(spec);
+  auto forced = fast_options(path);
+  forced.resume = false;
+  const auto result = SweepRunner(forced).run(spec);
+  EXPECT_EQ(result.cached, 0u);
+  EXPECT_EQ(result.simulated, 4u);
+}
+
+TEST(SweepRunner, CorruptManifestFallsBackToFullResimulation) {
+  const auto spec = small_spec();
+  const std::string path = temp_manifest("corrupt");
+  SweepRunner(fast_options(path)).run(spec);
+  {
+    std::ofstream out(path, std::ios::trunc);
+    out << "{ not json";
+  }
+  const auto result = SweepRunner(fast_options(path)).run(spec);
+  EXPECT_EQ(result.cached, 0u);
+  EXPECT_EQ(result.simulated, 4u);
+  // And the manifest is healthy again afterwards.
+  const auto root = obs::parse_json(read_file(path));
+  EXPECT_EQ(root.get("schema").as_string(), "raidrel-sweep-manifest/1");
+  EXPECT_EQ(root.get("cells").size(), 4u);
+}
+
+TEST(SweepRunner, TamperedCellEntriesAreRejected) {
+  const auto spec = small_spec();
+  const std::string path = temp_manifest("tampered");
+  SweepRunner(fast_options(path)).run(spec);
+  // Flip one stored trial count without updating the entry's digest.
+  std::string text = read_file(path);
+  const auto pos = text.find("\"trials\": 600");
+  ASSERT_NE(pos, std::string::npos);
+  text.replace(pos, 13, "\"trials\": 599");
+  {
+    std::ofstream out(path, std::ios::trunc);
+    out << text;
+  }
+  const auto result = SweepRunner(fast_options(path)).run(spec);
+  // The tampered entry fails digest verification and resimulates; the
+  // untouched entries still hit.
+  EXPECT_EQ(result.cached, 3u);
+  EXPECT_EQ(result.simulated, 1u);
+  EXPECT_TRUE(result.complete);
+}
+
+TEST(SweepRunner, ManifestRecordsOptionsAndIdentity) {
+  const auto spec = small_spec();
+  const std::string path = temp_manifest("identity");
+  SweepRunner(fast_options(path)).run(spec);
+  const auto root = obs::parse_json(read_file(path));
+  EXPECT_EQ(root.get("sweep").as_string(), "runner-test");
+  EXPECT_EQ(root.get("total_cells").as_uint64(), 4u);
+  EXPECT_EQ(root.get("options").get("seed").as_uint64(), 42u);
+  EXPECT_EQ(root.get("options").get("max_trials").as_uint64(), 600u);
+  const auto& cell = root.get("cells").at(0);
+  EXPECT_EQ(cell.get("label").as_string(), "restore=12 group=4");
+  EXPECT_EQ(cell.get("coordinates").get("restore").as_string(), "12");
+  EXPECT_EQ(cell.get("coordinates").get("group").as_string(), "4");
+  EXPECT_NE(cell.get("config_digest").as_uint64(), 0u);
+  EXPECT_NE(cell.get("cell_key").as_uint64(), 0u);
+}
+
+TEST(SweepRunner, CellKeyDependsOnEverythingThatChangesTheResult) {
+  const auto base = fast_options().convergence;
+  const std::uint64_t key = cell_cache_key(123, base);
+  EXPECT_EQ(cell_cache_key(123, base), key);  // stable
+  EXPECT_NE(cell_cache_key(124, base), key);  // config digest
+  auto opt = base;
+  opt.seed = 43;
+  EXPECT_NE(cell_cache_key(123, opt), key);
+  opt = base;
+  opt.max_trials = 1200;
+  EXPECT_NE(cell_cache_key(123, opt), key);
+  opt = base;
+  opt.target_relative_sem = 0.05;
+  EXPECT_NE(cell_cache_key(123, opt), key);
+  opt = base;
+  opt.bucket_hours = 365.0;
+  EXPECT_NE(cell_cache_key(123, opt), key);
+  // Threads shard cells but never change a cell's result: same key.
+}
+
+TEST(SweepRunner, ResultDigestCoversTheNumericOutcome) {
+  CellResult r;
+  r.trials = 600;
+  r.stop = "budget";
+  r.total_ddfs_per_1000 = 12.5;
+  const std::uint64_t d = cell_result_digest(r);
+  EXPECT_EQ(cell_result_digest(r), d);
+  CellResult changed = r;
+  changed.total_ddfs_per_1000 = 12.5000001;
+  EXPECT_NE(cell_result_digest(changed), d);
+  changed = r;
+  changed.latent_defects = 1;
+  EXPECT_NE(cell_result_digest(changed), d);
+  // Identity fields (label, index) are NOT part of the result digest:
+  // renaming an axis must not invalidate numeric results.
+  changed = r;
+  changed.label = "renamed";
+  changed.index = 99;
+  EXPECT_EQ(cell_result_digest(changed), d);
+}
+
+TEST(SweepRunner, EmptyCellListIsAnError) {
+  EXPECT_THROW(SweepRunner(fast_options()).run("empty", {}), ModelError);
+}
+
+}  // namespace
+}  // namespace raidrel::sweep

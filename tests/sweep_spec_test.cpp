@@ -1,0 +1,140 @@
+#include "sweep/sweep_spec.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/presets.h"
+#include "util/error.h"
+#include "workload/read_errors.h"
+
+namespace raidrel::sweep {
+namespace {
+
+core::ScenarioConfig small_base() {
+  core::ScenarioConfig s;
+  s.group_drives = 4;
+  s.mission_hours = 20000.0;
+  s.ttop = {0.0, 4000.0, 1.2};
+  s.ttr = {6.0, 100.0, 2.0};
+  s.ttld = stats::WeibullParams{0.0, 2000.0, 1.0};
+  s.ttscrub = stats::WeibullParams{6.0, 300.0, 3.0};
+  return s;
+}
+
+TEST(SweepSpec, NoAxesExpandsToTheBase) {
+  const SweepSpec spec("solo", small_base());
+  EXPECT_EQ(spec.cell_count(), 1u);
+  const auto cells = spec.expand();
+  ASSERT_EQ(cells.size(), 1u);
+  EXPECT_EQ(cells[0].label, "base");
+  EXPECT_EQ(cells[0].scenario.name, "solo/base");
+  EXPECT_TRUE(cells[0].coordinates.empty());
+  EXPECT_NE(cells[0].config_digest, 0u);
+}
+
+TEST(SweepSpec, ScrubAxisSetsEtaAndNonePoint) {
+  SweepSpec spec("s", small_base());
+  spec.add_scrub_period_axis({168.0, 48.0}, /*include_no_scrub=*/true);
+  const auto cells = spec.expand();
+  ASSERT_EQ(cells.size(), 3u);
+  EXPECT_EQ(cells[0].label, "scrub=none");
+  EXPECT_FALSE(cells[0].scenario.ttscrub.has_value());
+  EXPECT_EQ(cells[1].label, "scrub=168");
+  ASSERT_TRUE(cells[1].scenario.ttscrub.has_value());
+  EXPECT_DOUBLE_EQ(cells[1].scenario.ttscrub->eta, 168.0);
+  // Location/shape come from the base law, only eta is swept.
+  EXPECT_DOUBLE_EQ(cells[1].scenario.ttscrub->gamma, 6.0);
+  EXPECT_DOUBLE_EQ(cells[1].scenario.ttscrub->beta, 3.0);
+  EXPECT_DOUBLE_EQ(cells[2].scenario.ttscrub->eta, 48.0);
+}
+
+TEST(SweepSpec, CartesianProductLastAxisFastest) {
+  SweepSpec spec("grid", small_base());
+  spec.add_restore_eta_axis({12.0, 24.0});
+  spec.add_group_size_axis({4, 6, 8});
+  EXPECT_EQ(spec.cell_count(), 6u);
+  const auto cells = spec.expand();
+  ASSERT_EQ(cells.size(), 6u);
+  // Row-major: restore varies slowest, group fastest.
+  EXPECT_EQ(cells[0].label, "restore=12 group=4");
+  EXPECT_EQ(cells[1].label, "restore=12 group=6");
+  EXPECT_EQ(cells[2].label, "restore=12 group=8");
+  EXPECT_EQ(cells[3].label, "restore=24 group=4");
+  EXPECT_EQ(cells[5].label, "restore=24 group=8");
+  EXPECT_DOUBLE_EQ(cells[3].scenario.ttr.eta, 24.0);
+  EXPECT_EQ(cells[5].scenario.group_drives, 8u);
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    EXPECT_EQ(cells[i].index, i);
+    ASSERT_EQ(cells[i].coordinates.size(), 2u);
+    EXPECT_EQ(cells[i].coordinates[0].first, "restore");
+    EXPECT_EQ(cells[i].coordinates[1].first, "group");
+  }
+}
+
+TEST(SweepSpec, DigestsDifferAcrossCellsAndAreStable) {
+  SweepSpec spec("d", small_base());
+  spec.add_restore_eta_axis({12.0, 24.0, 48.0});
+  const auto a = spec.expand();
+  const auto b = spec.expand();
+  std::set<std::uint64_t> digests;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].config_digest, b[i].config_digest);  // deterministic
+    digests.insert(a[i].config_digest);
+  }
+  EXPECT_EQ(digests.size(), a.size());  // all distinct
+}
+
+TEST(SweepSpec, Table1LatentAxisMatchesTheGrid) {
+  SweepSpec spec("t1", small_base());
+  spec.add_table1_latent_axis();
+  const auto grid = workload::table1_grid();
+  const auto cells = spec.expand();
+  ASSERT_EQ(cells.size(), grid.size());
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    EXPECT_EQ(cells[i].coordinates[0].second,
+              grid[i].rer_label + "/" + grid[i].rate_label);
+    ASSERT_TRUE(cells[i].scenario.ttld.has_value());
+    EXPECT_DOUBLE_EQ(cells[i].scenario.ttld->eta,
+                     1.0 / grid[i].errors_per_hour);
+    EXPECT_DOUBLE_EQ(cells[i].scenario.ttld->beta, 1.0);
+  }
+}
+
+TEST(SweepSpec, OpLawAxisReplacesTheWholeLaw) {
+  SweepSpec spec("v", small_base());
+  spec.add_op_law_axis({{"young", {0.0, 8000.0, 1.0}},
+                        {"wearout", {0.0, 3000.0, 1.5}}});
+  const auto cells = spec.expand();
+  ASSERT_EQ(cells.size(), 2u);
+  EXPECT_EQ(cells[1].label, "op-law=wearout");
+  EXPECT_DOUBLE_EQ(cells[1].scenario.ttop.eta, 3000.0);
+  EXPECT_DOUBLE_EQ(cells[1].scenario.ttop.beta, 1.5);
+}
+
+TEST(SweepSpec, Validation) {
+  EXPECT_THROW(SweepSpec("", small_base()), ModelError);
+  SweepSpec spec("v", small_base());
+  EXPECT_THROW(spec.add_axis({"empty", {}}), ModelError);
+  EXPECT_THROW(spec.add_axis({"", {{"x", [](core::ScenarioConfig&) {}}}}),
+               ModelError);
+  EXPECT_THROW(spec.add_axis({"nolabel", {{"", [](core::ScenarioConfig&) {}}}}),
+               ModelError);
+  EXPECT_THROW(spec.add_axis({"noapply", {{"x", nullptr}}}), ModelError);
+  spec.add_restore_eta_axis({12.0});
+  EXPECT_THROW(spec.add_restore_eta_axis({24.0}), ModelError);  // dup name
+  EXPECT_THROW(spec.add_group_size_axis({1}), ModelError);
+  EXPECT_THROW(spec.add_scrub_period_axis({-5.0}), ModelError);
+  EXPECT_THROW(spec.add_latent_rate_axis({{"zero", 0.0}}), ModelError);
+}
+
+TEST(SweepSpec, ScrubAxisRequiresBaseScrubLaw) {
+  core::ScenarioConfig base = small_base();
+  base.ttscrub.reset();
+  SweepSpec spec("s", base);
+  spec.add_scrub_period_axis({168.0});
+  EXPECT_THROW(spec.expand(), ModelError);
+}
+
+}  // namespace
+}  // namespace raidrel::sweep

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "util/error.h"
+
 namespace raidrel::util {
 namespace {
 
@@ -53,6 +55,51 @@ TEST(CliArgs, PositionalsCollected) {
 TEST(CliArgs, StringValues) {
   const auto args = make({"--out", "results.csv"});
   EXPECT_EQ(args.get_string("out", ""), "results.csv");
+}
+
+// "--trials abc" used to parse as 0 (strtoll with an unchecked end
+// pointer) and silently run zero trials. It must be a loud error.
+TEST(CliArgs, GetIntRejectsUnparseableValues) {
+  EXPECT_THROW((void)make({"--trials", "abc"}).get_int("trials", 1),
+               ModelError);
+  EXPECT_THROW((void)make({"--trials", "12x"}).get_int("trials", 1),
+               ModelError);
+  EXPECT_THROW((void)make({"--trials="}).get_int("trials", 1), ModelError);
+  EXPECT_THROW(
+      (void)make({"--trials", "999999999999999999999"}).get_int("trials", 1),
+      ModelError);
+}
+
+TEST(CliArgs, GetDoubleRejectsUnparseableValues) {
+  EXPECT_THROW((void)make({"--scrub", "fast"}).get_double("scrub", 1.0),
+               ModelError);
+  EXPECT_THROW((void)make({"--scrub", "1.5h"}).get_double("scrub", 1.0),
+               ModelError);
+  EXPECT_THROW((void)make({"--scrub="}).get_double("scrub", 1.0), ModelError);
+}
+
+TEST(CliArgs, ParseErrorNamesTheFlag) {
+  try {
+    (void)make({"--trials", "abc"}).get_int("trials", 1);
+    FAIL() << "expected ModelError";
+  } catch (const ModelError& e) {
+    EXPECT_NE(std::string(e.what()).find("--trials"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(CliArgs, GetIntStillParsesNegativesAndSigns) {
+  EXPECT_EQ(make({"--offset", "-12"}).get_int("offset", 0), -12);
+  EXPECT_EQ(make({"--offset", "+7"}).get_int("offset", 0), 7);
+}
+
+TEST(CliArgs, GetIntAtLeastEnforcesMinimum) {
+  EXPECT_EQ(make({"--group", "4"}).get_int_at_least("group", 8, 2), 4);
+  EXPECT_EQ(make({}).get_int_at_least("group", 8, 2), 8);  // fallback passes
+  EXPECT_THROW((void)make({"--group", "-3"}).get_int_at_least("group", 8, 2),
+               ModelError);
+  EXPECT_THROW((void)make({"--group", "1"}).get_int_at_least("group", 8, 2),
+               ModelError);
 }
 
 }  // namespace
