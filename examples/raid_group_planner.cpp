@@ -68,6 +68,14 @@ int main(int argc, char** argv) {
     opt.manifest_path = args.get_string("manifest", "");
 
     const auto sweep_result = sweep::SweepRunner(opt).run(spec);
+    // The table pairs cells[i] with layouts[i]; a sweep missing cells
+    // (quarantined after repeated failures) cannot be presented honestly.
+    if (!sweep_result.complete) {
+      std::cerr << "error: sweep incomplete — " << sweep_result.failed()
+                << " layout(s) quarantined after repeated failures; "
+                   "rerun to retry.\n";
+      return 3;
+    }
 
     report::Table table({"layout", "groups", "drives total",
                          "parity overhead", "DDFs per deployment (10 yr)",
@@ -100,6 +108,11 @@ int main(int argc, char** argv) {
            "worse by latent defects); double parity buys orders of magnitude "
            "even at wider widths — the paper's \"eventually, RAID 6 will be "
            "required\".\n";
+    if (sweep_result.degraded()) {
+      std::cerr << "warning: sweep survived " << sweep_result.io_errors.size()
+                << " I/O error(s); the result cache may be stale.\n";
+      return 3;
+    }
     return 0;
   } catch (const raidrel::ModelError& e) {
     std::cerr << "error: " << e.what() << "\n";

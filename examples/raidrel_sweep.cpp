@@ -13,11 +13,24 @@
 // A rerun with the same settings simulates nothing (every cell is cached)
 // and rewrites byte-identical manifests; an interrupted sweep resumes from
 // where it stopped. --trials bounds the per-cell adaptive budget.
+//
+// Resilience: the sweep engine retries failing cells and manifest I/O,
+// quarantines cells that keep failing, and finishes everything else. Any
+// failure path can be exercised deterministically:
+//
+//   $ ./raidrel_sweep --list-inject-sites                  # the registry
+//   $ ./raidrel_sweep --study table3 --inject cell:1       # survive a fault
+//
+// Exit codes: 0 = complete, 3 = completed with quarantined cells or
+// survived I/O errors (results printed, rerun to retry the failures),
+// 2 = configuration / model error.
 #include <iostream>
+#include <optional>
 #include <vector>
 
 #include "analytic/mttdl.h"
 #include "core/presets.h"
+#include "fault/fault_injection.h"
 #include "field/paper_products.h"
 #include "report/table.h"
 #include "sweep/sweep_runner.h"
@@ -116,11 +129,35 @@ void print_study(const sweep::SweepSpec& spec,
   }
 }
 
+/// Quarantined cells and survived I/O errors, as a table plus the fault
+/// counters — the degraded-pass report behind exit code 3.
+void print_failures(const sweep::SweepResult& result) {
+  report::Table table({"site", "cell", "attempts", "error"});
+  for (const auto& q : result.quarantined) {
+    table.add_row({q.site, q.label, std::to_string(q.attempts), q.message});
+  }
+  for (const auto& e : result.io_errors) {
+    table.add_row({e.site, e.label, std::to_string(e.attempts), e.message});
+  }
+  table.print_text(std::cout);
+  std::cout << result.quarantined.size() << " cell(s) quarantined, "
+            << result.io_errors.size() << " I/O error(s) survived ("
+            << result.faults_injected << " injected fault(s), "
+            << result.retries << " retries)\n";
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   try {
     const util::CliArgs args(argc, argv);
+
+    if (args.get_bool("list-inject-sites", false)) {
+      for (const auto& site : fault::registered_sites()) {
+        std::cout << site << "\n";
+      }
+      return 0;
+    }
 
     const std::string study = args.get_string("study", "all");
     std::vector<std::string> studies;
@@ -149,6 +186,21 @@ int main(int argc, char** argv) {
     opt.max_cells =
         static_cast<std::size_t>(args.get_int_at_least("max-cells", 0, 0));
     opt.progress = args.get_bool("quiet", false) ? nullptr : &std::cout;
+    opt.cell_attempts =
+        static_cast<unsigned>(args.get_int_at_least("cell-attempts", 2, 1));
+    opt.cell_trial_deadline =
+        static_cast<std::size_t>(args.get_int_at_least("deadline", 0, 0));
+    opt.retry_backoff_ms = args.get_double("retry-backoff-ms", 0.0);
+
+    // One injector for the whole invocation: hit counters run across
+    // studies, so "--inject manifest_write:2" means the second manifest
+    // write of the process, whichever study performs it.
+    const std::string inject = args.get_string("inject", "");
+    std::optional<fault::FaultInjector> injector;
+    if (!inject.empty()) {
+      injector.emplace(fault::FaultPlan::parse(inject));
+      opt.fault = &*injector;
+    }
 
     // One manifest per study: "--manifest path" names it directly when a
     // single study runs; otherwise "--manifest-prefix p" yields
@@ -160,6 +212,7 @@ int main(int argc, char** argv) {
     const std::string prefix = args.get_string("manifest-prefix", "sweep.");
     const bool cache = !args.get_bool("no-cache", false);
 
+    int exit_code = 0;
     for (const auto& name : studies) {
       const sweep::SweepSpec spec = make_study(name);
       sweep::SweepOptions study_opt = opt;
@@ -179,17 +232,27 @@ int main(int argc, char** argv) {
         std::cout << " -> " << study_opt.manifest_path;
       }
       std::cout << "\n";
+      if (result.degraded()) {
+        print_failures(result);
+        exit_code = 3;
+      }
       if (!result.complete) {
-        std::cout << "sweep interrupted after " << result.cells.size()
-                  << "/" << result.total_cells
-                  << " cells (--max-cells); rerun to resume.\n\n";
+        if (!result.degraded()) {
+          std::cout << "sweep interrupted after " << result.cells.size()
+                    << "/" << result.total_cells
+                    << " cells (--max-cells); rerun to resume.\n\n";
+        } else {
+          std::cout << "sweep incomplete: " << result.cells.size() << "/"
+                    << result.total_cells
+                    << " cells have results; rerun to retry the rest.\n\n";
+        }
         continue;
       }
       std::cout << "sweep digest: " << result.sweep_digest << "\n";
       print_study(spec, result, {.ratio_vs_mttdl = name == "table3"});
       std::cout << "\n";
     }
-    return 0;
+    return exit_code;
   } catch (const raidrel::ModelError& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 2;

@@ -133,6 +133,14 @@ int main(int argc, char** argv) {
     opt.manifest_path = args.get_string("manifest", "");
 
     const auto sweep_result = sweep::SweepRunner(opt).run(spec);
+    // The recommendation scans every tested period; with quarantined cells
+    // missing it could endorse a policy the failed cells would veto.
+    if (!sweep_result.complete) {
+      std::cerr << "error: sweep incomplete — " << sweep_result.failed()
+                << " scrub period(s) quarantined after repeated failures; "
+                   "rerun to retry.\n";
+      return 3;
+    }
 
     report::Table table({"scrub period (h)", "DDFs/1000 (10 yr)", "+/- SEM",
                          "meets budget?"});
@@ -158,6 +166,11 @@ int main(int argc, char** argv) {
       std::cout << "\nNo tested scrub period meets the budget: consider RAID6 "
                    "(see the raid_group_planner example) or a lower "
                    "read-error-rate drive.\n";
+    }
+    if (sweep_result.degraded()) {
+      std::cerr << "warning: sweep survived " << sweep_result.io_errors.size()
+                << " I/O error(s); the result cache may be stale.\n";
+      return 3;
     }
     return 0;
   } catch (const raidrel::ModelError& e) {

@@ -1,0 +1,164 @@
+#include "fault/fault_injection.h"
+
+#include <algorithm>
+
+namespace raidrel::fault {
+
+namespace {
+
+std::string describe(std::string_view site, std::uint64_t hit,
+                     std::string_view key) {
+  std::string out = "injected fault (hit ";
+  out += std::to_string(hit);
+  if (!key.empty()) {
+    out += ", key \"";
+    out += key;
+    out += '"';
+  }
+  out += ") at site ";
+  out += site;
+  return out;
+}
+
+}  // namespace
+
+InjectedFault::InjectedFault(std::string_view site, std::uint64_t hit,
+                             std::string_view key)
+    : SiteError(std::string(site), describe(site, hit, key)), hit_(hit) {}
+
+const std::vector<std::string>& registered_sites() {
+  // Keep sorted; docs/MODEL.md §11 mirrors this table and the CI
+  // fault-matrix job iterates it via `raidrel_sweep --list-inject-sites`.
+  static const std::vector<std::string> kSites = {
+      "cell",             // one sweep-cell simulation attempt
+      "manifest_read",    // loading the sweep manifest cache
+      "manifest_rename",  // moving the manifest temp file into place
+      "manifest_write",   // writing the manifest temp file
+      "pool_task",        // one ThreadPool worker-task invocation
+      "runner_trial",     // one Monte Carlo trial
+  };
+  return kSites;
+}
+
+bool is_registered_site(std::string_view site) {
+  const auto& sites = registered_sites();
+  return std::binary_search(sites.begin(), sites.end(), site);
+}
+
+FaultPlan FaultPlan::parse(const std::string& text) {
+  FaultPlan plan;
+  std::size_t begin = 0;
+  while (begin <= text.size()) {
+    std::size_t end = text.find(',', begin);
+    if (end == std::string::npos) end = text.size();
+    std::string token = text.substr(begin, end - begin);
+    begin = end + 1;
+    RAIDREL_REQUIRE(!token.empty(), "empty fault spec in plan \"" + text + '"');
+
+    FaultSpec spec;
+    // Optional "*count" suffix.
+    const std::size_t star = token.rfind('*');
+    if (star != std::string::npos) {
+      const std::string digits = token.substr(star + 1);
+      RAIDREL_REQUIRE(!digits.empty() && digits.find_first_not_of(
+                                             "0123456789") == std::string::npos,
+                      "fault count must be a positive integer: " + token);
+      spec.count = std::stoull(digits);
+      RAIDREL_REQUIRE(spec.count >= 1, "fault count must be >= 1: " + token);
+      token.resize(star);
+    }
+    // Optional ":arg" — a hit index when numeric, a work-unit key otherwise.
+    const std::size_t colon = token.find(':');
+    if (colon != std::string::npos) {
+      const std::string arg = token.substr(colon + 1);
+      token.resize(colon);
+      RAIDREL_REQUIRE(!arg.empty(), "empty fault argument: " + token);
+      if (arg.find_first_not_of("0123456789") == std::string::npos) {
+        spec.first_hit = std::stoull(arg);
+        RAIDREL_REQUIRE(spec.first_hit >= 1,
+                        "fault hit index is 1-based: " + token);
+      } else {
+        spec.key = arg;
+      }
+    }
+    spec.site = token;
+    plan.arm(std::move(spec));
+    if (end == text.size()) break;
+  }
+  return plan;
+}
+
+FaultPlan& FaultPlan::arm(FaultSpec spec) {
+  RAIDREL_REQUIRE(is_registered_site(spec.site),
+                  "unknown fault-injection site \"" + spec.site +
+                      "\"; see registered_sites()");
+  RAIDREL_REQUIRE(spec.count >= 1, "fault count must be >= 1");
+  RAIDREL_REQUIRE(spec.first_hit >= 1, "fault hit index is 1-based");
+  specs_.push_back(std::move(spec));
+  return *this;
+}
+
+FaultInjector::FaultInjector(FaultPlan plan) {
+  for (const FaultSpec& spec : plan.specs()) armed_.push_back({spec, 0});
+}
+
+void FaultInjector::check(std::string_view site, std::string_view key) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  RAIDREL_REQUIRE(is_registered_site(site),
+                  "fault check at unregistered site \"" + std::string(site) +
+                      "\"; add it to registered_sites()");
+  SiteState* state = nullptr;
+  for (auto& [name, s] : sites_) {
+    if (name == site) {
+      state = &s;
+      break;
+    }
+  }
+  if (state == nullptr) {
+    sites_.emplace_back(std::string(site), SiteState{});
+    state = &sites_.back().second;
+  }
+  const std::uint64_t hit = ++state->hits;
+  for (ArmedSpec& armed : armed_) {
+    if (armed.spec.site != site) continue;
+    bool fire = false;
+    if (!armed.spec.key.empty()) {
+      if (key == armed.spec.key && armed.fired < armed.spec.count) {
+        ++armed.fired;
+        fire = true;
+      }
+    } else if (hit >= armed.spec.first_hit &&
+               hit < armed.spec.first_hit + armed.spec.count) {
+      fire = true;
+    }
+    if (fire) {
+      ++state->injected;
+      throw InjectedFault(site, hit, key);
+    }
+  }
+}
+
+std::uint64_t FaultInjector::hits(std::string_view site) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [name, s] : sites_) {
+    if (name == site) return s.hits;
+  }
+  return 0;
+}
+
+std::uint64_t FaultInjector::injected(std::string_view site) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [name, s] : sites_) {
+    if (name == site) return s.injected;
+  }
+  return 0;
+}
+
+std::uint64_t FaultInjector::total_injected() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::uint64_t sum = 0;
+  for (const auto& [name, s] : sites_) sum += s.injected;
+  return sum;
+}
+
+}  // namespace raidrel::fault

@@ -1,0 +1,126 @@
+// Deterministic fault injection for the execution stack.
+//
+// The paper's point is that real systems fail in correlated, non-ideal
+// ways; the same discipline has to apply to the tool that computes the
+// numbers. This layer lets a test (or `raidrel_sweep --inject`) arm named
+// *injection sites* threaded through the Monte Carlo stack — pool worker
+// tasks, per-trial simulation, sweep cells, manifest read/write/rename —
+// and have them throw exactly where and when the plan says, bit-
+// reproducibly: a site fires as a pure function of (site name, hit count)
+// or (site name, work-unit key), never of wall clock or randomness.
+//
+// The site list is a closed registry (registered_sites()): FaultPlan
+// rejects unknown names and FaultInjector::check refuses to count a site
+// that is not registered, so a new call site cannot be added without
+// becoming enumerable — which is what lets CI iterate the registry and
+// prove every site is survivable.
+//
+// A null injector pointer is the universal "off" switch at every call
+// site; the hot paths only pay a pointer test. An injector with an empty
+// plan counts hits but never throws, so results with and without an
+// injector attached are bit-identical.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/error.h"
+
+namespace raidrel::fault {
+
+/// Thrown by an armed site. Derives SiteError so generic handlers can
+/// recover the site name without knowing about fault injection.
+class InjectedFault : public SiteError {
+ public:
+  InjectedFault(std::string_view site, std::uint64_t hit,
+                std::string_view key);
+
+  [[nodiscard]] std::uint64_t hit() const noexcept { return hit_; }
+
+ private:
+  std::uint64_t hit_ = 0;
+};
+
+/// Every site that FaultInjector::check may be called with, sorted.
+/// docs/MODEL.md §11 documents what each one means.
+const std::vector<std::string>& registered_sites();
+bool is_registered_site(std::string_view site);
+
+/// One armed fault. Either hit-indexed (fire on hits
+/// [first_hit, first_hit + count)) or key-matched (fire on the first
+/// `count` checks whose work-unit key equals `key` — e.g. a sweep cell
+/// label, which stays deterministic under any thread count).
+struct FaultSpec {
+  std::string site;
+  std::uint64_t first_hit = 1;  ///< 1-based; ignored when key is set
+  std::uint64_t count = 1;      ///< consecutive failures
+  std::string key;              ///< empty = hit-indexed
+};
+
+/// An ordered set of FaultSpecs. Parsed from the CLI grammar
+///
+///   plan  := spec ("," spec)*
+///   spec  := site [":" arg] ["*" count]
+///   arg   := integer hit index | work-unit key (anything non-numeric)
+///
+/// "manifest_write:2" fires the 2nd manifest write, "cell:scrub=168"
+/// fires every attempt of the cell labeled scrub=168 once,
+/// "runner_trial:1*9" fires trials 1 through 9.
+class FaultPlan {
+ public:
+  FaultPlan() = default;
+
+  /// Parse the CLI grammar; throws ModelError on unknown sites, bad
+  /// counts, or empty specs.
+  static FaultPlan parse(const std::string& text);
+
+  /// Programmatic arming (site must be registered; count >= 1).
+  FaultPlan& arm(FaultSpec spec);
+
+  [[nodiscard]] bool empty() const noexcept { return specs_.empty(); }
+  [[nodiscard]] const std::vector<FaultSpec>& specs() const noexcept {
+    return specs_;
+  }
+
+ private:
+  std::vector<FaultSpec> specs_;
+};
+
+/// Executes a FaultPlan. check() is the pass-through every instrumented
+/// site calls: it bumps the site's hit counter and throws InjectedFault
+/// when an armed spec matches. Thread-safe; the mutex is only ever taken
+/// when an injector is actually attached.
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultPlan plan);
+
+  /// Pass through `site`. `key` optionally names the unit of work (a cell
+  /// label) for key-matched specs. Throws ModelError if the site is not
+  /// registered, InjectedFault if an armed spec matches this hit.
+  void check(std::string_view site, std::string_view key = {});
+
+  /// Total times check() was called for `site` (including throwing hits).
+  [[nodiscard]] std::uint64_t hits(std::string_view site) const;
+  /// Times `site` actually threw.
+  [[nodiscard]] std::uint64_t injected(std::string_view site) const;
+  [[nodiscard]] std::uint64_t total_injected() const;
+
+ private:
+  struct SiteState {
+    std::uint64_t hits = 0;
+    std::uint64_t injected = 0;
+  };
+  struct ArmedSpec {
+    FaultSpec spec;
+    std::uint64_t fired = 0;  ///< key-matched specs: matches consumed
+  };
+
+  mutable std::mutex mutex_;
+  std::vector<ArmedSpec> armed_;
+  std::vector<std::pair<std::string, SiteState>> sites_;  ///< small, linear
+};
+
+}  // namespace raidrel::fault

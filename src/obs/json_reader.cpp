@@ -1,6 +1,7 @@
 #include "obs/json_reader.h"
 
 #include <cerrno>
+#include <cmath>
 #include <cstdlib>
 
 #include "util/error.h"
@@ -18,6 +19,11 @@ double JsonValue::as_double() const {
   const double v = std::strtod(text_.c_str(), &end);
   RAIDREL_REQUIRE(end != text_.c_str() && *end == '\0',
                   "malformed JSON number token");
+  // A token like 1e999 parses but overflows to infinity; a manifest field
+  // that silently becomes non-finite would poison every downstream digest
+  // comparison, so reject it here. (Subnormals are finite and pass.)
+  RAIDREL_REQUIRE(std::isfinite(v),
+                  "JSON number overflows double: " + text_);
   return v;
 }
 
@@ -176,6 +182,12 @@ class JsonParser {
     for (;;) {
       skip_whitespace();
       std::string key = parse_string();
+      // Duplicate keys are legal JSON but always a bug in our manifests
+      // (the writer never emits them); accepting one would let find()/get()
+      // silently return the first of two conflicting values.
+      for (const auto& [existing, unused] : v.object_) {
+        if (existing == key) fail("duplicate object key \"" + key + '"');
+      }
       skip_whitespace();
       expect(':');
       v.object_.emplace_back(std::move(key), parse_value(depth + 1));

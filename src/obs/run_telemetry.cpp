@@ -57,6 +57,26 @@ void RunTelemetry::annotate_last_batch(double relative_sem,
   batches_.back().absolute_sem = absolute_sem;
 }
 
+void RunTelemetry::add_fault_event(FaultEvent event) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  fault_events_.push_back(std::move(event));
+}
+
+std::vector<FaultEvent> RunTelemetry::fault_events() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return fault_events_;
+}
+
+std::uint64_t RunTelemetry::fault_count(std::string_view kind) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (kind.empty()) return fault_events_.size();
+  std::uint64_t n = 0;
+  for (const auto& e : fault_events_) {
+    if (e.kind == kind) ++n;
+  }
+  return n;
+}
+
 WorkerStats RunTelemetry::totals() const {
   const std::lock_guard<std::mutex> lock(mutex_);
   WorkerStats sum;
@@ -143,6 +163,24 @@ void RunTelemetry::write_json(JsonWriter& w) const {
     }
   }
   w.end_array();
+
+  // Additive: only runs that actually saw fault-tolerance events carry a
+  // "faults" array, so clean manifests are byte-identical to schema 1
+  // output from before the fault layer existed.
+  const std::vector<FaultEvent> faults = fault_events();
+  if (!faults.empty()) {
+    w.key("faults");
+    w.begin_array();
+    for (const auto& e : faults) {
+      w.begin_object();
+      w.kv("site", std::string_view(e.site));
+      w.kv("kind", std::string_view(e.kind));
+      w.kv("attempt", e.attempt);
+      w.kv("detail", std::string_view(e.detail));
+      w.end_object();
+    }
+    w.end_array();
+  }
 
   w.end_object();
 }

@@ -51,6 +51,19 @@ struct WorkerStats {
   WorkerStats& operator+=(const WorkerStats& o) noexcept;
 };
 
+/// One recorded fault-tolerance event: an injected or organic failure, a
+/// retry, a quarantine decision, or a survived I/O error. The sweep engine
+/// (sweep/sweep_runner.h) emits these so a run's telemetry records not
+/// just what was computed but what was survived. `kind` is a small closed
+/// vocabulary: "injected", "retry", "quarantine", "io-error",
+/// "cache-reject".
+struct FaultEvent {
+  std::string site;    ///< failure site name ("cell", "manifest_write", ...)
+  std::string kind;
+  std::uint64_t attempt = 0;  ///< attempt number the event happened on
+  std::string detail;         ///< cell label, path, or exception text
+};
+
 /// One driver-level run (a whole run_monte_carlo call). Adaptive runs
 /// (sim/convergence.h) record one batch per round, with the relative /
 /// absolute SEM achieved after the batch merged — the convergence
@@ -80,6 +93,14 @@ class RunTelemetry {
   /// Record the convergence trajectory point for the latest batch.
   void annotate_last_batch(double relative_sem, double absolute_sem);
 
+  /// Record one fault-tolerance event (thread-safe). Events are appended
+  /// in arrival order; the JSON manifest gains a "faults" array only when
+  /// at least one event was recorded, so clean runs serialize unchanged.
+  void add_fault_event(FaultEvent event);
+  [[nodiscard]] std::vector<FaultEvent> fault_events() const;  ///< snapshot
+  /// Number of recorded events of `kind` (empty = all kinds).
+  [[nodiscard]] std::uint64_t fault_count(std::string_view kind = {}) const;
+
   [[nodiscard]] WorkerStats totals() const;  ///< sum over workers
   [[nodiscard]] const std::vector<WorkerStats>& workers() const noexcept {
     return workers_;
@@ -108,9 +129,10 @@ class RunTelemetry {
   [[nodiscard]] std::string json() const;
 
  private:
-  mutable std::mutex mutex_;  ///< guards workers_ during the run
+  mutable std::mutex mutex_;  ///< guards workers_/fault_events_ during the run
   std::vector<WorkerStats> workers_;
   std::vector<BatchStats> batches_;
+  std::vector<FaultEvent> fault_events_;
   std::uint64_t master_seed_ = 0;
   std::uint64_t config_digest_ = 0;
   unsigned threads_ = 0;

@@ -49,6 +49,7 @@ ConvergedRun run_until_converged(const raid::GroupConfig& config,
     run.first_trial_index = next_index;
     run.telemetry = options.telemetry;
     run.trace = options.trace;
+    run.fault = options.fault;
     run.pool = &pool;
     out.result.merge(run_monte_carlo(config, run));
     next_index += batch;

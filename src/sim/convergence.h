@@ -43,6 +43,11 @@ struct ConvergenceOptions {
   /// that batch was merged.
   obs::RunTelemetry* telemetry = nullptr;
   obs::EventTrace* trace = nullptr;
+  /// Optional fault injector, forwarded to every batch's RunOptions (and
+  /// to the loop's persistent pool, arming the "pool_task" site). Site hit
+  /// counters accumulate across batches, so "runner_trial:N" means the Nth
+  /// trial of the whole converged study. Null — the default — is off.
+  fault::FaultInjector* fault = nullptr;
 };
 
 struct ConvergedRun {

@@ -73,6 +73,39 @@ double elapsed_seconds(std::chrono::steady_clock::time_point since) {
       .count();
 }
 
+// Fan `worker` out over `threads` threads. Both the pool path and the
+// spawn/join path capture the first worker exception and rethrow it on
+// this (coordinating) thread after every worker finished, so a throwing
+// trial can never unwind into std::thread and std::terminate the process.
+void fan_out(unsigned threads, ThreadPool* pool, fault::FaultInjector* fault,
+             const std::function<void()>& worker) {
+  if (threads == 1) {
+    worker();  // no worker task: exceptions propagate to the caller as-is
+    return;
+  }
+  if (pool != nullptr) {
+    pool->set_fault_injector(fault);
+    pool->run(threads, worker);
+    return;
+  }
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+  auto guarded = [&] {
+    try {
+      if (fault != nullptr) fault->check("pool_task");
+      worker();
+    } catch (...) {
+      const std::lock_guard<std::mutex> lock(error_mutex);
+      if (!first_error) first_error = std::current_exception();
+    }
+  };
+  std::vector<std::thread> spawned;
+  spawned.reserve(threads);
+  for (unsigned t = 0; t < threads; ++t) spawned.emplace_back(guarded);
+  for (auto& th : spawned) th.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
 }  // namespace
 
 std::uint64_t config_digest(const raid::GroupConfig& config) {
@@ -137,6 +170,7 @@ RunResult run_monte_carlo(const raid::GroupConfig& config,
       const std::size_t end = std::min(begin + kChunk, options.trials);
       for (std::size_t i = begin; i < end; ++i) {
         const std::uint64_t index = options.first_trial_index + i;
+        if (options.fault != nullptr) options.fault->check("runner_trial");
         auto rs = streams.stream(index);
         simulator.run_trial(
             rs, trial,
@@ -161,16 +195,7 @@ RunResult run_monte_carlo(const raid::GroupConfig& config,
     }
   };
 
-  if (threads == 1) {
-    worker();
-  } else if (options.pool != nullptr) {
-    options.pool->run(threads, worker);
-  } else {
-    std::vector<std::thread> pool;
-    pool.reserve(threads);
-    for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker);
-    for (auto& th : pool) th.join();
-  }
+  fan_out(threads, options.pool, options.fault, worker);
   if (options.telemetry) {
     obs::BatchStats batch;
     batch.first_trial_index = options.first_trial_index;
@@ -222,6 +247,7 @@ RunResult run_fleet_monte_carlo(const FleetConfig& config,
       const std::size_t end = std::min(begin + kChunk, options.trials);
       for (std::size_t i = begin; i < end; ++i) {
         const std::uint64_t index = options.first_trial_index + i;
+        if (options.fault != nullptr) options.fault->check("runner_trial");
         auto rs = streams.stream(index);
         simulator.run_trial(
             rs, trial,
@@ -249,16 +275,7 @@ RunResult run_fleet_monte_carlo(const FleetConfig& config,
     }
   };
 
-  if (threads == 1) {
-    worker();
-  } else if (options.pool != nullptr) {
-    options.pool->run(threads, worker);
-  } else {
-    std::vector<std::thread> pool;
-    pool.reserve(threads);
-    for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker);
-    for (auto& th : pool) th.join();
-  }
+  fan_out(threads, options.pool, options.fault, worker);
   if (options.telemetry) {
     obs::BatchStats batch;
     batch.first_trial_index = options.first_trial_index;

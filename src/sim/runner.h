@@ -9,6 +9,7 @@
 
 #include <cstdint>
 
+#include "fault/fault_injection.h"
 #include "obs/run_telemetry.h"
 #include "obs/trace.h"
 #include "raid/group_config.h"
@@ -46,6 +47,13 @@ struct RunOptions {
   /// Compiled-kernel lowering policy (see slot_kernel.h). kVirtualOnly is
   /// the bit-identical reference path used by the equivalence tests.
   KernelPolicy kernel_policy = KernelPolicy::kLowered;
+
+  /// Deterministic fault injection (see fault/fault_injection.h). When
+  /// set, every trial passes through the "runner_trial" site and a pool
+  /// run passes each worker task through "pool_task". Null — the default —
+  /// skips the checks entirely; an injector with an empty plan only counts
+  /// hits. Neither changes results or random draws.
+  fault::FaultInjector* fault = nullptr;
 };
 
 /// Run `options.trials` missions of `config` and aggregate.

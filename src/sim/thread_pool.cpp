@@ -1,5 +1,7 @@
 #include "sim/thread_pool.h"
 
+#include "fault/fault_injection.h"
+
 namespace raidrel::sim {
 
 ThreadPool::~ThreadPool() {
@@ -18,11 +20,18 @@ void ThreadPool::run(unsigned tasks, const std::function<void()>& fn) {
     workers_.emplace_back([this] { worker_loop(); });
   }
   job_ = &fn;
+  first_error_ = nullptr;
   unclaimed_ = tasks;
   active_ = tasks;
   work_ready_.notify_all();
   work_done_.wait(lock, [this] { return active_ == 0; });
   job_ = nullptr;
+  if (first_error_) {
+    std::exception_ptr error = std::move(first_error_);
+    first_error_ = nullptr;
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
 }
 
 void ThreadPool::worker_loop() {
@@ -32,9 +41,19 @@ void ThreadPool::worker_loop() {
     if (unclaimed_ > 0) {
       --unclaimed_;
       const std::function<void()>* job = job_;
+      fault::FaultInjector* injector = injector_;
       lock.unlock();
-      (*job)();
+      // A throwing task must not unwind into std::thread (std::terminate);
+      // capture and let run() rethrow on the coordinating thread instead.
+      std::exception_ptr error;
+      try {
+        if (injector != nullptr) injector->check("pool_task");
+        (*job)();
+      } catch (...) {
+        error = std::current_exception();
+      }
       lock.lock();
+      if (error && !first_error_) first_error_ = std::move(error);
       if (--active_ == 0) work_done_.notify_all();
       continue;
     }

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <mutex>
 #include <sstream>
@@ -21,7 +23,10 @@ namespace raidrel::sweep {
 
 namespace {
 
-constexpr const char* kSchema = "raidrel-sweep-manifest/1";
+constexpr const char* kSchema = "raidrel-sweep-manifest/2";
+// Pre-quarantine manifests are still valid caches; they only lack the
+// (ignored on load) quarantined array.
+constexpr const char* kSchemaV1 = "raidrel-sweep-manifest/1";
 
 void append_double(std::string& out, double v) {
   char buf[40];
@@ -98,11 +103,38 @@ std::uint64_t cell_result_digest(const CellResult& r) {
 
 namespace {
 
+std::string error_site(const std::exception& e, const char* fallback) {
+  if (const auto* s = dynamic_cast<const SiteError*>(&e)) return s->site();
+  return fallback;
+}
+
+bool is_injected_fault(const std::exception& e) noexcept {
+  return dynamic_cast<const fault::InjectedFault*>(&e) != nullptr;
+}
+
+/// Deterministic exponential backoff: attempt k sleeps base * 2^(k-1) ms.
+/// No jitter — the retry schedule must replay identically run to run.
+void retry_backoff(double base_ms, unsigned attempt) {
+  if (base_ms <= 0.0) return;
+  const double ms =
+      base_ms * static_cast<double>(1ULL << (attempt > 0 ? attempt - 1 : 0));
+  std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(ms));
+}
+
+void note_event(obs::RunTelemetry* telemetry, std::string site,
+                const char* kind, std::uint64_t attempt, std::string detail) {
+  if (telemetry == nullptr) return;
+  telemetry->add_fault_event(
+      {std::move(site), kind, attempt, std::move(detail)});
+}
+
 /// The manifest cache loaded from disk: result entries keyed by cell key.
 /// Identity fields (index, label, coordinates) always come from the
 /// *current* expansion, so relabeling an axis never stales the cache.
+/// Quarantined entries are deliberately not loaded: a resumed sweep gives
+/// every previously failed cell a fresh chance.
 std::unordered_map<std::uint64_t, CellResult> load_cache(
-    const std::string& path) {
+    const std::string& path, obs::RunTelemetry* telemetry) {
   std::unordered_map<std::uint64_t, CellResult> cache;
   std::ifstream in(path);
   if (!in) return cache;
@@ -111,13 +143,18 @@ std::unordered_map<std::uint64_t, CellResult> load_cache(
   obs::JsonValue root;
   try {
     root = obs::parse_json(buf.str());
-  } catch (const ModelError&) {
-    return cache;  // corrupt or truncated manifest: resimulate everything
+  } catch (const ModelError& e) {
+    // Corrupt or truncated manifest: resimulate everything.
+    note_event(telemetry, "manifest_read", "cache-reject", 0, e.what());
+    return cache;
   }
   try {
     if (!root.is_object()) return cache;
     const obs::JsonValue* schema = root.find("schema");
-    if (schema == nullptr || schema->as_string() != kSchema) return cache;
+    if (schema == nullptr ||
+        (schema->as_string() != kSchema && schema->as_string() != kSchemaV1)) {
+      return cache;
+    }
     for (const auto& entry : root.get("cells").items()) {
       CellResult r;
       r.config_digest = entry.get("config_digest").as_uint64();
@@ -139,14 +176,20 @@ std::unordered_map<std::uint64_t, CellResult> load_cache(
       r.restores_completed = entry.get("restores_completed").as_uint64();
       r.result_digest = entry.get("result_digest").as_uint64();
       // A tampered or bit-rotted entry must not masquerade as a result.
-      if (cell_result_digest(r) != r.result_digest) continue;
+      if (cell_result_digest(r) != r.result_digest) {
+        note_event(telemetry, "manifest_read", "cache-reject", 0,
+                   "result digest mismatch for cell_key " +
+                       std::to_string(r.cell_key));
+        continue;
+      }
       r.from_cache = true;
       cache.emplace(r.cell_key, std::move(r));
     }
-  } catch (const ModelError&) {
+  } catch (const ModelError& e) {
     // A malformed entry invalidates the whole cache: partial trust in a
     // manifest is worse than an honest resimulation.
     cache.clear();
+    note_event(telemetry, "manifest_read", "cache-reject", 0, e.what());
   }
   return cache;
 }
@@ -183,16 +226,35 @@ void write_cell(obs::JsonWriter& w, const CellResult& r) {
 
 /// Atomically (re)write the manifest with every completed cell, sorted by
 /// index. No wall-clock or host-specific fields: the final manifest of a
-/// resumed sweep must be byte-identical to a single-pass one.
+/// resumed sweep must be byte-identical to a single-pass one, and a sweep
+/// whose quarantined cells recover on resume must be byte-identical to a
+/// pass that never failed (the quarantined array drains back to []).
+/// Throws SiteError on every failure so callers can retry by site.
 void write_manifest(const std::string& path, const std::string& sweep_name,
                     const sim::ConvergenceOptions& conv,
                     std::size_t total_cells,
-                    const std::vector<const CellResult*>& completed) {
+                    const std::vector<const CellResult*>& completed,
+                    const std::vector<ErrorRecord>& quarantined,
+                    fault::FaultInjector* fault) {
+  if (fault != nullptr) fault->check("manifest_write", path);
+  const std::filesystem::path parent =
+      std::filesystem::path(path).parent_path();
+  if (!parent.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(parent, ec);
+    if (ec) {
+      throw SiteError("manifest_write", "cannot create manifest directory " +
+                                            parent.string() + ": " +
+                                            ec.message());
+    }
+  }
   const std::string tmp = path + ".tmp";
   {
     std::ofstream out(tmp);
-    RAIDREL_REQUIRE(out.good(),
-                    "cannot write sweep manifest: " + tmp);
+    if (!out.good()) {
+      throw SiteError("manifest_write",
+                      "cannot open sweep manifest for writing: " + tmp);
+    }
     obs::JsonWriter w(out);
     w.begin_object();
     w.kv("schema", kSchema);
@@ -213,22 +275,60 @@ void write_manifest(const std::string& path, const std::string& sweep_name,
     w.begin_array();
     for (const CellResult* r : completed) write_cell(w, *r);
     w.end_array();
+    w.key("quarantined");
+    w.begin_array();
+    {
+      std::vector<const ErrorRecord*> ordered;
+      ordered.reserve(quarantined.size());
+      for (const ErrorRecord& q : quarantined) ordered.push_back(&q);
+      std::sort(ordered.begin(), ordered.end(),
+                [](const ErrorRecord* a, const ErrorRecord* b) {
+                  return a->index < b->index;
+                });
+      for (const ErrorRecord* q : ordered) {
+        w.begin_object();
+        w.kv("site", std::string_view(q->site));
+        w.kv("index", static_cast<std::uint64_t>(q->index));
+        w.kv("label", std::string_view(q->label));
+        w.kv("cell_key", q->cell_key);
+        w.kv("attempts", q->attempts);
+        w.kv("message", std::string_view(q->message));
+        w.end_object();
+      }
+    }
+    w.end_array();
     w.end_object();
     out << '\n';
-    RAIDREL_REQUIRE(out.good(), "write failed for sweep manifest: " + tmp);
+    if (!out.good()) {
+      throw SiteError("manifest_write",
+                      "write failed for sweep manifest: " + tmp);
+    }
   }
-  RAIDREL_REQUIRE(std::rename(tmp.c_str(), path.c_str()) == 0,
-                  "cannot move sweep manifest into place: " + path);
+  if (fault != nullptr) fault->check("manifest_rename", path);
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw SiteError("manifest_rename",
+                    "cannot move sweep manifest into place: " + path);
+  }
 }
 
 CellResult simulate_cell(const SweepCell& cell,
-                         const sim::ConvergenceOptions& base_options) {
+                         const sim::ConvergenceOptions& base_options,
+                         fault::FaultInjector* fault, bool deadline_armed) {
   sim::ConvergenceOptions opt = base_options;
   opt.threads = 1;  // determinism: a cell is one worker's serial job
   opt.telemetry = nullptr;
   opt.trace = nullptr;
+  opt.fault = fault;
   const raid::GroupConfig config = cell.scenario.to_group_config();
   const sim::ConvergedRun run = sim::run_until_converged(config, opt);
+  if (deadline_armed && !run.converged) {
+    // A deadline stop is a deterministic failure: re-running cannot
+    // converge any better, so the caller quarantines without retrying.
+    throw SiteError("cell_deadline",
+                    "cell '" + cell.label + "' did not converge within " +
+                        std::to_string(base_options.max_trials) + " trials");
+  }
 
   CellResult r;
   r.index = cell.index;
@@ -269,20 +369,69 @@ SweepResult SweepRunner::run(const SweepSpec& spec) {
 SweepResult SweepRunner::run(const std::string& sweep_name,
                              const std::vector<SweepCell>& cells) {
   RAIDREL_REQUIRE(!cells.empty(), "sweep has no cells");
+  RAIDREL_REQUIRE(options_.cell_attempts > 0 &&
+                      options_.manifest_attempts > 0 &&
+                      options_.sweep_attempts > 0,
+                  "retry budgets must be at least 1 attempt");
+
+  // The effective convergence options are fixed once: the trial deadline
+  // clamps the budget, and because the cache key hashes min/max trials,
+  // deadline runs get their own cache rows automatically.
+  sim::ConvergenceOptions conv = options_.convergence;
+  const bool deadline_armed = options_.cell_trial_deadline > 0;
+  if (deadline_armed) {
+    conv.max_trials = std::min(conv.max_trials, options_.cell_trial_deadline);
+    conv.min_trials = std::min(conv.min_trials, conv.max_trials);
+  }
+  fault::FaultInjector* fault = options_.fault;
+  obs::RunTelemetry* telemetry = options_.telemetry;
+  const double backoff_ms = options_.retry_backoff_ms;
+
+  SweepResult out;
+  std::atomic<std::uint64_t> retries{0};
+  std::atomic<std::uint64_t> injected{0};
+  auto observe = [&](const std::exception& e) {
+    if (is_injected_fault(e)) {
+      injected.fetch_add(1);
+      note_event(telemetry, error_site(e, "?"), "injected", 0, e.what());
+    }
+  };
 
   std::unordered_map<std::uint64_t, CellResult> cache;
   if (!options_.manifest_path.empty() && options_.resume) {
-    cache = load_cache(options_.manifest_path);
+    for (unsigned attempt = 1;; ++attempt) {
+      try {
+        if (fault != nullptr) {
+          fault->check("manifest_read", options_.manifest_path);
+        }
+        cache = load_cache(options_.manifest_path, telemetry);
+        break;
+      } catch (const std::exception& e) {
+        observe(e);
+        const std::string site = error_site(e, "manifest_read");
+        if (attempt < options_.manifest_attempts) {
+          retries.fetch_add(1);
+          note_event(telemetry, site, "retry", attempt, e.what());
+          retry_backoff(backoff_ms, attempt);
+          continue;
+        }
+        // Unreadable cache: the sweep still runs, it just resimulates.
+        out.io_errors.push_back({site, 0, options_.manifest_path, 0, attempt,
+                                 e.what()});
+        note_event(telemetry, site, "io-error", attempt, e.what());
+        break;
+      }
+    }
   }
 
   // Slot per cell; cached cells fill immediately, the rest go pending.
   std::vector<CellResult> slots(cells.size());
   std::vector<bool> done(cells.size(), false);
+  std::vector<bool> failed(cells.size(), false);
   std::vector<std::size_t> pending;
   std::size_t cached = 0;
   for (const SweepCell& cell : cells) {
-    const std::uint64_t key =
-        cell_cache_key(cell.config_digest, options_.convergence);
+    const std::uint64_t key = cell_cache_key(cell.config_digest, conv);
     const auto hit = cache.find(key);
     if (hit != cache.end()) {
       CellResult r = hit->second;
@@ -300,46 +449,94 @@ SweepResult SweepRunner::run(const std::string& sweep_name,
     pending.resize(options_.max_cells);
   }
 
-  std::mutex mutex;  // guards slots/done, the manifest file and progress
+  std::mutex mutex;  // guards slots/done/failed/out, manifest and progress
   std::size_t completed = cached;
+  bool checkpointing = !options_.manifest_path.empty();
   auto checkpoint = [&] {
-    // Called under the mutex after every cell lands.
-    if (options_.manifest_path.empty()) return;
+    // Called under the mutex after every cell lands (or is quarantined).
+    // A checkpoint that keeps failing stops checkpointing — losing the
+    // on-disk cache must not lose the in-memory sweep.
+    if (!checkpointing) return;
     std::vector<const CellResult*> ordered;
     ordered.reserve(completed);
     for (std::size_t i = 0; i < slots.size(); ++i) {
       if (done[i]) ordered.push_back(&slots[i]);
     }
-    write_manifest(options_.manifest_path, sweep_name, options_.convergence,
-                   cells.size(), ordered);
+    for (unsigned attempt = 1;; ++attempt) {
+      try {
+        write_manifest(options_.manifest_path, sweep_name, conv, cells.size(),
+                       ordered, out.quarantined, fault);
+        return;
+      } catch (const std::exception& e) {
+        observe(e);
+        const std::string site = error_site(e, "manifest_write");
+        if (attempt < options_.manifest_attempts) {
+          retries.fetch_add(1);
+          note_event(telemetry, site, "retry", attempt, e.what());
+          retry_backoff(backoff_ms, attempt);
+          continue;
+        }
+        checkpointing = false;
+        out.io_errors.push_back({site, 0, options_.manifest_path, 0, attempt,
+                                 e.what()});
+        note_event(telemetry, site, "io-error", attempt, e.what());
+        return;
+      }
+    }
   };
 
   std::atomic<std::size_t> next{0};
-  std::exception_ptr first_error;
   auto worker = [&] {
     for (;;) {
       const std::size_t p = next.fetch_add(1);
       if (p >= pending.size()) return;
       const std::size_t idx = pending[p];
-      try {
-        CellResult r = simulate_cell(cells[idx], options_.convergence);
-        const std::lock_guard<std::mutex> lock(mutex);
-        slots[idx] = std::move(r);
-        done[idx] = true;
-        ++completed;
-        checkpoint();
-        if (options_.progress != nullptr) {
-          const CellResult& cr = slots[idx];
-          *options_.progress << "[" << completed << "/" << cells.size()
-                             << "] " << cr.label << ": "
-                             << cr.total_ddfs_per_1000 << " DDFs/1000 ("
-                             << cr.trials << " trials, " << cr.stop << ")\n";
+      const SweepCell& cell = cells[idx];
+      for (unsigned attempt = 1;; ++attempt) {
+        try {
+          if (fault != nullptr) fault->check("cell", cell.label);
+          CellResult r = simulate_cell(cell, conv, fault, deadline_armed);
+          const std::lock_guard<std::mutex> lock(mutex);
+          slots[idx] = std::move(r);
+          done[idx] = true;
+          ++completed;
+          checkpoint();
+          if (options_.progress != nullptr) {
+            const CellResult& cr = slots[idx];
+            *options_.progress << "[" << completed << "/" << cells.size()
+                               << "] " << cr.label << ": "
+                               << cr.total_ddfs_per_1000 << " DDFs/1000 ("
+                               << cr.trials << " trials, " << cr.stop
+                               << ")\n";
+          }
+          break;
+        } catch (const std::exception& e) {
+          observe(e);
+          const std::string site = error_site(e, "cell");
+          // A deadline stop is deterministic — retrying replays the same
+          // budget exhaustion — so it skips straight to quarantine.
+          if (site != "cell_deadline" && attempt < options_.cell_attempts) {
+            retries.fetch_add(1);
+            note_event(telemetry, site, "retry", attempt, e.what());
+            retry_backoff(backoff_ms, attempt);
+            continue;
+          }
+          const std::lock_guard<std::mutex> lock(mutex);
+          failed[idx] = true;
+          out.quarantined.push_back({site, cell.index, cell.label,
+                                     cell_cache_key(cell.config_digest, conv),
+                                     attempt, e.what()});
+          note_event(telemetry, site, "quarantine", attempt,
+                     cell.label + ": " + e.what());
+          checkpoint();  // a quarantine is persisted like any completion
+          if (options_.progress != nullptr) {
+            *options_.progress << "[" << (completed + out.quarantined.size())
+                               << "/" << cells.size() << "] " << cell.label
+                               << ": QUARANTINED after " << attempt
+                               << " attempt(s) (" << site << ")\n";
+          }
+          break;
         }
-      } catch (...) {
-        const std::lock_guard<std::mutex> lock(mutex);
-        if (!first_error) first_error = std::current_exception();
-        next.store(pending.size());  // drain the queue
-        return;
       }
     }
   };
@@ -355,19 +552,62 @@ SweepResult SweepRunner::run(const std::string& sweep_name,
     // file converges to the canonical single-pass bytes.
     const std::lock_guard<std::mutex> lock(mutex);
     checkpoint();
-  } else if (threads == 1) {
-    worker();
   } else {
+    // With an injector armed, even a single-shard sweep routes through the
+    // pool so the pool_task site is exercised the same way as at scale.
+    const bool use_pool = threads > 1 || fault != nullptr;
     sim::ThreadPool pool;
-    pool.run(threads, worker);
+    pool.set_fault_injector(fault);
+    for (unsigned attempt = 1;; ++attempt) {
+      try {
+        if (use_pool) {
+          pool.run(threads, worker);
+        } else {
+          worker();
+        }
+        break;
+      } catch (const std::exception& e) {
+        // Only failures *outside* the worker body land here (the worker
+        // quarantines its own); classic case: an armed pool_task site
+        // killing a shard before it drains the queue.
+        observe(e);
+        const std::string site = error_site(e, "pool_task");
+        bool all_resolved = true;
+        {
+          const std::lock_guard<std::mutex> lock(mutex);
+          for (const std::size_t idx : pending) {
+            if (!done[idx] && !failed[idx]) {
+              all_resolved = false;
+              break;
+            }
+          }
+        }
+        if (all_resolved) break;  // surviving shards drained the queue
+        if (attempt < options_.sweep_attempts) {
+          retries.fetch_add(1);
+          note_event(telemetry, site, "retry", attempt, e.what());
+          retry_backoff(backoff_ms, attempt);
+          continue;
+        }
+        const std::lock_guard<std::mutex> lock(mutex);
+        out.io_errors.push_back({site, 0, "sweep fan-out", 0, attempt,
+                                 e.what()});
+        note_event(telemetry, site, "io-error", attempt, e.what());
+        break;
+      }
+    }
   }
-  if (first_error) std::rethrow_exception(first_error);
 
-  SweepResult out;
   out.total_cells = cells.size();
   out.cached = cached;
   out.simulated = completed - cached;
   out.complete = completed == cells.size();
+  out.retries = retries.load();
+  out.faults_injected = injected.load();
+  std::sort(out.quarantined.begin(), out.quarantined.end(),
+            [](const ErrorRecord& a, const ErrorRecord& b) {
+              return a.index < b.index;
+            });
   for (std::size_t i = 0; i < slots.size(); ++i) {
     if (done[i]) out.cells.push_back(std::move(slots[i]));
   }

@@ -7,14 +7,25 @@
 // options) — bit-identical no matter which worker runs it, how many cells
 // run concurrently, or whether the sweep was interrupted and resumed.
 //
-// The result cache is a JSON manifest (schema raidrel-sweep-manifest/1,
-// written via obs/json_writer, read back via obs/json_reader). Every cell
-// is keyed by a digest over its config digest plus everything else that
-// determines its result; after each cell completes the manifest is
-// atomically rewritten (temp file + rename), so killing a sweep loses at
-// most the in-flight cells. A rerun loads the manifest, skips cells whose
-// key matches, simulates the rest, and the merged manifest is
-// byte-identical to what a single uninterrupted pass writes.
+// The result cache is a JSON manifest (schema raidrel-sweep-manifest/2,
+// written via obs/json_writer, read back via obs/json_reader; /1 manifests
+// are still read). Every cell is keyed by a digest over its config digest
+// plus everything else that determines its result; after each cell
+// completes the manifest is atomically rewritten (temp file + rename), so
+// killing a sweep loses at most the in-flight cells. A rerun loads the
+// manifest, skips cells whose key matches, simulates the rest, and the
+// merged manifest is byte-identical to what a single uninterrupted pass
+// writes.
+//
+// The runner is fail-safe rather than fail-fast: a cell that keeps
+// throwing is retried (bounded, deterministic backoff) and then
+// *quarantined* — recorded in the manifest as an ErrorRecord while every
+// other cell completes. Manifest I/O failures degrade checkpointing
+// instead of killing the sweep. SweepResult reports what was survived
+// (quarantined / io_errors / retries) so drivers can exit non-zero on a
+// degraded pass. Every failure path is reachable deterministically via
+// fault/fault_injection.h (sites: manifest_read, manifest_write,
+// manifest_rename, cell, plus pool_task / runner_trial underneath).
 #pragma once
 
 #include <cstdint>
@@ -23,6 +34,7 @@
 #include <utility>
 #include <vector>
 
+#include "fault/fault_injection.h"
 #include "sim/convergence.h"
 #include "sweep/sweep_spec.h"
 
@@ -53,6 +65,55 @@ struct SweepOptions {
 
   /// Optional per-cell progress lines ("[3/12] scrub=168 ... 14.2 /1000").
   std::ostream* progress = nullptr;
+
+  /// Optional fault injector. Armed sites fire inside this sweep
+  /// (manifest_read / manifest_write / manifest_rename / cell) and inside
+  /// the execution layers underneath (pool_task, runner_trial). Null — the
+  /// default — disables every check.
+  fault::FaultInjector* fault = nullptr;
+
+  /// Optional telemetry sink; the sweep records every fault-tolerance
+  /// event there ("injected" / "retry" / "quarantine" / "io-error" /
+  /// "cache-reject") in addition to the counters on SweepResult.
+  obs::RunTelemetry* telemetry = nullptr;
+
+  /// How many times one cell may be attempted before it is quarantined.
+  unsigned cell_attempts = 2;
+
+  /// Attempts for each manifest read and each checkpoint write. Read
+  /// exhaustion falls back to an empty cache (resimulate); write
+  /// exhaustion disables checkpointing for the rest of the sweep. Both
+  /// are recorded as io_errors, and neither stops the sweep.
+  unsigned manifest_attempts = 3;
+
+  /// Attempts for the worker fan-out itself (a worker that dies before
+  /// draining the cell queue, e.g. an armed pool_task site).
+  unsigned sweep_attempts = 3;
+
+  /// Base for the deterministic exponential retry backoff: attempt k
+  /// sleeps retry_backoff_ms * 2^(k-1) milliseconds. 0 (the default)
+  /// retries immediately — the schedule is a pure function of the attempt
+  /// number either way.
+  double retry_backoff_ms = 0.0;
+
+  /// Per-cell trial budget: when positive, clamps the convergence
+  /// max_trials and a cell that still has not converged at the clamp is
+  /// quarantined (site "cell_deadline") instead of being recorded as an
+  /// ordinary budget stop. The clamp feeds cell_cache_key, so deadline
+  /// runs never collide with unclamped cache entries.
+  std::size_t cell_trial_deadline = 0;
+};
+
+/// One failure the sweep survived: a quarantined cell, or an I/O-layer
+/// error that degraded (but did not stop) the sweep. Quarantined cells are
+/// persisted in the manifest; io_errors are in-memory only.
+struct ErrorRecord {
+  std::string site;       ///< "cell", "cell_deadline", "manifest_write", ...
+  std::size_t index = 0;  ///< cell index; 0 for non-cell errors
+  std::string label;      ///< cell label, or the path for I/O errors
+  std::uint64_t cell_key = 0;  ///< cache key of the cell; 0 for I/O errors
+  std::uint64_t attempts = 0;  ///< attempts consumed before giving up
+  std::string message;         ///< what() of the last attempt's exception
 };
 
 /// One cell's persisted outcome. Every field except `from_cache` is part
@@ -98,6 +159,24 @@ struct SweepResult {
   /// sweeps with equal digests produced bit-identical results. 0 while
   /// incomplete.
   std::uint64_t sweep_digest = 0;
+
+  /// Cells that exhausted their attempts, sorted by index. A quarantined
+  /// cell has no entry in `cells` and keeps `complete` false.
+  std::vector<ErrorRecord> quarantined;
+  /// Survived non-cell failures (manifest I/O, dead worker fan-out).
+  std::vector<ErrorRecord> io_errors;
+  std::uint64_t retries = 0;          ///< retry attempts consumed anywhere
+  std::uint64_t faults_injected = 0;  ///< InjectedFaults observed (testing)
+
+  /// Number of cells that failed permanently this invocation.
+  [[nodiscard]] std::size_t failed() const noexcept {
+    return quarantined.size();
+  }
+  /// True when the sweep survived failures a driver should report: exit
+  /// non-zero even though results were produced.
+  [[nodiscard]] bool degraded() const noexcept {
+    return !quarantined.empty() || !io_errors.empty();
+  }
 };
 
 /// Digest keying one cell's cache entry: the config digest chained with

@@ -20,6 +20,23 @@ class ModelError : public std::runtime_error {
   explicit ModelError(const std::string& what) : std::runtime_error(what) {}
 };
 
+/// A ModelError carrying a machine-readable site name — the stable
+/// identifier of where in the execution stack the failure happened
+/// ("manifest_write", "cell_deadline", an injection site, ...). The sweep
+/// engine's quarantine records and retry policy key on site(), so failures
+/// stay classifiable after crossing thread and process boundaries as
+/// strings.
+class SiteError : public ModelError {
+ public:
+  SiteError(std::string site, const std::string& what)
+      : ModelError(site + ": " + what), site_(std::move(site)) {}
+
+  [[nodiscard]] const std::string& site() const noexcept { return site_; }
+
+ private:
+  std::string site_;
+};
+
 namespace detail {
 
 [[noreturn]] inline void fail(std::string_view kind, std::string_view cond,

@@ -88,6 +88,57 @@ TEST(JsonReader, MalformedDocumentsThrow) {
   EXPECT_THROW(parse_json("1.e3"), ModelError);
 }
 
+TEST(JsonReader, DuplicateObjectKeysRejected) {
+  // Legal JSON, but our writer never produces it — a duplicate means a
+  // corrupted or hand-edited manifest, where "first key wins" would
+  // silently pick one of two conflicting values.
+  EXPECT_THROW(parse_json(R"({"a": 1, "a": 2})"), ModelError);
+  EXPECT_THROW(parse_json(R"({"a": 1, "b": {"x": 1, "x": 2}})"), ModelError);
+  // Same key at different nesting levels is fine.
+  EXPECT_NO_THROW(parse_json(R"({"a": 1, "b": {"a": 2}})"));
+}
+
+TEST(JsonReader, NonFiniteNumbersRejected) {
+  // 1e999 parses as a valid token but overflows to infinity; the literal
+  // spellings are not JSON at all. None may come back as a usable double.
+  EXPECT_THROW((void)parse_json("1e999").as_double(), ModelError);
+  EXPECT_THROW((void)parse_json("-1e999").as_double(), ModelError);
+  EXPECT_THROW((void)parse_json(R"({"v": 1e999})").get("v").as_double(),
+               ModelError);
+  EXPECT_THROW(parse_json("NaN"), ModelError);
+  EXPECT_THROW(parse_json("Infinity"), ModelError);
+  EXPECT_THROW(parse_json("-Infinity"), ModelError);
+  // Subnormals are finite and must keep working.
+  EXPECT_EQ(parse_json("-2.5e-308").as_double(), -2.5e-308);
+}
+
+TEST(JsonReader, EveryTruncationOfARealDocumentThrows) {
+  // A crash mid-write leaves a prefix of a valid manifest; every strict
+  // prefix must be a clean ModelError, never a crash or a silent partial
+  // parse.
+  std::ostringstream os;
+  {
+    JsonWriter w(os);
+    w.begin_object();
+    w.kv("schema", "raidrel-sweep-manifest/2");
+    w.kv("digest", std::uint64_t{17783286741236303588ull});
+    w.key("cells");
+    w.begin_array();
+    w.begin_object();
+    w.kv("label", "restore=12 group=4");
+    w.kv("mean", 3.141592653589793);
+    w.end_object();
+    w.end_array();
+    w.end_object();
+  }
+  const std::string doc = os.str();
+  ASSERT_NO_THROW(parse_json(doc));
+  for (std::size_t len = 0; len < doc.size(); ++len) {
+    EXPECT_THROW(parse_json(doc.substr(0, len)), ModelError)
+        << "prefix of length " << len << " parsed";
+  }
+}
+
 TEST(JsonReader, DepthLimit) {
   std::string deep(100, '[');
   deep += std::string(100, ']');

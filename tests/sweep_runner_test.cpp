@@ -7,6 +7,7 @@
 #include <sstream>
 #include <string>
 
+#include "fault/fault_injection.h"
 #include "obs/json_reader.h"
 #include "util/error.h"
 
@@ -178,8 +179,9 @@ TEST(SweepRunner, CorruptManifestFallsBackToFullResimulation) {
   EXPECT_EQ(result.simulated, 4u);
   // And the manifest is healthy again afterwards.
   const auto root = obs::parse_json(read_file(path));
-  EXPECT_EQ(root.get("schema").as_string(), "raidrel-sweep-manifest/1");
+  EXPECT_EQ(root.get("schema").as_string(), "raidrel-sweep-manifest/2");
   EXPECT_EQ(root.get("cells").size(), 4u);
+  EXPECT_EQ(root.get("quarantined").size(), 0u);
 }
 
 TEST(SweepRunner, TamperedCellEntriesAreRejected) {
@@ -263,6 +265,299 @@ TEST(SweepRunner, ResultDigestCoversTheNumericOutcome) {
 
 TEST(SweepRunner, EmptyCellListIsAnError) {
   EXPECT_THROW(SweepRunner(fast_options()).run("empty", {}), ModelError);
+}
+
+// ---------------------------------------------------------------------------
+// Fault tolerance. Everything below drives the failure paths through
+// fault/fault_injection.h, deterministically.
+
+// Pre-fault-layer baseline digests for small_spec() + fast_options(),
+// captured before the injection sites were threaded through the stack. An
+// attached-but-empty injector must not perturb a single bit of any result.
+constexpr std::uint64_t kBaselineCellDigests[4] = {
+    6023635762572510617ull,   // restore=12 group=4
+    8864948377784057330ull,   // restore=12 group=6
+    8378114386324848958ull,   // restore=48 group=4
+    4832777957626923056ull,   // restore=48 group=6
+};
+constexpr std::uint64_t kBaselineCellKeys[4] = {
+    2500358673728549282ull,
+    13906092786162545732ull,
+    13373188361043272321ull,
+    16980643836755293884ull,
+};
+constexpr std::uint64_t kBaselineSweepDigest = 17783286741236303588ull;
+
+void expect_baseline(const SweepResult& result) {
+  ASSERT_EQ(result.cells.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(result.cells[i].result_digest, kBaselineCellDigests[i]) << i;
+    EXPECT_EQ(result.cells[i].cell_key, kBaselineCellKeys[i]) << i;
+  }
+  EXPECT_EQ(result.sweep_digest, kBaselineSweepDigest);
+}
+
+TEST(SweepFaults, EmptyPlanInjectorLeavesEveryDigestBitIdentical) {
+  const std::string path = temp_manifest("emptyplan");
+  fault::FaultInjector injector{fault::FaultPlan{}};
+  auto opt = fast_options(path);
+  opt.fault = &injector;
+  const auto result = SweepRunner(opt).run(small_spec());
+  EXPECT_TRUE(result.complete);
+  EXPECT_FALSE(result.degraded());
+  EXPECT_EQ(result.retries, 0u);
+  EXPECT_EQ(result.faults_injected, 0u);
+  expect_baseline(result);
+
+  // The sites were actually traversed — the empty plan just never fired —
+  // and the bytes on disk match a run with no injector at all.
+  EXPECT_EQ(injector.hits("manifest_read"), 1u);
+  EXPECT_EQ(injector.hits("manifest_write"), 4u);  // one checkpoint per cell
+  EXPECT_EQ(injector.hits("manifest_rename"), 4u);
+  EXPECT_EQ(injector.hits("cell"), 4u);
+  EXPECT_EQ(injector.hits("pool_task"), 2u);  // threads=2 fan-out
+  EXPECT_EQ(injector.hits("runner_trial"), 4u * 600u);
+  EXPECT_EQ(injector.total_injected(), 0u);
+
+  const std::string clean = temp_manifest("emptyplan_clean");
+  const auto unfaulted = SweepRunner(fast_options(clean)).run(small_spec());
+  expect_baseline(unfaulted);
+  EXPECT_EQ(read_file(path), read_file(clean));
+}
+
+TEST(SweepFaults, TransientCellFaultIsRetriedAndLeavesNoTrace) {
+  const std::string path = temp_manifest("transient");
+  fault::FaultInjector injector{
+      fault::FaultPlan::parse("cell:restore=12 group=4")};
+  auto opt = fast_options(path);
+  opt.fault = &injector;
+  const auto result = SweepRunner(opt).run(small_spec());
+  EXPECT_TRUE(result.complete);
+  EXPECT_FALSE(result.degraded());
+  EXPECT_EQ(result.retries, 1u);
+  EXPECT_EQ(result.faults_injected, 1u);
+  expect_baseline(result);
+
+  const std::string clean = temp_manifest("transient_clean");
+  SweepRunner(fast_options(clean)).run(small_spec());
+  EXPECT_EQ(read_file(path), read_file(clean));
+}
+
+// The ISSUE's quarantine acceptance test: a cell that fails every attempt
+// is quarantined, every other cell completes, the manifest round-trips the
+// ErrorRecord, and a clean rerun resumes to bytes identical to a pass that
+// never failed.
+TEST(SweepFaults, ExhaustedCellIsQuarantinedAndCleanRerunRecovers) {
+  const std::string path = temp_manifest("quarantine");
+  fault::FaultInjector injector{
+      fault::FaultPlan::parse("cell:restore=48 group=4*9")};
+  auto opt = fast_options(path);
+  opt.fault = &injector;
+  const auto result = SweepRunner(opt).run(small_spec());
+  EXPECT_FALSE(result.complete);
+  EXPECT_TRUE(result.degraded());
+  EXPECT_EQ(result.failed(), 1u);
+  EXPECT_EQ(result.simulated, 3u);
+  EXPECT_EQ(result.cells.size(), 3u);
+  EXPECT_EQ(result.faults_injected, 2u);  // both attempts of the cell
+  EXPECT_EQ(result.retries, 1u);
+  ASSERT_EQ(result.quarantined.size(), 1u);
+  const ErrorRecord& q = result.quarantined[0];
+  EXPECT_EQ(q.site, "cell");
+  EXPECT_EQ(q.index, 2u);
+  EXPECT_EQ(q.label, "restore=48 group=4");
+  EXPECT_EQ(q.cell_key, kBaselineCellKeys[2]);
+  EXPECT_EQ(q.attempts, 2u);  // the default cell_attempts budget
+  EXPECT_NE(q.message.find("injected fault"), std::string::npos);
+
+  // The manifest round-trips the quarantine record.
+  const auto root = obs::parse_json(read_file(path));
+  EXPECT_EQ(root.get("cells").size(), 3u);
+  ASSERT_EQ(root.get("quarantined").size(), 1u);
+  const auto& entry = root.get("quarantined").at(0);
+  EXPECT_EQ(entry.get("site").as_string(), "cell");
+  EXPECT_EQ(entry.get("index").as_uint64(), 2u);
+  EXPECT_EQ(entry.get("label").as_string(), "restore=48 group=4");
+  EXPECT_EQ(entry.get("cell_key").as_uint64(), kBaselineCellKeys[2]);
+  EXPECT_EQ(entry.get("attempts").as_uint64(), 2u);
+
+  // Clean resume: the quarantined cell gets a fresh chance, the three
+  // completed cells come from the cache, and the final bytes match an
+  // uninterrupted unfaulted pass.
+  const auto resumed = SweepRunner(fast_options(path)).run(small_spec());
+  EXPECT_TRUE(resumed.complete);
+  EXPECT_FALSE(resumed.degraded());
+  EXPECT_EQ(resumed.cached, 3u);
+  EXPECT_EQ(resumed.simulated, 1u);
+  expect_baseline(resumed);
+
+  const std::string clean = temp_manifest("quarantine_clean");
+  SweepRunner(fast_options(clean)).run(small_spec());
+  EXPECT_EQ(read_file(path), read_file(clean));
+}
+
+TEST(SweepFaults, ManifestWriteFaultIsRetriedToIdenticalBytes) {
+  const std::string path = temp_manifest("mwrite");
+  fault::FaultInjector injector{fault::FaultPlan::parse("manifest_write:1")};
+  auto opt = fast_options(path);
+  opt.fault = &injector;
+  const auto result = SweepRunner(opt).run(small_spec());
+  EXPECT_TRUE(result.complete);
+  EXPECT_FALSE(result.degraded());
+  EXPECT_EQ(result.retries, 1u);
+  expect_baseline(result);
+
+  const std::string clean = temp_manifest("mwrite_clean");
+  SweepRunner(fast_options(clean)).run(small_spec());
+  EXPECT_EQ(read_file(path), read_file(clean));
+}
+
+TEST(SweepFaults, ManifestWriteExhaustionDegradesToInMemoryResults) {
+  const std::string path = temp_manifest("mwrite_dead");
+  fault::FaultInjector injector{
+      fault::FaultPlan::parse("manifest_write:1*999")};
+  auto opt = fast_options(path);
+  opt.fault = &injector;
+  const auto result = SweepRunner(opt).run(small_spec());
+  // Checkpointing died, the sweep did not: every result exists in memory.
+  EXPECT_TRUE(result.complete);
+  EXPECT_TRUE(result.degraded());
+  expect_baseline(result);
+  ASSERT_EQ(result.io_errors.size(), 1u);
+  EXPECT_EQ(result.io_errors[0].site, "manifest_write");
+  EXPECT_EQ(result.io_errors[0].label, path);
+  EXPECT_EQ(result.io_errors[0].attempts, 3u);  // default manifest_attempts
+  EXPECT_EQ(result.retries, 2u);
+  EXPECT_FALSE(std::ifstream(path).good());  // nothing was left behind
+
+  // A clean rerun starts from nothing and lands on the canonical bytes.
+  const auto rerun = SweepRunner(fast_options(path)).run(small_spec());
+  EXPECT_TRUE(rerun.complete);
+  EXPECT_FALSE(rerun.degraded());
+  const std::string clean = temp_manifest("mwrite_dead_clean");
+  SweepRunner(fast_options(clean)).run(small_spec());
+  EXPECT_EQ(read_file(path), read_file(clean));
+}
+
+TEST(SweepFaults, ManifestReadExhaustionFallsBackToResimulation) {
+  const std::string path = temp_manifest("mread");
+  SweepRunner(fast_options(path)).run(small_spec());
+  const std::string bytes = read_file(path);
+
+  fault::FaultInjector injector{
+      fault::FaultPlan::parse("manifest_read:1*9")};
+  auto opt = fast_options(path);
+  opt.fault = &injector;
+  const auto result = SweepRunner(opt).run(small_spec());
+  // The cache was unreachable, so everything resimulated — correctly.
+  EXPECT_TRUE(result.complete);
+  EXPECT_EQ(result.cached, 0u);
+  EXPECT_EQ(result.simulated, 4u);
+  EXPECT_TRUE(result.degraded());
+  ASSERT_EQ(result.io_errors.size(), 1u);
+  EXPECT_EQ(result.io_errors[0].site, "manifest_read");
+  expect_baseline(result);
+  EXPECT_EQ(read_file(path), bytes);  // rewrites converge to the same bytes
+}
+
+TEST(SweepFaults, DeadWorkerShardIsSurvivedByTheRest) {
+  const std::string path = temp_manifest("deadshard");
+  fault::FaultInjector injector{fault::FaultPlan::parse("pool_task:1")};
+  auto opt = fast_options(path);
+  opt.fault = &injector;
+  const auto result = SweepRunner(opt).run(small_spec());
+  // One of the two shards died before claiming any cell; the survivor
+  // drained the queue and nothing was lost.
+  EXPECT_TRUE(result.complete);
+  EXPECT_FALSE(result.degraded());
+  EXPECT_EQ(result.faults_injected, 1u);
+  expect_baseline(result);
+
+  const std::string clean = temp_manifest("deadshard_clean");
+  SweepRunner(fast_options(clean)).run(small_spec());
+  EXPECT_EQ(read_file(path), read_file(clean));
+}
+
+TEST(SweepFaults, TrialDeadlineQuarantinesNonConvergedCells) {
+  const std::string path = temp_manifest("deadline");
+  auto opt = fast_options(path);
+  opt.cell_trial_deadline = 300;  // clamps the 600-trial budget
+  const auto result = SweepRunner(opt).run(small_spec());
+  // The 1e-9 relative-SEM target is unreachable, so with a deadline armed
+  // every cell is a deterministic failure — quarantined on the first
+  // attempt, never retried (replaying a budget exhaustion is pointless).
+  EXPECT_FALSE(result.complete);
+  EXPECT_EQ(result.failed(), 4u);
+  EXPECT_EQ(result.retries, 0u);
+  EXPECT_EQ(result.faults_injected, 0u);  // organic failure, not injected
+  for (const ErrorRecord& q : result.quarantined) {
+    EXPECT_EQ(q.site, "cell_deadline");
+    EXPECT_EQ(q.attempts, 1u);
+    EXPECT_NE(q.message.find("did not converge"), std::string::npos);
+  }
+  // Quarantined records are sorted by cell index in result and manifest.
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(result.quarantined[i].index, i);
+  }
+  // The clamp feeds the cache key: deadline rows never collide with the
+  // unclamped baseline rows.
+  for (const ErrorRecord& q : result.quarantined) {
+    EXPECT_NE(q.cell_key, kBaselineCellKeys[q.index]);
+  }
+  const auto root = obs::parse_json(read_file(path));
+  EXPECT_EQ(root.get("cells").size(), 0u);
+  EXPECT_EQ(root.get("quarantined").size(), 4u);
+  EXPECT_EQ(root.get("options").get("max_trials").as_uint64(), 300u);
+}
+
+TEST(SweepFaults, ManifestParentDirectoriesAreCreated) {
+  const std::string dir = ::testing::TempDir() + "raidrel_nested_dir";
+  const std::string path = dir + "/deeper/manifest.json";
+  std::remove(path.c_str());
+  const auto result = SweepRunner(fast_options(path)).run(small_spec());
+  EXPECT_TRUE(result.complete);
+  EXPECT_TRUE(std::ifstream(path).good());
+  const auto rerun = SweepRunner(fast_options(path)).run(small_spec());
+  EXPECT_EQ(rerun.cached, 4u);
+}
+
+TEST(SweepFaults, SchemaV1ManifestsAreStillRead) {
+  const auto spec = small_spec();
+  const std::string path = temp_manifest("v1compat");
+  SweepRunner(fast_options(path)).run(spec);
+
+  // Surgically downgrade the manifest to what a pre-quarantine build
+  // wrote: schema /1 and no quarantined array.
+  std::string text = read_file(path);
+  const std::string v2 = "\"raidrel-sweep-manifest/2\"";
+  const auto spos = text.find(v2);
+  ASSERT_NE(spos, std::string::npos);
+  text.replace(spos, v2.size(), "\"raidrel-sweep-manifest/1\"");
+  const auto qpos = text.find("\"quarantined\"");
+  ASSERT_NE(qpos, std::string::npos);
+  const auto comma = text.rfind(',', qpos);
+  const auto close = text.find(']', qpos);
+  ASSERT_NE(comma, std::string::npos);
+  ASSERT_NE(close, std::string::npos);
+  text.erase(comma, close - comma + 1);
+  ASSERT_NO_THROW(obs::parse_json(text));  // still a valid manifest
+  {
+    std::ofstream out(path, std::ios::trunc);
+    out << text;
+  }
+
+  const auto result = SweepRunner(fast_options(path)).run(spec);
+  EXPECT_EQ(result.cached, 4u);
+  EXPECT_EQ(result.simulated, 0u);
+  // And the rewrite upgrades it back to /2.
+  const auto root = obs::parse_json(read_file(path));
+  EXPECT_EQ(root.get("schema").as_string(), "raidrel-sweep-manifest/2");
+}
+
+TEST(SweepFaults, RetryBudgetsMustBePositive) {
+  auto opt = fast_options();
+  opt.cell_attempts = 0;
+  EXPECT_THROW(SweepRunner(opt).run(small_spec()), ModelError);
 }
 
 }  // namespace
