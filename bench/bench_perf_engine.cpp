@@ -21,6 +21,7 @@
 #include "bench_support.h"
 #include "core/presets.h"
 #include "obs/run_telemetry.h"
+#include "sim/batch_engine.h"
 #include "sim/group_simulator.h"
 #include "sim/runner.h"
 #include "sim/thread_pool.h"
@@ -31,16 +32,24 @@ namespace {
 
 using namespace raidrel;
 
-// Engine benchmarks register which model they run and at how many worker
-// threads; the perf artifact joins this with the measured throughput.
-std::map<std::string, std::pair<std::uint64_t, unsigned>>& perf_meta() {
-  static std::map<std::string, std::pair<std::uint64_t, unsigned>> meta;
+// Engine benchmarks register which model they run, at how many worker
+// threads, and (for the lockstep engine) at which lane width; the perf
+// artifact joins this with the measured throughput.
+struct EngineMeta {
+  std::uint64_t config_digest = 0;
+  unsigned threads = 0;
+  std::size_t batch_width = 0;
+};
+
+std::map<std::string, EngineMeta>& perf_meta() {
+  static std::map<std::string, EngineMeta> meta;
   return meta;
 }
 
 void note_engine_config(const std::string& bench_name,
-                        std::uint64_t config_digest, unsigned threads) {
-  perf_meta()[bench_name] = {config_digest, threads};
+                        std::uint64_t config_digest, unsigned threads,
+                        std::size_t batch_width = 0) {
+  perf_meta()[bench_name] = {config_digest, threads, batch_width};
 }
 
 unsigned resolved_threads(unsigned requested) {
@@ -66,9 +75,34 @@ void BM_WeibullResidualSample(benchmark::State& state) {
 }
 BENCHMARK(BM_WeibullResidualSample);
 
+// The mission benchmarks run the engine exactly as the runner drives it:
+// the lockstep lane engine at the default width. One iteration = one lane
+// of kDefaultBatchWidth trials, so items/s (trials per second) is the
+// number to compare across commits — it is lane-width-independent, unlike
+// the per-iteration wall time. BM_GroupMission_BaseCase_Scalar keeps the
+// one-trial-at-a-time engine measured alongside.
 void BM_GroupMission_BaseCase(benchmark::State& state) {
   const auto cfg = core::presets::base_case().to_group_config();
-  note_engine_config("BM_GroupMission_BaseCase", sim::config_digest(cfg), 1);
+  note_engine_config("BM_GroupMission_BaseCase", sim::config_digest(cfg), 1,
+                     sim::kDefaultBatchWidth);
+  sim::BatchGroupSimulator simulator(cfg, sim::kDefaultBatchWidth);
+  rng::StreamFactory streams(3);
+  std::uint64_t trial = 0;
+  for (auto _ : state) {
+    simulator.run_lane(streams, trial, sim::kDefaultBatchWidth);
+    trial += sim::kDefaultBatchWidth;
+    benchmark::DoNotOptimize(simulator.result(0).op_failures);
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(sim::kDefaultBatchWidth));
+}
+BENCHMARK(BM_GroupMission_BaseCase);
+
+void BM_GroupMission_BaseCase_Scalar(benchmark::State& state) {
+  const auto cfg = core::presets::base_case().to_group_config();
+  note_engine_config("BM_GroupMission_BaseCase_Scalar",
+                     sim::config_digest(cfg), 1);
   sim::GroupSimulator simulator(cfg);
   rng::StreamFactory streams(3);
   sim::TrialResult out;
@@ -80,21 +114,23 @@ void BM_GroupMission_BaseCase(benchmark::State& state) {
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
-BENCHMARK(BM_GroupMission_BaseCase);
+BENCHMARK(BM_GroupMission_BaseCase_Scalar);
 
 void BM_GroupMission_NoLatent(benchmark::State& state) {
   const auto cfg = core::presets::no_latent_defects().to_group_config();
-  note_engine_config("BM_GroupMission_NoLatent", sim::config_digest(cfg), 1);
-  sim::GroupSimulator simulator(cfg);
+  note_engine_config("BM_GroupMission_NoLatent", sim::config_digest(cfg), 1,
+                     sim::kDefaultBatchWidth);
+  sim::BatchGroupSimulator simulator(cfg, sim::kDefaultBatchWidth);
   rng::StreamFactory streams(4);
-  sim::TrialResult out;
   std::uint64_t trial = 0;
   for (auto _ : state) {
-    auto rs = streams.stream(trial++);
-    simulator.run_trial(rs, out);
-    benchmark::DoNotOptimize(out.op_failures);
+    simulator.run_lane(streams, trial, sim::kDefaultBatchWidth);
+    trial += sim::kDefaultBatchWidth;
+    benchmark::DoNotOptimize(simulator.result(0).op_failures);
   }
-  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(sim::kDefaultBatchWidth));
 }
 BENCHMARK(BM_GroupMission_NoLatent);
 
@@ -119,7 +155,7 @@ BENCHMARK(BM_TimingEngineMission_BaseCase);
 void BM_FullRun_MultiThreaded(benchmark::State& state) {
   const auto cfg = core::presets::base_case().to_group_config();
   note_engine_config("BM_FullRun_MultiThreaded", sim::config_digest(cfg),
-                     resolved_threads(0));
+                     resolved_threads(0), sim::kDefaultBatchWidth);
   // One persistent pool across iterations, exactly how the convergence
   // loop drives batched runs; thread spawn/join is not part of the cost.
   sim::ThreadPool pool;
@@ -142,7 +178,7 @@ BENCHMARK(BM_FullRun_MultiThreaded)->Unit(benchmark::kMillisecond);
 void BM_FullRun_Telemetry(benchmark::State& state) {
   const auto cfg = core::presets::base_case().to_group_config();
   note_engine_config("BM_FullRun_Telemetry", sim::config_digest(cfg),
-                     resolved_threads(0));
+                     resolved_threads(0), sim::kDefaultBatchWidth);
   sim::ThreadPool pool;
   for (auto _ : state) {
     obs::RunTelemetry telemetry;
@@ -179,8 +215,9 @@ class CapturingReporter : public benchmark::ConsoleReporter {
       }
       const auto meta = perf_meta().find(rec.name);
       if (meta != perf_meta().end()) {
-        rec.config_digest = meta->second.first;
-        rec.threads = meta->second.second;
+        rec.config_digest = meta->second.config_digest;
+        rec.threads = meta->second.threads;
+        rec.batch_width = meta->second.batch_width;
       }
       records_.push_back(std::move(rec));
     }

@@ -144,18 +144,25 @@ void write_perf_json(std::ostream& out,
                      const std::vector<PerfRecord>& records) {
   obs::JsonWriter w(out);
   w.begin_object();
-  w.kv("schema", "raidrel-bench-perf/1");
+  w.kv("schema", "raidrel-bench-perf/2");
   w.key("benchmarks");
   w.begin_array();
   for (const auto& r : records) {
     w.begin_object();
     w.kv("name", std::string_view(r.name));
     w.kv("real_time_ns", r.real_time_ns);
-    w.kv("trials_per_second", r.trials_per_second);
+    // v2: microbenchmarks that never report items/s omit the field
+    // instead of writing a `0` that reads like a measurement.
+    if (r.trials_per_second != 0.0) {
+      w.kv("trials_per_second", r.trials_per_second);
+    }
     w.kv("iterations", r.iterations);
     if (r.config_digest != 0) {
       w.kv("config_digest", r.config_digest);
       w.kv("threads", r.threads);
+    }
+    if (r.batch_width != 0) {
+      w.kv("batch_width", static_cast<std::uint64_t>(r.batch_width));
     }
     w.end_object();
   }

@@ -76,10 +76,16 @@ struct PerfRecord {
   std::uint64_t iterations = 0;
   std::uint64_t config_digest = 0; ///< simulated model (0 = none)
   unsigned threads = 0;            ///< engine worker threads (0 = n/a)
+  std::size_t batch_width = 0;     ///< lockstep lane width (0 = n/a)
 };
 
-/// Serialize perf records as a `raidrel-bench-perf/1` JSON document so CI
-/// can archive throughput next to the commit that produced it.
+/// Serialize perf records as a `raidrel-bench-perf/2` JSON document so CI
+/// can archive throughput next to the commit that produced it. Version 2
+/// drops the `trials_per_second: 0` placeholder from microbenchmarks that
+/// never report items/s and records `batch_width` for engine benchmarks
+/// that run the lockstep lanes; consumers (bench/perf_gate.cpp) keep
+/// accepting version 1 documents, whose extra zero field was always
+/// "not reported", not a measurement.
 void write_perf_json(std::ostream& out,
                      const std::vector<PerfRecord>& records);
 

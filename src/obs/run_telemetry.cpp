@@ -30,7 +30,8 @@ WorkerStats& WorkerStats::operator+=(const WorkerStats& o) noexcept {
 }
 
 void RunTelemetry::configure(std::uint64_t master_seed,
-                             std::uint64_t config_digest, unsigned threads) {
+                             std::uint64_t config_digest, unsigned threads,
+                             std::size_t batch_width) {
   if (configured_) {
     RAIDREL_REQUIRE(master_seed == master_seed_ &&
                         config_digest == config_digest_,
@@ -40,6 +41,7 @@ void RunTelemetry::configure(std::uint64_t master_seed,
   master_seed_ = master_seed;
   config_digest_ = config_digest;
   threads_ = threads;
+  batch_width_ = batch_width;
   configured_ = true;
 }
 
@@ -127,6 +129,7 @@ void RunTelemetry::write_json(JsonWriter& w) const {
   w.kv("master_seed", master_seed_);
   w.kv("config_digest", digest_hex);
   w.kv("threads", threads_);
+  w.kv("batch_width", static_cast<std::uint64_t>(batch_width_));
   w.kv("wall_seconds", wall_seconds());
   w.kv("trials_per_second", trials_per_second());
 

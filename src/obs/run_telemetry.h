@@ -85,8 +85,11 @@ class RunTelemetry {
  public:
   /// Stamp run identity. Called by the driver once per batch; repeated
   /// calls must agree on seed and digest (batches of one logical run).
+  /// `batch_width` is the engine's lockstep lane width (1 = scalar), so a
+  /// throughput regression in an archived manifest is attributable to the
+  /// batching configuration that produced it.
   void configure(std::uint64_t master_seed, std::uint64_t config_digest,
-                 unsigned threads);
+                 unsigned threads, std::size_t batch_width = 1);
 
   void add_worker(const WorkerStats& ws);  // thread-safe
   void add_batch(const BatchStats& bs);
@@ -115,6 +118,9 @@ class RunTelemetry {
     return config_digest_;
   }
   [[nodiscard]] unsigned threads() const noexcept { return threads_; }
+  [[nodiscard]] std::size_t batch_width() const noexcept {
+    return batch_width_;
+  }
   /// Driver wall time summed over batches.
   [[nodiscard]] double wall_seconds() const;
   /// Aggregate throughput: total trials / driver wall time.
@@ -136,6 +142,7 @@ class RunTelemetry {
   std::uint64_t master_seed_ = 0;
   std::uint64_t config_digest_ = 0;
   unsigned threads_ = 0;
+  std::size_t batch_width_ = 1;
   bool configured_ = false;
 };
 

@@ -1,0 +1,219 @@
+// Batched lockstep Monte Carlo engine: W independent group missions
+// advanced together over structure-of-arrays slot state.
+//
+// GroupSimulator (the scalar engine) runs one mission at a time: every
+// lifetime refill is a dependent scalar log/pow chain, so the FPU spends
+// most of a trial waiting on one transcendental at a time. This engine
+// advances a *lane* of W trials in lockstep rounds — every round each
+// still-running trial dispatches exactly one event (the same event its
+// scalar loop would pick next) — and groups the rounds' draws by event
+// kind so the refills flow through CompiledLaw's bulk samplers
+// (sample_n / sample_residual_n), where independent elements pipeline
+// instead of serializing.
+//
+// Bit-reproducibility contract (docs/MODEL.md §12): every trial owns the
+// private rng::RandomStream derived from (master seed, trial index) — the
+// same stream the scalar engine would use — constructed once per lane, not
+// once per draw. Within a trial, events dispatch in the scalar engine's
+// exact order (the lane only regroups draws *across* trials, which is
+// legal because the streams are independent), and the bulk samplers
+// perform the scalar arithmetic per element. Therefore result(w) is
+// bit-identical — EXPECT_EQ on every double — to GroupSimulator::run_trial
+// on the same stream, for every configuration, proven by
+// tests/batch_equivalence_test.cpp.
+//
+// Rarely-taken paths (spare-pool traffic, stripe-collision handling,
+// reconstruction defects, DDF freeze-end clearing) run element-wise
+// through the same scalar arithmetic; only the hot refills batch. Lanes
+// that finish their mission drop out of the round loop, so a lane with one
+// long-running trial degrades to the scalar engine's behavior, not worse.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "obs/trace.h"
+#include "raid/group_config.h"
+#include "rng/rng.h"
+#include "sim/group_simulator.h"
+#include "sim/slot_kernel.h"
+
+namespace raidrel::sim {
+
+/// Simulates missions of a fixed group configuration, `width` trials per
+/// lane. Construct once per worker, call run_lane once per lane of trials.
+/// The configuration (and its distributions) must outlive the simulator
+/// and is never mutated, so one configuration can back many threads.
+class BatchGroupSimulator {
+ public:
+  /// `width` >= 1 is the lane capacity; `policy` selects compiled or
+  /// reference virtual kernels exactly as in GroupSimulator.
+  BatchGroupSimulator(const raid::GroupConfig& config, std::size_t width,
+                      KernelPolicy policy = KernelPolicy::kLowered);
+
+  /// Simulate `count` (1..width()) missions in lockstep. Trial w draws
+  /// from streams.stream(first_stream_index + w), so the lane's results
+  /// are a pure function of (master seed, trial indices) regardless of how
+  /// lanes are scheduled onto workers. When `trace` is non-null, each
+  /// trial whose global index falls inside the trace window records its
+  /// event history exactly as the scalar engine would.
+  void run_lane(const rng::StreamFactory& streams,
+                std::uint64_t first_stream_index, std::size_t count,
+                obs::EventTrace* trace = nullptr);
+
+  /// Outcome of lane element w from the last run_lane call; bit-identical
+  /// to GroupSimulator::run_trial on the same stream.
+  [[nodiscard]] const TrialResult& result(std::size_t w) const {
+    return results_[w];
+  }
+
+  [[nodiscard]] std::size_t width() const noexcept { return width_; }
+
+ private:
+  /// One classified event: lane element, slot, dispatch time.
+  struct Ev {
+    std::uint32_t lane;
+    std::uint32_t slot;
+    double t;
+  };
+
+  enum class Law : std::uint8_t { kOp, kRestore, kLatent, kScrub };
+
+  /// Event kinds cached per cell by refresh_next_event, in the scalar
+  /// engine's dispatch-priority order for events at one instant: defect
+  /// clears census first, then restores, then failures, then new defects.
+  enum : std::uint8_t { kKindClear = 0, kKindRestore = 1, kKindOp = 2,
+                        kKindLd = 3 };
+
+  [[nodiscard]] std::size_t idx(std::uint32_t lane,
+                                std::uint32_t slot) const noexcept {
+    return static_cast<std::size_t>(lane) * nslots_ + slot;
+  }
+  [[nodiscard]] bool restoring(std::size_t i) const noexcept;
+  [[nodiscard]] bool defective(std::size_t i) const noexcept;
+  [[nodiscard]] const CompiledLaw& law_of(Law which,
+                                          std::uint32_t slot) const noexcept;
+  void refresh_next_event(std::uint32_t lane, std::uint32_t slot) noexcept;
+
+  /// Fill out_scratch_[0..n) with one draw per element of elems[0..n) from
+  /// its slot's `which` law; rs_scratch_ (and, for residual draws,
+  /// age_scratch_) must already be gathered. Slot-uniform groups refill
+  /// through one bulk call; mixed-law groups fall back to element-wise
+  /// scalar draws (same values, smaller batching win).
+  void bulk_sample(Law which, const Ev* elems, std::size_t n, bool residual);
+
+  /// GroupSimulator::start_defect_countdown over every element of
+  /// elems[0..n), at each element's own `t`, with the latent draws
+  /// bulk-gathered.
+  void bulk_defect_countdown(const Ev* elems, std::size_t n);
+
+  // Element-wise mirrors of the scalar engine's handlers, drawing from
+  // streams_[lane]; used on the cold paths (stripe collisions, freeze-end
+  // clearing, reconstruction defects, spare-pool traffic).
+  void scalar_defect_countdown(std::uint32_t lane, std::uint32_t slot,
+                               double now);
+  void scalar_latent_defect(std::uint32_t lane, std::uint32_t slot,
+                            double now);
+  void stripe_check(std::uint32_t lane, std::uint32_t slot, double now);
+  void begin_restore(std::uint32_t lane, std::uint32_t slot, double now,
+                     double duration);
+  void request_spare(std::uint32_t lane, std::uint32_t slot, double now,
+                     double duration);
+  void handle_spare_arrival(std::uint32_t lane, double now);
+  [[nodiscard]] double next_spare_arrival(std::uint32_t lane) const noexcept;
+  [[nodiscard]] double probe_probability(std::uint32_t lane,
+                                         std::uint32_t failed_slot,
+                                         double now, double window) const;
+
+  // Per-kind round processors; each batches its leading refill draws and
+  // finishes element-wise in lane order.
+  void process_scrub_completions();
+  void process_restore_dones();
+  void process_op_failures();
+  void process_latent_defects();
+
+  const raid::GroupConfig& cfg_;
+  std::vector<SlotKernel> kernels_;  ///< lowered laws, one per slot
+  std::size_t width_;
+  std::size_t nslots_;
+  std::size_t count_ = 0;  ///< live lane size of the current run_lane
+  bool uniform_law_[4] = {false, false, false, false};
+  // Constructor-resolved configuration facts, hoisted out of the per-event
+  // loops (cfg_ field loads and per-lane trace-pointer tests are measurable
+  // at ~150 events/trial).
+  bool has_zones_ = false;       ///< cfg_.stripe_zones != 0
+  bool age_clock_ = false;       ///< latent clock is kDriveAge
+  bool uniform_latent_present_ = false;  ///< every slot has the same latent law
+  bool any_trace_ = false;       ///< some lane of the current run records
+
+  // SoA slot state, indexed idx(lane, slot). Same fields, same semantics
+  // as GroupSimulator::Slot.
+  std::vector<double> install_time_;
+  std::vector<double> next_op_;
+  std::vector<double> restore_done_;
+  std::vector<double> next_ld_;
+  std::vector<double> defect_occurred_;
+  std::vector<double> defect_clears_;
+  std::vector<double> next_event_;  ///< cached min of the four timers
+  /// Which timer won next_event_ (kKind*), cached by refresh_next_event so
+  /// the round loop buckets an event with one byte load instead of
+  /// re-deriving the dispatch priority from three more timer loads.
+  std::vector<std::uint8_t> next_kind_;
+  std::vector<double> pending_restore_duration_;
+  std::vector<std::uint64_t> defect_zone_;
+  std::vector<std::uint8_t> awaiting_spare_;
+
+  // Per-lane trial state.
+  std::vector<rng::RandomStream> streams_;
+  std::vector<TrialResult> results_;
+  // Hot per-lane event counters, kept flat during the lane (a TrialResult
+  // is ~90 bytes, so bumping its members ~150 times per trial pays a
+  // multiply-addressed read-modify-write into a sparse footprint); folded
+  // into results_ when the round loop finishes.
+  std::vector<std::uint64_t> c_op_;
+  std::vector<std::uint64_t> c_latent_;
+  std::vector<std::uint64_t> c_scrub_;
+  std::vector<std::uint64_t> c_restore_;
+  std::vector<std::uint64_t> c_spare_;
+  std::vector<obs::TrialTrace*> traces_;
+  std::vector<double> group_failed_until_;
+  std::vector<std::size_t> ddf_slot_;
+  std::vector<unsigned> spares_available_;
+  std::vector<std::vector<double>> pending_orders_;
+  std::vector<std::vector<std::uint32_t>> spare_queue_;
+  std::vector<std::size_t> spare_queue_head_;
+
+  // Round state: lanes still inside their mission, and this round's events
+  // classified by kind. The buckets are flat width_-sized arrays written
+  // through a cursor (n_*_), not grown — a round holds at most one event
+  // per lane.
+  std::vector<std::uint32_t> active_;
+  std::vector<Ev> bkt_clear_;
+  std::vector<Ev> bkt_restore_;
+  std::vector<Ev> bkt_op_;
+  std::vector<Ev> bkt_ld_;
+  std::size_t n_clear_ = 0;
+  std::size_t n_restore_ = 0;
+  std::size_t n_op_ = 0;
+  std::size_t n_ld_ = 0;
+
+  // Gather/scatter scratch for the bulk refills (width_-sized).
+  std::vector<Ev> gather_;
+  std::vector<Ev> countdown_gather_;
+  std::vector<rng::RandomStream*> rs_scratch_;
+  std::vector<double> out_scratch_;
+  std::vector<double> age_scratch_;
+
+  // probe_probability scratch, as in the scalar engine, plus flat passes:
+  // the probe's cumulative-hazard pows are pure functions of slot state, so
+  // evaluating h0 for every surviving slot, then h1, then the expm1 chain
+  // lets the pow calls pipeline without changing a single value.
+  mutable std::vector<double> probe_p_;
+  mutable std::vector<double> probe_dist_;
+  mutable std::vector<double> probe_age_;
+  mutable std::vector<double> probe_h0_;
+  mutable std::vector<double> probe_h1_;
+  mutable std::vector<std::uint32_t> probe_slot_;
+};
+
+}  // namespace raidrel::sim

@@ -51,6 +51,7 @@ ConvergedRun run_until_converged(const raid::GroupConfig& config,
     run.trace = options.trace;
     run.fault = options.fault;
     run.pool = &pool;
+    run.batch_width = options.batch_width;
     out.result.merge(run_monte_carlo(config, run));
     next_index += batch;
     ++out.batches;

@@ -37,6 +37,11 @@ struct ConvergenceOptions {
   std::uint64_t seed = 20070625;
   unsigned threads = 0;
   double bucket_hours = 730.0;
+  /// Lockstep lane width forwarded to every batch's RunOptions (see
+  /// sim/batch_engine.h). Purely a throughput knob: every width yields
+  /// bit-identical results, so it is deliberately NOT part of the sweep
+  /// engine's cell cache key.
+  std::size_t batch_width = kDefaultBatchWidth;
   /// Optional observability sinks, forwarded to every batch's RunOptions.
   /// The telemetry batch list becomes the convergence trajectory: each
   /// entry is annotated with the relative/absolute SEM achieved after

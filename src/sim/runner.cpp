@@ -1,5 +1,6 @@
 #include "sim/runner.h"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -9,6 +10,7 @@
 #include <vector>
 
 #include "rng/rng.h"
+#include "sim/batch_engine.h"
 #include "sim/fleet_simulator.h"
 #include "sim/group_simulator.h"
 #include "util/error.h"
@@ -65,6 +67,22 @@ void append_group(std::string& out, const raid::GroupConfig& config) {
     out += '|';
   }
   out += "]}";
+}
+
+// Size of one atomic work claim. The old fixed constant (64) stranded
+// workers at the tail of short convergence batches: with 2000 trials on 8
+// threads, a worker that grabbed the last 64-trial chunk ran alone while
+// the rest idled. Aim for several claims per worker so a slow worker sheds
+// load, clamp so tiny runs still claim whole lanes and huge runs don't
+// contend on the atomic, and round down to a lane-boundary multiple so a
+// batched worker never splits a lane across claims.
+std::size_t claim_chunk(std::size_t trials, unsigned threads,
+                        std::size_t lane, std::size_t max_chunk) {
+  const unsigned workers = std::max(1u, threads);
+  const std::size_t per_thread = (trials + workers - 1) / workers;
+  std::size_t chunk =
+      std::clamp(per_thread / 4, lane, std::max(lane, max_chunk));
+  return chunk / lane * lane;
 }
 
 double elapsed_seconds(std::chrono::steady_clock::time_point since) {
@@ -144,9 +162,10 @@ RunResult run_monte_carlo(const raid::GroupConfig& config,
   threads = static_cast<unsigned>(
       std::min<std::size_t>(threads, options.trials));
 
+  const std::size_t lane = std::max<std::size_t>(1, options.batch_width);
   if (options.telemetry) {
     options.telemetry->configure(options.seed, config_digest(config),
-                                 threads);
+                                 threads, lane);
   }
   const auto batch_start = std::chrono::steady_clock::now();
 
@@ -154,36 +173,68 @@ RunResult run_monte_carlo(const raid::GroupConfig& config,
   const rng::StreamFactory streams(options.seed);
   std::atomic<std::size_t> next_trial{0};
   std::mutex merge_mutex;
+  // Claim trials in chunks to keep the atomic out of the hot path while
+  // preserving per-trial seeding (work split does not affect results).
+  const std::size_t chunk = claim_chunk(options.trials, threads, lane, 1024);
+
+  auto accumulate = [&options](obs::WorkerStats& ws,
+                               const TrialResult& trial) {
+    if (!options.telemetry) return;
+    ++ws.trials;
+    ws.ddfs += trial.ddfs.size();
+    ws.op_failures += trial.op_failures;
+    ws.latent_defects += trial.latent_defects;
+    ws.scrubs_completed += trial.scrubs_completed;
+    ws.restores_completed += trial.restores_completed;
+    ws.spare_arrivals += trial.spare_arrivals;
+  };
 
   auto worker = [&] {
     const auto worker_start = std::chrono::steady_clock::now();
     obs::WorkerStats ws;
     RunResult local(config.mission_hours, options.bucket_hours);
-    GroupSimulator simulator(config, options.kernel_policy);
-    TrialResult trial;
-    // Claim trials in chunks to keep the atomic out of the hot path while
-    // preserving per-trial seeding (work split does not affect results).
-    constexpr std::size_t kChunk = 64;
-    for (;;) {
-      const std::size_t begin = next_trial.fetch_add(kChunk);
-      if (begin >= options.trials) break;
-      const std::size_t end = std::min(begin + kChunk, options.trials);
-      for (std::size_t i = begin; i < end; ++i) {
-        const std::uint64_t index = options.first_trial_index + i;
-        if (options.fault != nullptr) options.fault->check("runner_trial");
-        auto rs = streams.stream(index);
-        simulator.run_trial(
-            rs, trial,
-            options.trace ? options.trace->trial_slot(index) : nullptr);
-        local.add_trial(trial);
-        if (options.telemetry) {
-          ++ws.trials;
-          ws.ddfs += trial.ddfs.size();
-          ws.op_failures += trial.op_failures;
-          ws.latent_defects += trial.latent_defects;
-          ws.scrubs_completed += trial.scrubs_completed;
-          ws.restores_completed += trial.restores_completed;
-          ws.spare_arrivals += trial.spare_arrivals;
+    if (lane == 1) {
+      GroupSimulator simulator(config, options.kernel_policy);
+      TrialResult trial;
+      for (;;) {
+        const std::size_t begin = next_trial.fetch_add(chunk);
+        if (begin >= options.trials) break;
+        const std::size_t end = std::min(begin + chunk, options.trials);
+        for (std::size_t i = begin; i < end; ++i) {
+          const std::uint64_t index = options.first_trial_index + i;
+          if (options.fault != nullptr) options.fault->check("runner_trial");
+          auto rs = streams.stream(index);
+          simulator.run_trial(
+              rs, trial,
+              options.trace ? options.trace->trial_slot(index) : nullptr);
+          local.add_trial(trial);
+          accumulate(ws, trial);
+        }
+      }
+    } else {
+      // Batched lockstep path: chunks are lane-aligned (claim_chunk), so a
+      // lane never straddles a claim; partial lanes only appear at the run
+      // tail. Lane results are folded in trial-index order, keeping even
+      // the aggregation order identical to the scalar path per worker.
+      BatchGroupSimulator simulator(config, lane, options.kernel_policy);
+      for (;;) {
+        const std::size_t begin = next_trial.fetch_add(chunk);
+        if (begin >= options.trials) break;
+        const std::size_t end = std::min(begin + chunk, options.trials);
+        for (std::size_t lb = begin; lb < end; lb += lane) {
+          const std::size_t n = std::min(lane, end - lb);
+          if (options.fault != nullptr) {
+            for (std::size_t k = 0; k < n; ++k) {
+              options.fault->check("runner_trial");
+            }
+          }
+          simulator.run_lane(streams, options.first_trial_index + lb, n,
+                             options.trace);
+          for (std::size_t k = 0; k < n; ++k) {
+            const TrialResult& trial = simulator.result(k);
+            local.add_trial(trial);
+            accumulate(ws, trial);
+          }
         }
       }
     }
@@ -224,8 +275,9 @@ RunResult run_fleet_monte_carlo(const FleetConfig& config,
       static_cast<unsigned>(std::min<std::size_t>(threads, options.trials));
 
   if (options.telemetry) {
+    // The fleet engine is always scalar: batch_width records as 1.
     options.telemetry->configure(options.seed, config_digest(config),
-                                 threads);
+                                 threads, 1);
   }
   const auto batch_start = std::chrono::steady_clock::now();
 
@@ -233,6 +285,8 @@ RunResult run_fleet_monte_carlo(const FleetConfig& config,
   const rng::StreamFactory streams(options.seed);
   std::atomic<std::size_t> next_trial{0};
   std::mutex merge_mutex;
+  // Fleet trials are heavyweight, so the claim cap stays small.
+  const std::size_t chunk = claim_chunk(options.trials, threads, 1, 8);
 
   auto worker = [&] {
     const auto worker_start = std::chrono::steady_clock::now();
@@ -240,11 +294,10 @@ RunResult run_fleet_monte_carlo(const FleetConfig& config,
     RunResult local(mission, options.bucket_hours);
     FleetSimulator simulator(config, options.kernel_policy);
     FleetTrialResult trial;
-    constexpr std::size_t kChunk = 8;  // fleet trials are heavyweight
     for (;;) {
-      const std::size_t begin = next_trial.fetch_add(kChunk);
+      const std::size_t begin = next_trial.fetch_add(chunk);
       if (begin >= options.trials) break;
-      const std::size_t end = std::min(begin + kChunk, options.trials);
+      const std::size_t end = std::min(begin + chunk, options.trials);
       for (std::size_t i = begin; i < end; ++i) {
         const std::uint64_t index = options.first_trial_index + i;
         if (options.fault != nullptr) options.fault->check("runner_trial");

@@ -19,6 +19,12 @@
 
 namespace raidrel::sim {
 
+/// Default lockstep lane width for group runs (see RunOptions::batch_width).
+/// Chosen by measurement on the base-case mission (bench_perf_engine): wide
+/// enough that the bulk log/pow refills pipeline, small enough that a
+/// lane's SoA state stays in L1.
+inline constexpr std::size_t kDefaultBatchWidth = 64;
+
 struct RunOptions {
   std::size_t trials = 100000;   ///< simulated group-missions
   std::uint64_t seed = 20070625; ///< master seed (DSN'07 presentation week)
@@ -54,6 +60,14 @@ struct RunOptions {
   /// skips the checks entirely; an injector with an empty plan only counts
   /// hits. Neither changes results or random draws.
   fault::FaultInjector* fault = nullptr;
+
+  /// Lockstep lane width for the group engine (sim/batch_engine.h): each
+  /// worker advances `batch_width` trials at a time with their lifetime
+  /// refills bulk-sampled across the lane. 1 selects the scalar engine;
+  /// every width produces bit-identical per-trial results (proven by
+  /// tests/batch_equivalence_test.cpp), so this is purely a throughput
+  /// knob. Fleet runs always use the scalar engine.
+  std::size_t batch_width = kDefaultBatchWidth;
 };
 
 /// Run `options.trials` missions of `config` and aggregate.

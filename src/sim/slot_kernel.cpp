@@ -1,5 +1,7 @@
 #include "sim/slot_kernel.h"
 
+#include <algorithm>
+
 #include "stats/basic_distributions.h"
 #include "stats/weibull.h"
 
@@ -29,6 +31,92 @@ CompiledLaw CompiledLaw::compile(const stats::Distribution* dist,
     return law;
   }
   return law;  // kVirtual fallback (composite/empirical/piecewise/...)
+}
+
+// The bulk bodies mirror the scalar switch cases arm for arm. Splitting a
+// refill into "draw every exponential" then "transform every exponential"
+// changes no value: each element's draw still comes from its own stream in
+// its own turn, and storing the intermediate E to memory is exact (doubles
+// round-trip). The transform pass keeps divisions as divisions and pow as
+// std::pow for the same last-ulp reasons as the scalar kernels.
+void CompiledLaw::sample_n(rng::RandomStream* const streams[], double out[],
+                           std::size_t n) const {
+  switch (kind_) {
+    case Kind::kExponentialWeibull: {
+      const double a = a_;
+      const double b = b_;
+      for (std::size_t i = 0; i < n; ++i) {
+        out[i] = a + b * streams[i]->exponential();
+      }
+      return;
+    }
+    case Kind::kWeibull: {
+      for (std::size_t i = 0; i < n; ++i) out[i] = streams[i]->exponential();
+      const double a = a_;
+      const double b = b_;
+      const double inv_beta = inv_beta_;
+      for (std::size_t i = 0; i < n; ++i) {
+        out[i] = a + b * std::pow(out[i], inv_beta);
+      }
+      return;
+    }
+    case Kind::kExponential: {
+      const double b = b_;
+      for (std::size_t i = 0; i < n; ++i) {
+        out[i] = streams[i]->exponential() / b;
+      }
+      return;
+    }
+    default:
+      for (std::size_t i = 0; i < n; ++i) out[i] = dist_->sample(*streams[i]);
+      return;
+  }
+}
+
+void CompiledLaw::sample_residual_n(const double ages[],
+                                    rng::RandomStream* const streams[],
+                                    double out[], std::size_t n) const {
+  switch (kind_) {
+    case Kind::kExponentialWeibull: {
+      const double a = a_;
+      const double b = b_;
+      for (std::size_t i = 0; i < n; ++i) {
+        const double age = ages[i];
+        const double x0 = std::max(age - a, 0.0) / b;
+        const double t = a + b * (x0 + streams[i]->exponential());
+        out[i] = std::max(0.0, t - age);
+      }
+      return;
+    }
+    case Kind::kWeibull: {
+      for (std::size_t i = 0; i < n; ++i) out[i] = streams[i]->exponential();
+      const double a = a_;
+      const double b = b_;
+      const double beta = beta_;
+      const double inv_beta = inv_beta_;
+      for (std::size_t i = 0; i < n; ++i) {
+        const double age = ages[i];
+        const double x0 = std::max(age - a, 0.0) / b;
+        const double h0 = x0 > 0.0 ? std::pow(x0, beta) : 0.0;
+        const double x1 = std::pow(h0 + out[i], inv_beta);
+        const double t = a + b * x1;
+        out[i] = std::max(0.0, t - age);
+      }
+      return;
+    }
+    case Kind::kExponential: {
+      const double b = b_;
+      for (std::size_t i = 0; i < n; ++i) {
+        out[i] = streams[i]->exponential() / b;  // memoryless
+      }
+      return;
+    }
+    default:
+      for (std::size_t i = 0; i < n; ++i) {
+        out[i] = dist_->sample_residual(ages[i], *streams[i]);
+      }
+      return;
+  }
 }
 
 SlotKernel SlotKernel::compile(const raid::SlotModel& model,

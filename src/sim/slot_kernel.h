@@ -32,6 +32,7 @@
 #pragma once
 
 #include <cmath>
+#include <cstddef>
 #include <cstdint>
 
 #include "raid/group_config.h"
@@ -123,6 +124,44 @@ class CompiledLaw {
         return t <= 0.0 ? 0.0 : b_ * t;
       default:
         return dist_->cum_hazard(t);
+    }
+  }
+
+  /// Bulk draw for the batched lockstep engine (sim/batch_engine.h):
+  /// out[i] = sample(*streams[i]) for i in [0, n), one draw per stream, in
+  /// index order. Performs exactly the scalar arithmetic per element — the
+  /// log and pow chains are merely regrouped into flat passes over
+  /// independent elements so they pipeline — so a bulk refill is
+  /// bit-identical to n scalar sample() calls (docs/MODEL.md §12).
+  void sample_n(rng::RandomStream* const streams[], double out[],
+                std::size_t n) const;
+
+  /// Bulk residual draw: out[i] = sample_residual(ages[i], *streams[i]),
+  /// same element-wise arithmetic and per-stream draw order as the scalar
+  /// call.
+  void sample_residual_n(const double ages[],
+                         rng::RandomStream* const streams[], double out[],
+                         std::size_t n) const;
+
+  /// Two laws compare equal iff every sampling path produces the same
+  /// values, which lets the batched engine detect slot-uniform groups and
+  /// refill a whole lane through one bulk call. Each side compares only
+  /// what its kind actually samples through: lowered kinds their flat
+  /// constants, kVirtual its fallback target. The fallback pointer is
+  /// deliberately ignored for lowered kinds — slots compile from per-slot
+  /// clones, so the pointers always differ even when the laws are the
+  /// same law.
+  friend bool operator==(const CompiledLaw& x,
+                         const CompiledLaw& y) noexcept {
+    if (x.kind_ != y.kind_) return false;
+    switch (x.kind_) {
+      case Kind::kNull:
+        return true;
+      case Kind::kVirtual:
+        return x.dist_ == y.dist_;
+      default:
+        return x.a_ == y.a_ && x.b_ == y.b_ && x.beta_ == y.beta_ &&
+               x.inv_beta_ == y.inv_beta_;
     }
   }
 

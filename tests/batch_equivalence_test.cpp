@@ -1,0 +1,318 @@
+// The batched lockstep engine (sim/batch_engine.h) promises *bit-identical*
+// results to the scalar GroupSimulator — not merely statistically
+// equivalent. Its lanes regroup random draws across trials, so the promise
+// only holds if every trial still consumes its own stream in the scalar
+// order; these tests pin that down with EXPECT_EQ on every double: per-trial
+// DDF times and kinds, probe entries, event counters, and traced event
+// histories, across batch widths, partial lanes, kernel policies, and every
+// model feature with its own dispatch path (spare pools, stripe zones,
+// drive-age latent clocks, reconstruction defects, mixed-vintage laws).
+//
+// Runner-level tests then check that run_monte_carlo aggregates are
+// invariant under batch_width and thread count, including awkward trial
+// counts around the lane size (W-1, W+1, 3W+5) and non-zero
+// first_trial_index offsets.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/presets.h"
+#include "obs/trace.h"
+#include "sim/batch_engine.h"
+#include "sim/group_simulator.h"
+#include "sim/runner.h"
+#include "sim/slot_kernel.h"
+#include "stats/basic_distributions.h"
+#include "stats/weibull.h"
+#include "util/error.h"
+
+namespace raidrel::sim {
+namespace {
+
+constexpr std::uint64_t kSeed = 20070625;
+
+raid::GroupConfig busy_group(double mission = 20000.0) {
+  // Failure-heavy so short runs exercise restores, scrubs, DDF freezes and
+  // the probe, not just quiet missions.
+  raid::SlotModel m;
+  m.time_to_op_failure = std::make_unique<stats::Weibull>(0.0, 4000.0, 1.2);
+  m.time_to_restore = std::make_unique<stats::Weibull>(6.0, 100.0, 2.0);
+  m.time_to_latent_defect =
+      std::make_unique<stats::Weibull>(0.0, 2000.0, 1.0);
+  m.time_to_scrub = std::make_unique<stats::Weibull>(6.0, 300.0, 3.0);
+  return raid::make_uniform_group(8, 1, m, mission);
+}
+
+raid::GroupConfig spare_pool_group() {
+  auto cfg = busy_group();
+  cfg.spare_pool = raid::SparePoolConfig{2, 200.0};
+  return cfg;
+}
+
+raid::GroupConfig stripe_zone_group() {
+  auto cfg = busy_group();
+  cfg.stripe_zones = 4;
+  return cfg;
+}
+
+raid::GroupConfig drive_age_group() {
+  auto cfg = busy_group();
+  cfg.latent_clock = raid::LatentClock::kDriveAge;
+  return cfg;
+}
+
+raid::GroupConfig recon_defect_group() {
+  auto cfg = busy_group();
+  cfg.reconstruction_defect_probability = 0.3;
+  return cfg;
+}
+
+raid::GroupConfig mixed_law_group() {
+  // Slot laws differ by vintage, so no law is slot-uniform and every bulk
+  // refill must take the element-wise fallback; slots 0..3 also drop the
+  // scrub law to exercise the partial-gather path of the latent handler.
+  auto cfg = busy_group();
+  for (std::size_t s = 0; s < cfg.slots.size(); ++s) {
+    auto& slot = cfg.slots[s];
+    const double eta = 3000.0 + 500.0 * static_cast<double>(s);
+    slot.time_to_op_failure =
+        std::make_unique<stats::Weibull>(0.0, eta, 1.2);
+    if (s < 4) slot.time_to_scrub.reset();
+  }
+  return cfg;
+}
+
+std::vector<TrialResult> scalar_trials(const raid::GroupConfig& cfg,
+                                       std::size_t n, KernelPolicy policy,
+                                       std::uint64_t first_index = 0,
+                                       obs::EventTrace* trace = nullptr) {
+  const rng::StreamFactory streams(kSeed);
+  GroupSimulator simulator(cfg, policy);
+  std::vector<TrialResult> out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    auto rs = streams.stream(first_index + i);
+    obs::TrialTrace* tt =
+        trace ? trace->trial_slot(first_index + i) : nullptr;
+    simulator.run_trial(rs, out[i], tt);
+  }
+  return out;
+}
+
+std::vector<TrialResult> batch_trials(const raid::GroupConfig& cfg,
+                                      std::size_t n, std::size_t width,
+                                      KernelPolicy policy,
+                                      std::uint64_t first_index = 0,
+                                      obs::EventTrace* trace = nullptr) {
+  const rng::StreamFactory streams(kSeed);
+  BatchGroupSimulator simulator(cfg, width, policy);
+  std::vector<TrialResult> out;
+  out.reserve(n);
+  for (std::size_t begin = 0; begin < n; begin += width) {
+    const std::size_t count = std::min(width, n - begin);
+    simulator.run_lane(streams, first_index + begin, count, trace);
+    for (std::size_t w = 0; w < count; ++w) {
+      out.push_back(simulator.result(w));
+    }
+  }
+  return out;
+}
+
+void expect_trials_identical(const std::vector<TrialResult>& scalar,
+                             const std::vector<TrialResult>& batch) {
+  ASSERT_EQ(scalar.size(), batch.size());
+  for (std::size_t i = 0; i < scalar.size(); ++i) {
+    const TrialResult& a = scalar[i];
+    const TrialResult& b = batch[i];
+    SCOPED_TRACE("trial " + std::to_string(i));
+    EXPECT_EQ(a.op_failures, b.op_failures);
+    EXPECT_EQ(a.latent_defects, b.latent_defects);
+    EXPECT_EQ(a.scrubs_completed, b.scrubs_completed);
+    EXPECT_EQ(a.restores_completed, b.restores_completed);
+    EXPECT_EQ(a.spare_arrivals, b.spare_arrivals);
+    ASSERT_EQ(a.ddfs.size(), b.ddfs.size());
+    for (std::size_t k = 0; k < a.ddfs.size(); ++k) {
+      EXPECT_EQ(a.ddfs[k].time, b.ddfs[k].time) << "ddf " << k;
+      EXPECT_EQ(a.ddfs[k].kind, b.ddfs[k].kind) << "ddf " << k;
+    }
+    ASSERT_EQ(a.double_op_probe.size(), b.double_op_probe.size());
+    for (std::size_t k = 0; k < a.double_op_probe.size(); ++k) {
+      EXPECT_EQ(a.double_op_probe[k].first, b.double_op_probe[k].first)
+          << "probe " << k;
+      EXPECT_EQ(a.double_op_probe[k].second, b.double_op_probe[k].second)
+          << "probe " << k;
+    }
+  }
+}
+
+void expect_engine_equivalence(const raid::GroupConfig& cfg,
+                               std::size_t n = 200,
+                               KernelPolicy policy = KernelPolicy::kLowered) {
+  const auto scalar = scalar_trials(cfg, n, policy);
+  for (const std::size_t width : {std::size_t{1}, std::size_t{2},
+                                  std::size_t{16}, std::size_t{64}}) {
+    SCOPED_TRACE("width " + std::to_string(width));
+    expect_trials_identical(scalar, batch_trials(cfg, n, width, policy));
+  }
+}
+
+TEST(BatchEquivalence, BaseCase) {
+  expect_engine_equivalence(core::presets::base_case().to_group_config());
+}
+
+TEST(BatchEquivalence, BaseCaseVirtualKernels) {
+  // The lane regrouping must be policy-independent: force every draw
+  // through the virtual Distribution fallback and compare again.
+  expect_engine_equivalence(core::presets::base_case().to_group_config(),
+                            120, KernelPolicy::kVirtualOnly);
+}
+
+TEST(BatchEquivalence, NoLatentDefects) {
+  expect_engine_equivalence(
+      core::presets::no_latent_defects().to_group_config());
+}
+
+TEST(BatchEquivalence, NoScrub) {
+  // Latent defects without a scrub law: defects persist until the next
+  // restore, so the defect_clears timer stays infinite.
+  expect_engine_equivalence(
+      core::presets::base_case_no_scrub().to_group_config());
+}
+
+TEST(BatchEquivalence, SparePoolQueueing) {
+  expect_engine_equivalence(spare_pool_group());
+}
+
+TEST(BatchEquivalence, StripeZoneCollisions) {
+  expect_engine_equivalence(stripe_zone_group());
+}
+
+TEST(BatchEquivalence, DriveAgeLatentClock) {
+  // kDriveAge draws residual lifetimes, exercising sample_residual_n and
+  // the age gather.
+  expect_engine_equivalence(drive_age_group());
+}
+
+TEST(BatchEquivalence, ReconstructionDefects) {
+  expect_engine_equivalence(recon_defect_group());
+}
+
+TEST(BatchEquivalence, MixedVintageLaws) {
+  expect_engine_equivalence(mixed_law_group());
+}
+
+TEST(BatchEquivalence, Raid6BaseCase) {
+  expect_engine_equivalence(
+      core::presets::raid6_base_case().to_group_config(), 120);
+}
+
+TEST(BatchEquivalence, PartialLanesAndOffsets) {
+  // Lane tails and non-zero stream offsets: results are a pure function of
+  // the global trial index, so trials [17, 17+n) must match no matter how
+  // lanes chop them up.
+  const auto cfg = spare_pool_group();
+  const std::size_t width = 16;
+  for (const std::size_t n : {std::size_t{1}, width - 1, width + 1,
+                              3 * width + 5}) {
+    SCOPED_TRACE("trials " + std::to_string(n));
+    const auto scalar = scalar_trials(cfg, n, KernelPolicy::kLowered, 17);
+    expect_trials_identical(
+        scalar, batch_trials(cfg, n, width, KernelPolicy::kLowered, 17));
+  }
+}
+
+TEST(BatchEquivalence, TracedHistoriesMatch) {
+  const auto cfg = spare_pool_group();
+  const std::size_t n = 40;
+  obs::EventTrace scalar_trace(n);
+  obs::EventTrace batch_trace(n);
+  const auto scalar =
+      scalar_trials(cfg, n, KernelPolicy::kLowered, 0, &scalar_trace);
+  const auto batch = batch_trials(cfg, n, 16, KernelPolicy::kLowered, 0,
+                                  &batch_trace);
+  expect_trials_identical(scalar, batch);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& ea = scalar_trace.trial(i).events();
+    const auto& eb = batch_trace.trial(i).events();
+    ASSERT_EQ(ea.size(), eb.size()) << "trial " << i;
+    for (std::size_t k = 0; k < ea.size(); ++k) {
+      EXPECT_EQ(ea[k], eb[k]) << "trial " << i << " event " << k;
+    }
+  }
+}
+
+TEST(BatchEquivalence, InvalidWidthAndCountThrow) {
+  const auto cfg = busy_group();
+  EXPECT_THROW(BatchGroupSimulator(cfg, 0), ModelError);
+  const rng::StreamFactory streams(kSeed);
+  BatchGroupSimulator simulator(cfg, 8);
+  EXPECT_THROW(simulator.run_lane(streams, 0, 0), ModelError);
+  EXPECT_THROW(simulator.run_lane(streams, 0, 9), ModelError);
+}
+
+// ---- Runner-level invariance -------------------------------------------
+
+RunOptions runner_options(std::size_t trials, unsigned threads,
+                          std::size_t batch_width) {
+  RunOptions opt{.trials = trials, .seed = 11, .threads = threads,
+                 .bucket_hours = 1000.0};
+  opt.batch_width = batch_width;
+  return opt;
+}
+
+void expect_runs_identical(const RunResult& a, const RunResult& b,
+                           bool compare_probe) {
+  EXPECT_EQ(a.trials(), b.trials());
+  EXPECT_EQ(a.op_failures(), b.op_failures());
+  EXPECT_EQ(a.latent_defects(), b.latent_defects());
+  EXPECT_EQ(a.scrubs_completed(), b.scrubs_completed());
+  EXPECT_EQ(a.restores_completed(), b.restores_completed());
+  EXPECT_EQ(a.spare_arrivals(), b.spare_arrivals());
+  const auto ca = a.cumulative_ddfs_per_1000();
+  const auto cb = b.cumulative_ddfs_per_1000();
+  ASSERT_EQ(ca.size(), cb.size());
+  for (std::size_t i = 0; i < ca.size(); ++i) {
+    EXPECT_EQ(ca[i], cb[i]) << "bucket " << i;
+  }
+  if (compare_probe) {
+    // Order-sensitive double sums only match under one deterministic
+    // accumulation order, i.e. a single worker.
+    EXPECT_EQ(a.total_ddfs_per_1000(Estimator::kDoubleOpProbe),
+              b.total_ddfs_per_1000(Estimator::kDoubleOpProbe));
+  }
+}
+
+TEST(BatchRunnerEquivalence, WidthInvariantAcrossThreads) {
+  const auto cfg = spare_pool_group();
+  for (const unsigned threads : {1u, 4u}) {
+    const auto scalar = run_monte_carlo(cfg, runner_options(500, threads, 1));
+    for (const std::size_t width : {std::size_t{2}, std::size_t{64}}) {
+      const auto batched =
+          run_monte_carlo(cfg, runner_options(500, threads, width));
+      SCOPED_TRACE("threads " + std::to_string(threads) + " width " +
+                   std::to_string(width));
+      expect_runs_identical(scalar, batched, threads == 1);
+    }
+  }
+}
+
+TEST(BatchRunnerEquivalence, AwkwardTrialCounts) {
+  const auto cfg = busy_group();
+  const std::size_t width = 64;
+  for (const std::size_t trials : {std::size_t{1}, width - 1, width + 1,
+                                   3 * width + 5}) {
+    SCOPED_TRACE("trials " + std::to_string(trials));
+    auto scalar_opt = runner_options(trials, 2, 1);
+    scalar_opt.first_trial_index = 1000;
+    auto batch_opt = runner_options(trials, 2, width);
+    batch_opt.first_trial_index = 1000;
+    expect_runs_identical(run_monte_carlo(cfg, scalar_opt),
+                          run_monte_carlo(cfg, batch_opt), false);
+  }
+  EXPECT_THROW(run_monte_carlo(cfg, runner_options(0, 1, width)),
+               ModelError);
+}
+
+}  // namespace
+}  // namespace raidrel::sim

@@ -104,6 +104,25 @@ TEST(SweepRunner, ShardingIsDeterministicAcrossThreadCounts) {
   expect_same_cells(a, b);
 }
 
+TEST(SweepRunner, BatchWidthLeavesEveryCellAndManifestByteIdentical) {
+  // The lockstep lane engine must be invisible to the cache layer: cell
+  // digests, sweep digest, and manifest bytes are pinned across lane
+  // widths (1 = the scalar path), so cached cells stay valid when the
+  // default width changes.
+  const std::string scalar_path = temp_manifest("width1");
+  auto scalar_opt = fast_options(scalar_path);
+  scalar_opt.convergence.batch_width = 1;
+  const auto scalar = SweepRunner(scalar_opt).run(small_spec());
+
+  const std::string batched_path = temp_manifest("width64");
+  auto batched_opt = fast_options(batched_path);
+  batched_opt.convergence.batch_width = 64;
+  const auto batched = SweepRunner(batched_opt).run(small_spec());
+
+  expect_same_cells(scalar, batched);
+  EXPECT_EQ(read_file(scalar_path), read_file(batched_path));
+}
+
 // The ISSUE's acceptance test: interrupt a sweep after k of n cells, rerun
 // with the same manifest, and only n-k cells simulate — with the final
 // manifest byte-identical to an uninterrupted single pass.

@@ -202,6 +202,11 @@ TEST(RunTelemetry, ManifestJsonCarriesSchemaAndIdentity) {
   EXPECT_NE(json.find("\"totals\""), std::string::npos);
   EXPECT_NE(json.find("\"batches\""), std::string::npos);
   EXPECT_NE(json.find("\"workers\""), std::string::npos);
+  // The lockstep lane width is part of the run's execution record; the
+  // default options run at kDefaultBatchWidth.
+  EXPECT_NE(json.find("\"batch_width\": " +
+                      std::to_string(sim::kDefaultBatchWidth)),
+            std::string::npos);
 }
 
 TEST(RunTelemetry, MixingConfigsInOneSinkThrows) {
