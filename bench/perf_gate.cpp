@@ -10,15 +10,14 @@
 //   perf_gate <baseline.json> <candidate.json> [--max-regression=0.25]
 //             [--bench=<name> ...]
 //
-// Accepts both raidrel-bench-perf/1 and /2 documents: v1 always wrote a
-// trials_per_second field (0 meaning "not reported"); v2 omits the field
-// entirely for microbenchmarks. Either way, a watched benchmark missing a
-// positive throughput in either document is an error — the gate must
-// never silently pass because a measurement vanished.
+// All comparison policy — including the baseline/candidate asymmetry
+// (baseline problems degrade to named skips, candidate problems fail) —
+// lives in obs/perf_gate.h; this binary only does file I/O and printing.
 //
-// Exit status: 0 = within budget, 1 = regression or malformed input.
-// Improvements are reported but never fail the gate (the committed
-// baseline is refreshed deliberately, not on every green run).
+// Exit status: 0 = within budget (possibly with skip warnings),
+// 1 = regression or malformed input. Improvements are reported but never
+// fail the gate (the committed baseline is refreshed deliberately, not on
+// every green run).
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -26,105 +25,67 @@
 #include <string>
 #include <vector>
 
-#include "obs/json_reader.h"
+#include "obs/perf_gate.h"
 #include "util/error.h"
 
 namespace {
 
-using raidrel::obs::JsonValue;
-
-constexpr const char* kDefaultWatched[] = {
-    "BM_GroupMission_BaseCase",
-    "BM_FullRun_MultiThreaded",
-};
-
-struct PerfDoc {
-  std::string schema;
-  const JsonValue* benchmarks = nullptr;  // array node inside `root`
-  JsonValue root;
-};
-
-PerfDoc load(const std::string& path) {
+std::string slurp(const std::string& path) {
   std::ifstream in(path);
   if (!in) {
     throw raidrel::ModelError("cannot read perf artifact: " + path);
   }
   std::ostringstream text;
   text << in.rdbuf();
-  PerfDoc doc;
-  doc.root = raidrel::obs::parse_json(text.str());
-  doc.schema = doc.root.get("schema").as_string();
-  if (doc.schema != "raidrel-bench-perf/1" &&
-      doc.schema != "raidrel-bench-perf/2") {
-    throw raidrel::ModelError(path + ": unsupported schema " + doc.schema);
-  }
-  doc.benchmarks = &doc.root.get("benchmarks");
-  return doc;
-}
-
-/// Throughput of `name`, or 0 when the benchmark is absent or never
-/// reported items/s (v1 wrote an explicit 0; v2 omits the field).
-double trials_per_second(const PerfDoc& doc, const std::string& name) {
-  for (const JsonValue& bench : doc.benchmarks->items()) {
-    if (bench.get("name").as_string() != name) continue;
-    const JsonValue* tps = bench.find("trials_per_second");
-    return tps != nullptr ? tps->as_double() : 0.0;
-  }
-  return 0.0;
+  return text.str();
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   std::vector<std::string> paths;
-  std::vector<std::string> watched;
-  double max_regression = 0.25;
+  raidrel::obs::PerfGateOptions options;
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--max-regression=", 17) == 0) {
-      max_regression = std::atof(argv[i] + 17);
+      options.max_regression = std::atof(argv[i] + 17);
     } else if (std::strncmp(argv[i], "--bench=", 8) == 0) {
-      watched.emplace_back(argv[i] + 8);
+      options.watched.emplace_back(argv[i] + 8);
     } else {
       paths.emplace_back(argv[i]);
     }
   }
-  if (paths.size() != 2 || max_regression <= 0.0) {
+  if (paths.size() != 2 || options.max_regression <= 0.0) {
     std::fprintf(stderr,
                  "usage: perf_gate <baseline.json> <candidate.json> "
                  "[--max-regression=0.25] [--bench=<name> ...]\n");
     return 1;
   }
-  if (watched.empty()) {
-    watched.assign(std::begin(kDefaultWatched), std::end(kDefaultWatched));
-  }
 
   try {
-    const PerfDoc baseline = load(paths[0]);
-    const PerfDoc candidate = load(paths[1]);
-    bool failed = false;
-    for (const std::string& name : watched) {
-      const double base = trials_per_second(baseline, name);
-      const double cand = trials_per_second(candidate, name);
-      if (base <= 0.0 || cand <= 0.0) {
-        std::fprintf(stderr,
-                     "perf_gate: %s missing a positive trials_per_second "
-                     "(baseline %.0f, candidate %.0f)\n",
-                     name.c_str(), base, cand);
-        failed = true;
-        continue;
-      }
-      const double ratio = cand / base;
-      std::printf("%-32s baseline %12.0f/s candidate %12.0f/s (%.2fx)\n",
-                  name.c_str(), base, cand, ratio);
-      if (ratio < 1.0 - max_regression) {
-        std::fprintf(stderr,
-                     "perf_gate: %s regressed %.1f%% (budget %.1f%%)\n",
-                     name.c_str(), (1.0 - ratio) * 100.0,
-                     max_regression * 100.0);
-        failed = true;
+    const raidrel::obs::PerfGateReport report = raidrel::obs::run_perf_gate(
+        slurp(paths[0]), slurp(paths[1]), options);
+    for (const auto& check : report.checks) {
+      using Status = raidrel::obs::PerfGateCheck::Status;
+      switch (check.status) {
+        case Status::kPass:
+          std::printf("%-32s baseline %12.0f/s candidate %12.0f/s (%.2fx)\n",
+                      check.name.c_str(), check.baseline_tps,
+                      check.candidate_tps, check.ratio);
+          break;
+        case Status::kSkip:
+          std::fprintf(stderr, "perf_gate: WARNING: %s %s\n",
+                       check.name.c_str(), check.note.c_str());
+          break;
+        case Status::kFail:
+          std::fprintf(stderr,
+                       "perf_gate: %s %s (baseline %.0f/s, candidate "
+                       "%.0f/s)\n",
+                       check.name.c_str(), check.note.c_str(),
+                       check.baseline_tps, check.candidate_tps);
+          break;
       }
     }
-    return failed ? 1 : 0;
+    return report.failed ? 1 : 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "perf_gate: %s\n", e.what());
     return 1;

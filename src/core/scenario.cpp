@@ -45,6 +45,9 @@ std::string ScenarioConfig::summary() const {
   } else if (ttld) {
     os << " no-scrub";
   }
+  if (op_tilt != 1.0 || ld_tilt != 1.0) {
+    os << " IS-tilt(op=" << op_tilt << ", ld=" << ld_tilt << ")";
+  }
   return os.str();
 }
 

@@ -30,6 +30,14 @@ struct ScenarioConfig {
   /// the drive itself is replaced).
   std::optional<stats::WeibullParams> ttscrub;
 
+  /// Importance-sampling hazard tilts (docs/MODEL.md §13). These describe
+  /// HOW the scenario is estimated, not WHAT is modeled: the group
+  /// configuration and its digest are unaffected, and any estimator built
+  /// from a tilted run converges to the same answer as an untilted one.
+  /// 1.0 (the default) leaves the corresponding law untouched.
+  double op_tilt = 1.0;  ///< hazard scale on TTOp draws
+  double ld_tilt = 1.0;  ///< hazard scale on TTLd draws
+
   /// Materialize into the engine-level configuration.
   [[nodiscard]] raid::GroupConfig to_group_config() const;
 

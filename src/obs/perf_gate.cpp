@@ -1,0 +1,101 @@
+#include "obs/perf_gate.h"
+
+#include <cstdio>
+
+#include "obs/json_reader.h"
+#include "util/error.h"
+
+namespace raidrel::obs {
+
+namespace {
+
+bool supported_schema(const std::string& schema) {
+  // v1 always wrote a trials_per_second field (0 meaning "not
+  // reported"); v2 omits the field entirely for microbenchmarks. Both
+  // are readable through the same accessor below.
+  return schema == "raidrel-bench-perf/1" || schema == "raidrel-bench-perf/2";
+}
+
+/// Throughput of `name` in `benchmarks`, or 0 when the benchmark is
+/// absent or never reported items/s.
+double trials_per_second(const JsonValue& benchmarks,
+                         const std::string& name) {
+  for (const JsonValue& bench : benchmarks.items()) {
+    if (bench.get("name").as_string() != name) continue;
+    const JsonValue* tps = bench.find("trials_per_second");
+    return tps != nullptr ? tps->as_double() : 0.0;
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+std::vector<std::string> default_watched_benchmarks() {
+  return {"BM_GroupMission_BaseCase", "BM_FullRun_MultiThreaded"};
+}
+
+PerfGateReport run_perf_gate(std::string_view baseline_json,
+                             std::string_view candidate_json,
+                             const PerfGateOptions& options) {
+  RAIDREL_REQUIRE(options.max_regression > 0.0,
+                  "max_regression must be positive");
+
+  const JsonValue baseline = parse_json(std::string(baseline_json));
+  const JsonValue candidate = parse_json(std::string(candidate_json));
+
+  const std::string candidate_schema = candidate.get("schema").as_string();
+  if (!supported_schema(candidate_schema)) {
+    throw ModelError("candidate perf artifact has unsupported schema " +
+                     candidate_schema);
+  }
+  const std::string baseline_schema = baseline.get("schema").as_string();
+  const bool baseline_usable = supported_schema(baseline_schema);
+
+  const std::vector<std::string> watched = options.watched.empty()
+                                               ? default_watched_benchmarks()
+                                               : options.watched;
+
+  PerfGateReport report;
+  for (const std::string& name : watched) {
+    PerfGateCheck check;
+    check.name = name;
+    if (!baseline_usable) {
+      check.status = PerfGateCheck::Status::kSkip;
+      check.note = "skipped: baseline schema " + baseline_schema +
+                   " is unsupported; refresh the committed baseline";
+      report.checks.push_back(std::move(check));
+      continue;
+    }
+    check.baseline_tps = trials_per_second(baseline.get("benchmarks"), name);
+    check.candidate_tps =
+        trials_per_second(candidate.get("benchmarks"), name);
+    if (check.candidate_tps <= 0.0) {
+      // The candidate is this build's own measurement: a watched
+      // benchmark vanishing from it is a failure, never a skip.
+      check.status = PerfGateCheck::Status::kFail;
+      check.note = "candidate is missing a positive trials_per_second";
+    } else if (check.baseline_tps <= 0.0) {
+      check.status = PerfGateCheck::Status::kSkip;
+      check.note = "skipped: baseline never measured this benchmark; "
+                   "refresh the committed baseline";
+    } else {
+      check.ratio = check.candidate_tps / check.baseline_tps;
+      if (check.ratio < 1.0 - options.max_regression) {
+        check.status = PerfGateCheck::Status::kFail;
+        char buf[96];
+        std::snprintf(buf, sizeof buf, "regressed %.1f%% (budget %.1f%%)",
+                      (1.0 - check.ratio) * 100.0,
+                      options.max_regression * 100.0);
+        check.note = buf;
+      }
+    }
+    report.checks.push_back(std::move(check));
+  }
+  for (const PerfGateCheck& check : report.checks) {
+    if (check.status == PerfGateCheck::Status::kFail) report.failed = true;
+    if (check.status == PerfGateCheck::Status::kSkip) report.degraded = true;
+  }
+  return report;
+}
+
+}  // namespace raidrel::obs

@@ -59,6 +59,12 @@ void RunTelemetry::annotate_last_batch(double relative_sem,
   batches_.back().absolute_sem = absolute_sem;
 }
 
+void RunTelemetry::set_importance_sampling(
+    const ImportanceSamplingStats& is) {
+  importance_sampling_ = is;
+  has_importance_sampling_ = true;
+}
+
 void RunTelemetry::add_fault_event(FaultEvent event) {
   const std::lock_guard<std::mutex> lock(mutex_);
   fault_events_.push_back(std::move(event));
@@ -166,6 +172,19 @@ void RunTelemetry::write_json(JsonWriter& w) const {
     }
   }
   w.end_array();
+
+  // Additive: only tilted runs carry an "importance_sampling" object, so
+  // untilted manifests keep their exact bytes.
+  if (has_importance_sampling_) {
+    w.key("importance_sampling");
+    w.begin_object();
+    w.kv("op_theta", importance_sampling_.op_theta);
+    w.kv("ld_theta", importance_sampling_.ld_theta);
+    w.kv("ess", importance_sampling_.ess);
+    w.kv("weight_sum", importance_sampling_.weight_sum);
+    w.kv("max_weight", importance_sampling_.max_weight);
+    w.end_object();
+  }
 
   // Additive: only runs that actually saw fault-tolerance events carry a
   // "faults" array, so clean manifests are byte-identical to schema 1

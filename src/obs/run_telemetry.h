@@ -77,6 +77,17 @@ struct BatchStats {
   double absolute_sem = -1.0;    ///< SEM (DDFs/1000) after this batch; <0 = n/a
 };
 
+/// Importance-sampling parameters and weight diagnostics of a tilted run
+/// (docs/MODEL.md §13). Recorded only for engaged (non-unit) tilt so
+/// untilted manifests serialize byte-identically.
+struct ImportanceSamplingStats {
+  double op_theta = 1.0;
+  double ld_theta = 1.0;
+  double ess = 0.0;         ///< effective sample size (sum w)^2 / sum w^2
+  double weight_sum = 0.0;  ///< sum of trial weights
+  double max_weight = 0.0;  ///< weight-degeneracy flag: largest single w
+};
+
 /// Telemetry sink for one logical run (possibly many batches). Attach via
 /// sim::RunOptions::telemetry; reuse the same sink across convergence
 /// batches so totals accumulate. add_worker is thread-safe; everything
@@ -95,6 +106,19 @@ class RunTelemetry {
   void add_batch(const BatchStats& bs);
   /// Record the convergence trajectory point for the latest batch.
   void annotate_last_batch(double relative_sem, double absolute_sem);
+
+  /// Record (or refresh — last write wins, so convergence loops overwrite
+  /// per-batch values with cumulative ones) the importance-sampling
+  /// diagnostics. The manifest gains an "importance_sampling" object only
+  /// after this is called, so untilted runs serialize unchanged.
+  void set_importance_sampling(const ImportanceSamplingStats& is);
+  [[nodiscard]] bool has_importance_sampling() const noexcept {
+    return has_importance_sampling_;
+  }
+  [[nodiscard]] const ImportanceSamplingStats& importance_sampling()
+      const noexcept {
+    return importance_sampling_;
+  }
 
   /// Record one fault-tolerance event (thread-safe). Events are appended
   /// in arrival order; the JSON manifest gains a "faults" array only when
@@ -144,6 +168,8 @@ class RunTelemetry {
   unsigned threads_ = 0;
   std::size_t batch_width_ = 1;
   bool configured_ = false;
+  ImportanceSamplingStats importance_sampling_;
+  bool has_importance_sampling_ = false;
 };
 
 }  // namespace raidrel::obs

@@ -30,6 +30,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "obs/trace.h"
@@ -47,9 +48,13 @@ namespace raidrel::sim {
 class BatchGroupSimulator {
  public:
   /// `width` >= 1 is the lane capacity; `policy` selects compiled or
-  /// reference virtual kernels exactly as in GroupSimulator.
+  /// reference virtual kernels exactly as in GroupSimulator, and `tilt`
+  /// carries the same importance-sampling semantics (present routes through
+  /// the weighted samplers, unit tilt stays bit-identical, per-trial log
+  /// weights land in TrialResult::log_weight).
   BatchGroupSimulator(const raid::GroupConfig& config, std::size_t width,
-                      KernelPolicy policy = KernelPolicy::kLowered);
+                      KernelPolicy policy = KernelPolicy::kLowered,
+                      std::optional<TiltSpec> tilt = std::nullopt);
 
   /// Simulate `count` (1..width()) missions in lockstep. Trial w draws
   /// from streams.stream(first_stream_index + w), so the lane's results
@@ -145,6 +150,14 @@ class BatchGroupSimulator {
   bool age_clock_ = false;       ///< latent clock is kDriveAge
   bool uniform_latent_present_ = false;  ///< every slot has the same latent law
   bool any_trace_ = false;       ///< some lane of the current run records
+  // Importance-sampling state, mirroring GroupSimulator: tilted_ is true
+  // whenever a TiltSpec was passed (unit or not). Per-lane log weights
+  // accumulate in lw_; bulk refills assign per-element weight terms into
+  // lw_scratch_ and scatter them lane by lane in bucket order, which adds
+  // each lane's terms in exactly the scalar engine's dispatch sequence.
+  HazardTilt op_tilt_;
+  HazardTilt ld_tilt_;
+  bool tilted_ = false;
 
   // SoA slot state, indexed idx(lane, slot). Same fields, same semantics
   // as GroupSimulator::Slot.
@@ -175,6 +188,7 @@ class BatchGroupSimulator {
   std::vector<std::uint64_t> c_scrub_;
   std::vector<std::uint64_t> c_restore_;
   std::vector<std::uint64_t> c_spare_;
+  std::vector<double> lw_;  ///< per-lane running log weight (tilted runs)
   std::vector<obs::TrialTrace*> traces_;
   std::vector<double> group_failed_until_;
   std::vector<std::size_t> ddf_slot_;
@@ -203,6 +217,10 @@ class BatchGroupSimulator {
   std::vector<rng::RandomStream*> rs_scratch_;
   std::vector<double> out_scratch_;
   std::vector<double> age_scratch_;
+  std::vector<double> lw_scratch_;  ///< per-element weight terms of a refill
+  /// Per-element tilt horizons (mission remaining, or horizon age for
+  /// residual draws), staged alongside the refill inputs; see HazardTilt.
+  std::vector<double> horizon_scratch_;
 
   // probe_probability scratch, as in the scalar engine, plus flat passes:
   // the probe's cumulative-hazard pows are pure functions of slot state, so

@@ -14,6 +14,8 @@ const char* to_string(ConvergedRun::StopRule rule) noexcept {
       return "relative-sem";
     case ConvergedRun::StopRule::kAbsoluteSem:
       return "absolute-sem";
+    case ConvergedRun::StopRule::kEss:
+      return "ess";
     case ConvergedRun::StopRule::kZeroDdf:
       return "zero-ddf";
   }
@@ -28,6 +30,8 @@ ConvergedRun run_until_converged(const raid::GroupConfig& config,
                   "target absolute SEM must be non-negative");
   RAIDREL_REQUIRE(options.zero_ddf_upper_bound >= 0.0,
                   "zero-DDF bound must be non-negative");
+  RAIDREL_REQUIRE(options.target_ess >= 0.0,
+                  "target ESS must be non-negative");
   RAIDREL_REQUIRE(options.batch_trials > 0, "batch size must be positive");
   RAIDREL_REQUIRE(options.min_trials <= options.max_trials,
                   "min_trials must not exceed max_trials");
@@ -52,6 +56,7 @@ ConvergedRun run_until_converged(const raid::GroupConfig& config,
     run.fault = options.fault;
     run.pool = &pool;
     run.batch_width = options.batch_width;
+    run.tilt = options.tilt;
     out.result.merge(run_monte_carlo(config, run));
     next_index += batch;
     ++out.batches;
@@ -63,9 +68,15 @@ ConvergedRun run_until_converged(const raid::GroupConfig& config,
                            ? sem / mean
                            : std::numeric_limits<double>::infinity();
     out.absolute_sem = sem;
+    out.ess = out.result.ess();
     if (options.telemetry) {
       options.telemetry->annotate_last_batch(out.relative_sem, sem);
     }
+    // Stop-rule precedence (documented at ConvergedRun::StopRule): the
+    // min-trials floor is checked before ANY stopping rule, so a single
+    // wide batch that overshoots every statistical target still cannot
+    // stop the study below the floor. Then relative SEM, absolute SEM,
+    // ESS, and last the zero-DDF rule of three.
     if (trials < options.min_trials) continue;
     if (out.relative_sem <= options.target_relative_sem) {
       out.converged = true;
@@ -78,14 +89,21 @@ ConvergedRun run_until_converged(const raid::GroupConfig& config,
       out.stop = ConvergedRun::StopRule::kAbsoluteSem;
       break;
     }
-    // Rule of three: after n trials without a single DDF, the 95% upper
-    // confidence bound on the rate is ~3/n missions, i.e. 3000/n DDFs per
-    // 1000 groups. Once that bound is tight enough, more trials cannot
-    // change the answer "effectively zero" — stop instead of spinning to
-    // the budget with relative_sem stuck at infinity.
-    if (options.zero_ddf_upper_bound > 0.0 && mean == 0.0 &&
-        3000.0 / static_cast<double>(trials) <=
-            options.zero_ddf_upper_bound) {
+    if (options.target_ess > 0.0 && out.ess >= options.target_ess) {
+      out.converged = true;
+      out.stop = ConvergedRun::StopRule::kEss;
+      break;
+    }
+    // Rule of three: after n effective trials without a single DDF, the
+    // 95% upper confidence bound on the rate is ~3/n missions, i.e.
+    // 3000/n DDFs per 1000 groups. Once that bound is tight enough, more
+    // trials cannot change the answer "effectively zero" — stop instead
+    // of spinning to the budget with relative_sem stuck at infinity.
+    // The denominator is the effective sample size: identical to the raw
+    // trial count for unweighted runs (ESS == n exactly), honest about
+    // the reduced information content of a tilted run.
+    if (options.zero_ddf_upper_bound > 0.0 && mean == 0.0 && out.ess > 0.0 &&
+        3000.0 / out.ess <= options.zero_ddf_upper_bound) {
       out.converged = true;
       out.stop = ConvergedRun::StopRule::kZeroDdf;
       break;

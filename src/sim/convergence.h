@@ -31,6 +31,12 @@ struct ConvergenceOptions {
   /// 60000 trials with the bound "fewer than 0.05 DDFs per 1000 groups".
   /// Set to 0 to disable and recover the old spin-to-budget behavior.
   double zero_ddf_upper_bound = 0.05;
+  /// ESS stop: stop once the effective sample size (sum w)^2 / sum w^2 of
+  /// the weighted estimator reaches this many trials (0 = off). The
+  /// natural target for tilted (importance-sampled) runs, where raw trial
+  /// counts overstate the information when weights degenerate; for
+  /// untilted runs ESS equals the trial count exactly.
+  double target_ess = 0.0;
   std::size_t batch_trials = 20000;   ///< trials added per round
   std::size_t max_trials = 2000000;   ///< hard budget
   std::size_t min_trials = 20000;     ///< never stop before this many
@@ -53,17 +59,26 @@ struct ConvergenceOptions {
   /// counters accumulate across batches, so "runner_trial:N" means the Nth
   /// trial of the whole converged study. Null — the default — is off.
   fault::FaultInjector* fault = nullptr;
+  /// Importance-sampling tilt, forwarded to every batch's RunOptions (see
+  /// sim/runner.h and docs/MODEL.md §13). Disjoint batch stream ranges
+  /// keep the merged weighted estimate equal to one big tilted run.
+  std::optional<TiltSpec> tilt;
 };
 
 struct ConvergedRun {
-  /// Which rule ended the loop (kBudget = ran out of max_trials).
-  enum class StopRule { kBudget, kRelativeSem, kAbsoluteSem, kZeroDdf };
+  /// Which rule ended the loop (kBudget = ran out of max_trials). Rules
+  /// are evaluated in a fixed precedence order each round — min-trials
+  /// floor first (no rule may stop below it, even when a wide batch
+  /// overshoots every target in round one), then relative SEM, absolute
+  /// SEM, ESS, and last the zero-DDF rule of three.
+  enum class StopRule { kBudget, kRelativeSem, kAbsoluteSem, kEss, kZeroDdf };
 
   RunResult result;
   bool converged = false;          ///< some target reached within budget
   StopRule stop = StopRule::kBudget;
   double relative_sem = 0.0;       ///< achieved SEM/mean (inf if mean 0)
   double absolute_sem = 0.0;       ///< achieved SEM (DDFs per 1000)
+  double ess = 0.0;                ///< achieved effective sample size
   std::size_t batches = 0;
 };
 

@@ -15,6 +15,7 @@ constexpr double kInf = std::numeric_limits<double>::infinity();
 void TrialResult::clear() {
   ddfs.clear();
   double_op_probe.clear();
+  log_weight = 0.0;
   op_failures = 0;
   latent_defects = 0;
   scrubs_completed = 0;
@@ -31,12 +32,19 @@ bool GroupSimulator::Slot::defective() const noexcept {
 }
 
 GroupSimulator::GroupSimulator(const raid::GroupConfig& config,
-                               KernelPolicy policy)
+                               KernelPolicy policy,
+                               std::optional<TiltSpec> tilt)
     : cfg_(config) {
   cfg_.validate();
   kernels_.reserve(cfg_.slots.size());
   for (const auto& slot : cfg_.slots) {
     kernels_.push_back(SlotKernel::compile(slot, policy));
+  }
+  if (tilt) {
+    for (const SlotKernel& k : kernels_) validate_tilt(*tilt, k);
+    op_tilt_ = HazardTilt(tilt->op_theta);
+    ld_tilt_ = HazardTilt(tilt->ld_theta);
+    tilted_ = true;
   }
   slots_.resize(cfg_.slots.size());
   probe_p_.resize(slots_.size());
@@ -59,13 +67,23 @@ void GroupSimulator::start_defect_countdown(std::size_t i, double now,
     refresh_next_event(s);
     return;
   }
+  // Tilted draws cap the proposal at the observation horizon — the oldest
+  // drive age (residual clock) or longest lifetime (renewal clock) the
+  // mission can still observe for this draw.
   if (cfg_.latent_clock == raid::LatentClock::kDriveAge) {
     // NHPP in drive age: next arrival solves H(age') = H(age) + Exp(1).
     const double age = now - s.install_time;
-    s.next_ld = now + latent.sample_residual(age, rs);
+    s.next_ld =
+        now + (tilted_ ? latent.sample_residual_tilted(
+                             ld_tilt_, age, age + (cfg_.mission_hours - now),
+                             rs, log_w_)
+                       : latent.sample_residual(age, rs));
   } else {
     // Paper §5 renewal: a fresh TTLd from the moment of defect-freedom.
-    s.next_ld = now + latent.sample(rs);
+    s.next_ld = now + (tilted_ ? latent.sample_tilted(
+                                     ld_tilt_, cfg_.mission_hours - now, rs,
+                                     log_w_)
+                               : latent.sample(rs));
   }
   refresh_next_event(s);
 }
@@ -76,7 +94,10 @@ void GroupSimulator::install_fresh_drive(std::size_t i, double now,
   s.install_time = now;
   s.restore_done = kInf;
   s.awaiting_spare = false;
-  s.next_op = now + kernels_[i].op.sample(rs);
+  s.next_op =
+      now + (tilted_ ? kernels_[i].op.sample_tilted(
+                           op_tilt_, cfg_.mission_hours - now, rs, log_w_)
+                     : kernels_[i].op.sample(rs));
   start_defect_countdown(i, now, rs);  // refreshes the cached next event
 }
 
@@ -333,6 +354,7 @@ void GroupSimulator::run_trial(rng::RandomStream& rs, TrialResult& out,
                                obs::TrialTrace* trace) {
   out.clear();
   if (trace) trace->clear();
+  log_w_ = 0.0;
   group_failed_until_ = 0.0;
   ddf_slot_ = SIZE_MAX;
   spares_available_ = cfg_.spare_pool ? cfg_.spare_pool->capacity : 0;
@@ -407,6 +429,7 @@ void GroupSimulator::run_trial(rng::RandomStream& rs, TrialResult& out,
                     static_cast<std::uint32_t>(slot));
     }
   }
+  out.log_weight = log_w_;
 }
 
 }  // namespace raidrel::sim

@@ -31,6 +31,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "obs/trace.h"
@@ -55,6 +56,13 @@ struct TrialResult {
   /// counting.
   std::vector<std::pair<double, double>> double_op_probe;
 
+  /// Log importance weight of the trial: the exact log-likelihood-ratio of
+  /// the nominal law against the tilted proposal, summed over every tilted
+  /// draw. Exactly 0.0 for untilted (and unit-tilt) runs, so
+  /// exp(log_weight) == 1.0 and weighted estimators reduce bit-identically
+  /// to the plain ones.
+  double log_weight = 0.0;
+
   std::uint64_t op_failures = 0;
   std::uint64_t latent_defects = 0;
   std::uint64_t scrubs_completed = 0;
@@ -75,9 +83,16 @@ class GroupSimulator {
  public:
   /// `policy` selects between the compiled sampling kernels (default) and
   /// the reference virtual-dispatch path; both produce bit-identical event
-  /// histories (see slot_kernel.h).
+  /// histories (see slot_kernel.h). When `tilt` is present, op and latent
+  /// lifetimes are drawn from the hazard-scaled proposal and the trial's
+  /// exact log-likelihood-ratio is reported in TrialResult::log_weight; a
+  /// present-but-unit tilt exercises the weighted kernels and is
+  /// bit-identical to the plain path. Engaged (non-unit) tilt requires the
+  /// op/latent laws to be lowerable (no kVirtual fallback, which also rules
+  /// out KernelPolicy::kVirtualOnly).
   explicit GroupSimulator(const raid::GroupConfig& config,
-                          KernelPolicy policy = KernelPolicy::kLowered);
+                          KernelPolicy policy = KernelPolicy::kLowered,
+                          std::optional<TiltSpec> tilt = std::nullopt);
 
   /// Simulate one full mission; `out` is cleared first. Deterministic given
   /// the stream state. When `trace` is non-null it is cleared and then
@@ -141,6 +156,13 @@ class GroupSimulator {
   const raid::GroupConfig& cfg_;
   std::vector<SlotKernel> kernels_;  ///< lowered laws, one per slot
   std::vector<Slot> slots_;
+  // Importance-sampling state: tilted_ is true whenever a TiltSpec was
+  // passed (unit or not) so the unit-tilt equivalence tests exercise the
+  // weighted kernels; log_w_ accumulates the running trial's log weight.
+  HazardTilt op_tilt_;
+  HazardTilt ld_tilt_;
+  bool tilted_ = false;
+  double log_w_ = 0.0;
   double group_failed_until_ = 0.0;  ///< DDF freeze window end
   std::size_t ddf_slot_ = SIZE_MAX;  ///< slot whose restore ends the freeze
 

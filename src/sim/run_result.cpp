@@ -22,31 +22,43 @@ RunResult::RunResult(double mission_hours, double bucket_hours)
 
 void RunResult::add_trial(const TrialResult& trial) {
   ++trials_;
+  // Unnormalized importance-sampling estimator: every event series
+  // accumulates the trial's likelihood-ratio weight instead of 1, and the
+  // per-1000 normalizers keep dividing by the trial count. Untilted trials
+  // carry log_weight == 0.0, so w == 1.0 exactly and all the arithmetic
+  // below is bit-identical to the unweighted form (x * 1.0 == x,
+  // += 1.0 matches the old constant).
+  const double w = std::exp(trial.log_weight);
   for (const auto& ddf : trial.ddfs) {
     const std::size_t b =
         util::bucket_index(ddf.time, mission_hours_, bucket_hours_);
-    counting_[b] += 1.0;
+    counting_[b] += w;
     switch (ddf.kind) {
       case raid::DdfKind::kDoubleOperational:
-        double_op_[b] += 1.0;
+        double_op_[b] += w;
         break;
       case raid::DdfKind::kLatentThenOp:
-        latent_then_op_[b] += 1.0;
+        latent_then_op_[b] += w;
         break;
       case raid::DdfKind::kLatentStripeCollision:
-        stripe_collision_[b] += 1.0;
+        stripe_collision_[b] += w;
         break;
     }
   }
   for (const auto& [t, p] : trial.double_op_probe) {
-    probe_[util::bucket_index(t, mission_hours_, bucket_hours_)] += p;
+    probe_[util::bucket_index(t, mission_hours_, bucket_hours_)] += w * p;
   }
+  // The raw event counters stay unweighted: they are workload diagnostics
+  // (how much simulation happened), not estimators of the nominal law.
   op_failures_ += trial.op_failures;
   latent_defects_ += trial.latent_defects;
   scrubs_completed_ += trial.scrubs_completed;
   restores_completed_ += trial.restores_completed;
   spare_arrivals_ += trial.spare_arrivals;
-  per_trial_ddfs_.add(static_cast<double>(trial.ddfs.size()));
+  per_trial_ddfs_.add(w * static_cast<double>(trial.ddfs.size()));
+  weight_sum_ += w;
+  weight_sq_sum_ += w * w;
+  if (w > max_weight_) max_weight_ = w;
 }
 
 void RunResult::merge(const RunResult& other) {
@@ -67,6 +79,9 @@ void RunResult::merge(const RunResult& other) {
   restores_completed_ += other.restores_completed_;
   spare_arrivals_ += other.spare_arrivals_;
   per_trial_ddfs_.merge(other.per_trial_ddfs_);
+  weight_sum_ += other.weight_sum_;
+  weight_sq_sum_ += other.weight_sq_sum_;
+  if (other.max_weight_ > max_weight_) max_weight_ = other.max_weight_;
 }
 
 double RunResult::bucket_edge(std::size_t b) const {

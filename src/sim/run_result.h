@@ -84,6 +84,21 @@ class RunResult {
     return per_trial_ddfs_;
   }
 
+  /// Importance-sampling diagnostics. Every trial contributes
+  /// w = exp(TrialResult::log_weight) to the (unnormalized, divide-by-n)
+  /// weighted estimators; untilted runs have w == 1.0 exactly, so every
+  /// accessor reduces bit-identically to the unweighted arithmetic.
+  /// Effective sample size: (sum w)^2 / (sum w^2), exactly `trials()` for
+  /// unit weights (n <= 2e6, so n^2 is exact in a double); 0 when empty.
+  [[nodiscard]] double ess() const noexcept {
+    return weight_sq_sum_ > 0.0 ? weight_sum_ * weight_sum_ / weight_sq_sum_
+                                : 0.0;
+  }
+  [[nodiscard]] double weight_sum() const noexcept { return weight_sum_; }
+  /// Largest single trial weight seen — the weight-degeneracy flag (a max
+  /// weight near weight_sum means one path dominates the estimate).
+  [[nodiscard]] double max_weight() const noexcept { return max_weight_; }
+
  private:
   [[nodiscard]] const std::vector<double>& series(Estimator est) const;
 
@@ -101,6 +116,9 @@ class RunResult {
   std::uint64_t restores_completed_ = 0;
   std::uint64_t spare_arrivals_ = 0;
   util::RunningStats per_trial_ddfs_;
+  double weight_sum_ = 0.0;
+  double weight_sq_sum_ = 0.0;
+  double max_weight_ = 0.0;
 };
 
 }  // namespace raidrel::sim

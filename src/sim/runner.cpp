@@ -154,6 +154,14 @@ RunResult run_monte_carlo(const raid::GroupConfig& config,
                           const RunOptions& options) {
   RAIDREL_REQUIRE(options.trials > 0, "need at least one trial");
   config.validate();
+  if (options.tilt) {
+    // Fail before spawning workers: every engine would raise the same
+    // error, but a construction throw inside fan_out is harder to read.
+    for (const auto& slot : config.slots) {
+      validate_tilt(*options.tilt,
+                    SlotKernel::compile(slot, options.kernel_policy));
+    }
+  }
 
   unsigned threads = options.threads;
   if (threads == 0) {
@@ -194,7 +202,7 @@ RunResult run_monte_carlo(const raid::GroupConfig& config,
     obs::WorkerStats ws;
     RunResult local(config.mission_hours, options.bucket_hours);
     if (lane == 1) {
-      GroupSimulator simulator(config, options.kernel_policy);
+      GroupSimulator simulator(config, options.kernel_policy, options.tilt);
       TrialResult trial;
       for (;;) {
         const std::size_t begin = next_trial.fetch_add(chunk);
@@ -216,7 +224,8 @@ RunResult run_monte_carlo(const raid::GroupConfig& config,
       // lane never straddles a claim; partial lanes only appear at the run
       // tail. Lane results are folded in trial-index order, keeping even
       // the aggregation order identical to the scalar path per worker.
-      BatchGroupSimulator simulator(config, lane, options.kernel_policy);
+      BatchGroupSimulator simulator(config, lane, options.kernel_policy,
+                                    options.tilt);
       for (;;) {
         const std::size_t begin = next_trial.fetch_add(chunk);
         if (begin >= options.trials) break;
@@ -257,6 +266,13 @@ RunResult run_monte_carlo(const raid::GroupConfig& config,
             ? static_cast<double>(batch.trials) / batch.wall_seconds
             : 0.0;
     options.telemetry->add_batch(batch);
+    if (options.tilt && options.tilt->engaged()) {
+      // Convergence loops overwrite this with the merged totals after each
+      // batch, so the manifest always carries the cumulative diagnostics.
+      options.telemetry->set_importance_sampling(
+          {options.tilt->op_theta, options.tilt->ld_theta, total.ess(),
+           total.weight_sum(), total.max_weight()});
+    }
   }
   return total;
 }
@@ -264,6 +280,8 @@ RunResult run_monte_carlo(const raid::GroupConfig& config,
 RunResult run_fleet_monte_carlo(const FleetConfig& config,
                                 const RunOptions& options) {
   RAIDREL_REQUIRE(options.trials > 0, "need at least one trial");
+  RAIDREL_REQUIRE(!options.tilt || !options.tilt->engaged(),
+                  "fleet runs do not support importance-sampling tilt");
   config.validate();
   const double mission = config.mission_hours();
 

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 
 #include "fault/fault_injection.h"
 #include "obs/run_telemetry.h"
@@ -68,6 +69,14 @@ struct RunOptions {
   /// tests/batch_equivalence_test.cpp), so this is purely a throughput
   /// knob. Fleet runs always use the scalar engine.
   std::size_t batch_width = kDefaultBatchWidth;
+
+  /// Importance-sampling tilt (docs/MODEL.md §13). Absent — the default —
+  /// runs the plain engines. Present, it routes op/latent draws through
+  /// the hazard-scaled proposal and weights every trial by its exact
+  /// likelihood ratio; a present-but-unit tilt exercises the weighted path
+  /// and stays bit-identical to the plain one. Engaged tilt requires
+  /// lowerable op/latent laws and is rejected by fleet runs.
+  std::optional<TiltSpec> tilt = std::nullopt;
 };
 
 /// Run `options.trials` missions of `config` and aggregate.

@@ -4,6 +4,7 @@
 
 #include "stats/basic_distributions.h"
 #include "stats/weibull.h"
+#include "util/error.h"
 
 namespace raidrel::sim {
 
@@ -83,8 +84,14 @@ void CompiledLaw::sample_residual_n(const double ages[],
       for (std::size_t i = 0; i < n; ++i) {
         const double age = ages[i];
         const double x0 = std::max(age - a, 0.0) / b;
-        const double t = a + b * (x0 + streams[i]->exponential());
-        out[i] = std::max(0.0, t - age);
+        const double e = streams[i]->exponential();
+        const double ratio = e / x0;  // h0 == x0 when beta == 1
+        if (x0 > 0.0 && std::isfinite(ratio)) {
+          out[i] = b * x0 * std::expm1(std::log1p(ratio));
+        } else {
+          const double t = a + b * (x0 + e);
+          out[i] = std::max(0.0, t - age);
+        }
       }
       return;
     }
@@ -98,9 +105,15 @@ void CompiledLaw::sample_residual_n(const double ages[],
         const double age = ages[i];
         const double x0 = std::max(age - a, 0.0) / b;
         const double h0 = x0 > 0.0 ? std::pow(x0, beta) : 0.0;
-        const double x1 = std::pow(h0 + out[i], inv_beta);
-        const double t = a + b * x1;
-        out[i] = std::max(0.0, t - age);
+        const double e = out[i];
+        const double ratio = e / h0;
+        if (h0 > 0.0 && std::isfinite(ratio)) {
+          out[i] = b * x0 * std::expm1(inv_beta * std::log1p(ratio));
+        } else {
+          const double x1 = std::pow(h0 + e, inv_beta);
+          const double t = a + b * x1;
+          out[i] = std::max(0.0, t - age);
+        }
       }
       return;
     }
@@ -119,6 +132,129 @@ void CompiledLaw::sample_residual_n(const double ages[],
   }
 }
 
+// The tilted bulk bodies follow the same draw-pass / transform-pass split
+// as the plain ones; the weight term for element i is *assigned* to
+// log_w[i] so the caller can fold it into its per-lane accumulator with a
+// single add — the same rounding sequence as the scalar samplers, which
+// do one `log_w += term` per draw.
+void CompiledLaw::sample_n_tilted(const HazardTilt& tilt,
+                                  const double horizons[],
+                                  rng::RandomStream* const streams[],
+                                  double out[], double log_w[],
+                                  std::size_t n) const {
+  switch (kind_) {
+    case Kind::kExponentialWeibull: {
+      const double a = a_;
+      const double b = b_;
+      for (std::size_t i = 0; i < n; ++i) {
+        const double e =
+            tilt.sample_e(*streams[i], cum_hazard(horizons[i]), log_w[i]);
+        out[i] = a + b * e;
+      }
+      return;
+    }
+    case Kind::kWeibull: {
+      for (std::size_t i = 0; i < n; ++i) {
+        out[i] =
+            tilt.sample_e(*streams[i], cum_hazard(horizons[i]), log_w[i]);
+      }
+      const double a = a_;
+      const double b = b_;
+      const double inv_beta = inv_beta_;
+      for (std::size_t i = 0; i < n; ++i) {
+        out[i] = a + b * std::pow(out[i], inv_beta);
+      }
+      return;
+    }
+    case Kind::kExponential: {
+      const double b = b_;
+      for (std::size_t i = 0; i < n; ++i) {
+        const double e =
+            tilt.sample_e(*streams[i], cum_hazard(horizons[i]), log_w[i]);
+        out[i] = e / b;
+      }
+      return;
+    }
+    default:  // kVirtual: unit tilt only (enforced by engines), weight 0
+      for (std::size_t i = 0; i < n; ++i) {
+        log_w[i] = 0.0;
+        out[i] = dist_->sample(*streams[i]);
+      }
+      return;
+  }
+}
+
+void CompiledLaw::sample_residual_n_tilted(const HazardTilt& tilt,
+                                           const double ages[],
+                                           const double horizon_ages[],
+                                           rng::RandomStream* const streams[],
+                                           double out[], double log_w[],
+                                           std::size_t n) const {
+  switch (kind_) {
+    case Kind::kExponentialWeibull: {
+      const double a = a_;
+      const double b = b_;
+      for (std::size_t i = 0; i < n; ++i) {
+        const double age = ages[i];
+        const double x0 = std::max(age - a, 0.0) / b;
+        const double cap = std::max(cum_hazard(horizon_ages[i]) - x0, 0.0);
+        const double e = tilt.sample_e(*streams[i], cap, log_w[i]);
+        const double ratio = e / x0;  // h0 == x0 when beta == 1
+        if (x0 > 0.0 && std::isfinite(ratio)) {
+          out[i] = b * x0 * std::expm1(std::log1p(ratio));
+        } else {
+          const double t = a + b * (x0 + e);
+          out[i] = std::max(0.0, t - age);
+        }
+      }
+      return;
+    }
+    case Kind::kWeibull: {
+      const double a = a_;
+      const double b = b_;
+      const double beta = beta_;
+      const double inv_beta = inv_beta_;
+      for (std::size_t i = 0; i < n; ++i) {
+        const double x0 = std::max(ages[i] - a, 0.0) / b;
+        const double h0 = x0 > 0.0 ? std::pow(x0, beta) : 0.0;
+        const double cap = std::max(cum_hazard(horizon_ages[i]) - h0, 0.0);
+        out[i] = tilt.sample_e(*streams[i], cap, log_w[i]);
+      }
+      for (std::size_t i = 0; i < n; ++i) {
+        const double age = ages[i];
+        const double x0 = std::max(age - a, 0.0) / b;
+        const double h0 = x0 > 0.0 ? std::pow(x0, beta) : 0.0;
+        const double e = out[i];
+        const double ratio = e / h0;
+        if (h0 > 0.0 && std::isfinite(ratio)) {
+          out[i] = b * x0 * std::expm1(inv_beta * std::log1p(ratio));
+        } else {
+          const double x1 = std::pow(h0 + e, inv_beta);
+          const double t = a + b * x1;
+          out[i] = std::max(0.0, t - age);
+        }
+      }
+      return;
+    }
+    case Kind::kExponential: {
+      const double b = b_;
+      for (std::size_t i = 0; i < n; ++i) {
+        const double cap =
+            std::max(b * (horizon_ages[i] - ages[i]), 0.0);
+        const double e = tilt.sample_e(*streams[i], cap, log_w[i]);
+        out[i] = e / b;  // memoryless
+      }
+      return;
+    }
+    default:  // kVirtual: unit tilt only (enforced by engines), weight 0
+      for (std::size_t i = 0; i < n; ++i) {
+        log_w[i] = 0.0;
+        out[i] = dist_->sample_residual(ages[i], *streams[i]);
+      }
+      return;
+  }
+}
+
 SlotKernel SlotKernel::compile(const raid::SlotModel& model,
                                KernelPolicy policy) {
   SlotKernel k;
@@ -127,6 +263,22 @@ SlotKernel SlotKernel::compile(const raid::SlotModel& model,
   k.latent = CompiledLaw::compile(model.time_to_latent_defect.get(), policy);
   k.scrub = CompiledLaw::compile(model.time_to_scrub.get(), policy);
   return k;
+}
+
+void validate_tilt(const TiltSpec& tilt, const SlotKernel& kernel) {
+  RAIDREL_REQUIRE(tilt.op_theta > 0.0 && std::isfinite(tilt.op_theta),
+                  "tilt op_theta must be positive and finite");
+  RAIDREL_REQUIRE(tilt.ld_theta > 0.0 && std::isfinite(tilt.ld_theta),
+                  "tilt ld_theta must be positive and finite");
+  RAIDREL_REQUIRE(
+      tilt.op_theta == 1.0 ||
+          kernel.op.kind() != CompiledLaw::Kind::kVirtual,
+      "engaged op tilt requires a lowerable op law (no virtual fallback)");
+  RAIDREL_REQUIRE(
+      tilt.ld_theta == 1.0 ||
+          kernel.latent.kind() != CompiledLaw::Kind::kVirtual,
+      "engaged latent tilt requires a lowerable latent law "
+      "(no virtual fallback)");
 }
 
 }  // namespace raidrel::sim

@@ -47,6 +47,80 @@ namespace raidrel::sim {
 /// escape hatch when triaging a suspected lowering bug.
 enum class KernelPolicy : std::uint8_t { kLowered, kVirtualOnly };
 
+/// Importance-sampling tilt parameters for one run (docs/MODEL.md §13).
+/// Each theta scales the cumulative hazard of the corresponding law below
+/// the trial's observation horizon: the proposal draws lifetimes from
+/// H~(t) = theta * H(t) for t inside the mission window (for the Weibull
+/// family that is the same Weibull with eta~ = eta * theta^(-1/beta)) and
+/// reverts to the nominal hazard increment beyond it (see HazardTilt) —
+/// theta > 1 accelerates failures so rare DDF paths are hit often, and
+/// the exact likelihood ratio is accumulated per trial as a log-weight.
+/// Restore and scrub laws are never tilted (they are not rare-event
+/// bottlenecks, and leaving them nominal keeps the repair dynamics exact).
+struct TiltSpec {
+  double op_theta = 1.0;  ///< hazard scale on time-to-op-failure, > 0
+  double ld_theta = 1.0;  ///< hazard scale on time-to-latent-defect, > 0
+
+  /// True when any component actually twists the law. A present-but-unit
+  /// TiltSpec still routes sampling through the weighted kernels (that is
+  /// what the unit-tilt equivalence tests exercise); `engaged()` gates the
+  /// places where unit tilt must leave artifacts byte-identical (digests,
+  /// manifests, cache keys).
+  [[nodiscard]] bool engaged() const noexcept {
+    return op_theta != 1.0 || ld_theta != 1.0;
+  }
+  [[nodiscard]] bool operator==(const TiltSpec&) const = default;
+};
+
+/// One law's hazard-scale tilt, with the log-likelihood-ratio kernel
+/// precomputed. The tilt is *capped*: the proposal scales only the hazard
+/// mass the trial can actually observe,
+///   H~(e) = theta * e            for e <  cap,
+///   H~(e) = e + (theta-1) * cap  for e >= cap,
+/// where e is the law's nominal exponent (H(T) ~ Exp(1)) and `cap` is the
+/// nominal hazard at the draw's observation horizon (mission end). Draws
+/// that land beyond the horizon therefore carry the *bounded* weight
+/// (theta-1)*cap instead of the uncapped kernel's exp((theta-1)*e) tail —
+/// the uncapped exponential tilt has infinite estimator variance for
+/// theta >= 2 (E[exp((theta-1)e)] diverges), paid per censored draw, which
+/// destroys exactly the rare-event studies the tilt exists for.
+///
+/// Sampling draws E~ ~ Exp(1) once and inverts H~; the per-draw weight is
+/// the exact log-likelihood ratio of the capped proposal:
+///   log w += (theta - 1) * e - log(theta)   for e <  cap,
+///   log w += (theta - 1) * cap              for e >= cap.
+/// At theta == 1 both branches reduce bit-identically to the plain path
+/// (e = E~/1.0 and E~ - 0.0*cap are exact; both weight terms are +0.0).
+class HazardTilt {
+ public:
+  HazardTilt() = default;
+  explicit HazardTilt(double theta)
+      : theta_(theta), log_theta_(std::log(theta)) {}
+
+  [[nodiscard]] double theta() const noexcept { return theta_; }
+
+  /// One proposal draw of the nominal exponent. Writes the draw's exact
+  /// log-likelihood-ratio term into `log_w_term` (assigned, not
+  /// accumulated). `cap` is a proposal parameter, not a correctness
+  /// input: any non-negative value yields an unbiased estimator, tighter
+  /// ones just cut weight variance.
+  [[nodiscard]] double sample_e(rng::RandomStream& rs, double cap,
+                                double& log_w_term) const {
+    const double raw = rs.exponential();
+    if (raw < theta_ * cap) {
+      const double e = raw / theta_;
+      log_w_term = (theta_ - 1.0) * e - log_theta_;
+      return e;
+    }
+    log_w_term = (theta_ - 1.0) * cap;
+    return raw - (theta_ - 1.0) * cap;
+  }
+
+ private:
+  double theta_ = 1.0;
+  double log_theta_ = 0.0;
+};
+
 /// One lifetime law, lowered. Plain value type: copying is cheap and the
 /// kernel never owns the fallback Distribution (the GroupConfig does, and
 /// it must outlive the simulator — the same lifetime rule as before).
@@ -84,21 +158,33 @@ class CompiledLaw {
   }
 
   /// Draw the remaining life given survival to `age`; mirrors
-  /// Distribution::sample_residual bit for bit.
+  /// Distribution::sample_residual bit for bit — including its log-space
+  /// increment form for h0 > 0 (expm1/log1p keep precision when age is far
+  /// beyond the scale; see Weibull::sample_residual). The beta == 1 arm
+  /// mirrors the same expression with only IEEE-exact elisions
+  /// (pow(x0, 1.0) == x0, multiplication by inv_beta == 1.0).
   [[nodiscard]] double sample_residual(double age,
                                        rng::RandomStream& rs) const {
     switch (kind_) {
       case Kind::kExponentialWeibull: {
-        // Weibull::sample_residual with both pow(., 1.0) calls elided:
-        // x1 = h0 + E where h0 = max(age - gamma, 0)/eta.
         const double x0 = std::max(age - a_, 0.0) / b_;
-        const double t = a_ + b_ * (x0 + rs.exponential());
+        const double e = rs.exponential();
+        const double ratio = e / x0;  // h0 == x0 when beta == 1
+        if (x0 > 0.0 && std::isfinite(ratio)) {
+          return b_ * x0 * std::expm1(std::log1p(ratio));
+        }
+        const double t = a_ + b_ * (x0 + e);
         return std::max(0.0, t - age);
       }
       case Kind::kWeibull: {
         const double x0 = std::max(age - a_, 0.0) / b_;
         const double h0 = x0 > 0.0 ? std::pow(x0, beta_) : 0.0;
-        const double x1 = std::pow(h0 + rs.exponential(), inv_beta_);
+        const double e = rs.exponential();
+        const double ratio = e / h0;
+        if (h0 > 0.0 && std::isfinite(ratio)) {
+          return b_ * x0 * std::expm1(inv_beta_ * std::log1p(ratio));
+        }
+        const double x1 = std::pow(h0 + e, inv_beta_);
         const double t = a_ + b_ * x1;
         return std::max(0.0, t - age);
       }
@@ -106,6 +192,79 @@ class CompiledLaw {
         return rs.exponential() / b_;  // memoryless
       default:
         return dist_->sample_residual(age, rs);
+    }
+  }
+
+  /// Draw one variate from the capped-tilt proposal law and accumulate the
+  /// exact log-likelihood-ratio into `log_w`. `horizon` is the longest
+  /// lifetime the trial can observe for this draw (for a fresh install:
+  /// mission end minus install time); only the nominal hazard below it is
+  /// tilted — see HazardTilt. At unit theta this is bit-identical to
+  /// sample() (same draws, same arithmetic, +0.0 weight). kVirtual laws
+  /// cannot be tilted — the fallback has no exposed Exp(1) draw — so they
+  /// forward to the plain sampler with a zero weight term; engines reject
+  /// non-unit tilt on a kVirtual op/latent law at construction.
+  [[nodiscard]] double sample_tilted(const HazardTilt& tilt, double horizon,
+                                     rng::RandomStream& rs,
+                                     double& log_w) const {
+    if (kind_ == Kind::kVirtual) return dist_->sample(rs);
+    double term;
+    const double e = tilt.sample_e(rs, cum_hazard(horizon), term);
+    log_w += term;
+    switch (kind_) {
+      case Kind::kExponentialWeibull:
+        return a_ + b_ * e;
+      case Kind::kWeibull:
+        return a_ + b_ * std::pow(e, inv_beta_);
+      default:  // kExponential
+        return e / b_;
+    }
+  }
+
+  /// Tilted residual draw. The conditional law H(T) - H(age) ~ Exp(1)
+  /// tilts through the same capped kernel with the cap shifted to the
+  /// hazard *between* age and `horizon_age` (the oldest age the trial can
+  /// observe, i.e. age plus the remaining mission); the transform arms
+  /// mirror sample_residual with e substituted.
+  [[nodiscard]] double sample_residual_tilted(const HazardTilt& tilt,
+                                              double age, double horizon_age,
+                                              rng::RandomStream& rs,
+                                              double& log_w) const {
+    if (kind_ == Kind::kVirtual) return dist_->sample_residual(age, rs);
+    double term;
+    switch (kind_) {
+      case Kind::kExponentialWeibull: {
+        const double x0 = std::max(age - a_, 0.0) / b_;
+        const double cap = std::max(cum_hazard(horizon_age) - x0, 0.0);
+        const double e = tilt.sample_e(rs, cap, term);
+        log_w += term;
+        const double ratio = e / x0;
+        if (x0 > 0.0 && std::isfinite(ratio)) {
+          return b_ * x0 * std::expm1(std::log1p(ratio));
+        }
+        const double t = a_ + b_ * (x0 + e);
+        return std::max(0.0, t - age);
+      }
+      case Kind::kWeibull: {
+        const double x0 = std::max(age - a_, 0.0) / b_;
+        const double h0 = x0 > 0.0 ? std::pow(x0, beta_) : 0.0;
+        const double cap = std::max(cum_hazard(horizon_age) - h0, 0.0);
+        const double e = tilt.sample_e(rs, cap, term);
+        log_w += term;
+        const double ratio = e / h0;
+        if (h0 > 0.0 && std::isfinite(ratio)) {
+          return b_ * x0 * std::expm1(inv_beta_ * std::log1p(ratio));
+        }
+        const double x1 = std::pow(h0 + e, inv_beta_);
+        const double t = a_ + b_ * x1;
+        return std::max(0.0, t - age);
+      }
+      default: {  // kExponential: memoryless
+        const double cap = std::max(b_ * (horizon_age - age), 0.0);
+        const double e = tilt.sample_e(rs, cap, term);
+        log_w += term;
+        return e / b_;
+      }
     }
   }
 
@@ -142,6 +301,22 @@ class CompiledLaw {
   void sample_residual_n(const double ages[],
                          rng::RandomStream* const streams[], double out[],
                          std::size_t n) const;
+
+  /// Bulk tilted draw: out[i] = sample_tilted(tilt, horizons[i],
+  /// *streams[i], ·) and log_w[i] = the draw's weight term (assigned, not
+  /// accumulated — the caller folds per-element terms into its per-lane
+  /// totals so the adds happen in the same order as scalar dispatch).
+  void sample_n_tilted(const HazardTilt& tilt, const double horizons[],
+                       rng::RandomStream* const streams[], double out[],
+                       double log_w[], std::size_t n) const;
+
+  /// Bulk tilted residual draw, same weight-term contract as
+  /// sample_n_tilted.
+  void sample_residual_n_tilted(const HazardTilt& tilt, const double ages[],
+                                const double horizon_ages[],
+                                rng::RandomStream* const streams[],
+                                double out[], double log_w[],
+                                std::size_t n) const;
 
   /// Two laws compare equal iff every sampling path produces the same
   /// values, which lets the batched engine detect slot-uniform groups and
@@ -186,5 +361,12 @@ struct SlotKernel {
   static SlotKernel compile(const raid::SlotModel& model,
                             KernelPolicy policy = KernelPolicy::kLowered);
 };
+
+/// Validate a tilt request against one slot's lowered laws: both thetas
+/// must be positive and finite, and an engaged (non-unit) component must
+/// target a lowerable law — a kVirtual fallback has no exposed Exp(1) draw
+/// to tilt, which also rules out KernelPolicy::kVirtualOnly under engaged
+/// tilt. Throws ModelError on violation.
+void validate_tilt(const TiltSpec& tilt, const SlotKernel& kernel);
 
 }  // namespace raidrel::sim

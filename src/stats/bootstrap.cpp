@@ -39,9 +39,16 @@ BootstrapCi bootstrap_ci(
   std::sort(stats.begin(), stats.end());
   const double alpha = (1.0 - level) / 2.0;
   const auto n = static_cast<double>(stats.size());
+  // Linearly interpolated order statistic (the "type 7" quantile): the
+  // old round-to-nearest index was biased toward the interior — at small
+  // replicate counts both endpoints could even collapse onto the same
+  // order statistic, understating the interval.
   auto pick = [&](double q) {
-    auto idx = static_cast<std::size_t>(q * (n - 1.0) + 0.5);
-    return stats[std::min(idx, stats.size() - 1)];
+    const double h = q * (n - 1.0);
+    const auto lo = std::min(static_cast<std::size_t>(h), stats.size() - 1);
+    const auto hi = std::min(lo + 1, stats.size() - 1);
+    const double frac = h - static_cast<double>(lo);
+    return stats[lo] + frac * (stats[hi] - stats[lo]);
   };
   ci.lower = pick(alpha);
   ci.upper = pick(1.0 - alpha);

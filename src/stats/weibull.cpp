@@ -94,6 +94,17 @@ double Weibull::sample_residual(double age, rng::RandomStream& rs) const {
   const double x0 = std::max(age - p_.gamma, 0.0) / p_.eta;
   const double h0 = x0 > 0.0 ? std::pow(x0, p_.beta) : 0.0;
   const double e = rs.exponential();
+  // For age >> eta the accumulated hazard h0 dominates the fresh draw and
+  // the absolute-time form pow(h0 + e, 1/beta) absorbs e entirely
+  // (h0 + e == h0 once h0 >= ~2^53 * e), after which t - age cancels
+  // catastrophically and the residual collapses to 0. Compute the residual
+  // increment directly in log space instead:
+  //   r = eta * (x1 - x0) = eta * x0 * ((1 + e/h0)^(1/beta) - 1)
+  //     = eta * x0 * expm1(log1p(e/h0) / beta).
+  const double ratio = e / h0;  // h0 == 0 -> inf, routed to the direct form
+  if (h0 > 0.0 && std::isfinite(ratio)) {
+    return p_.eta * x0 * std::expm1(inv_beta_ * std::log1p(ratio));
+  }
   const double x1 = std::pow(h0 + e, inv_beta_);
   const double t = p_.gamma + p_.eta * x1;  // absolute failure time
   return std::max(0.0, t - age);

@@ -62,6 +62,20 @@ std::uint64_t cell_cache_key(std::uint64_t config_digest,
   append_u64(canon, options.max_trials);
   canon += ";bucket=";
   append_double(canon, options.bucket_hours);
+  // Conditional segments: only non-default estimation settings extend the
+  // canonical string, so every pre-existing untilted cache key is
+  // unchanged. An engaged tilt MUST feed the key — two cells identical
+  // but for the tilt share a config digest and would otherwise collide.
+  if (options.target_ess > 0.0) {
+    canon += ";ess=";
+    append_double(canon, options.target_ess);
+  }
+  if (options.tilt && options.tilt->engaged()) {
+    canon += ";tilt=";
+    append_double(canon, options.tilt->op_theta);
+    canon += ',';
+    append_double(canon, options.tilt->ld_theta);
+  }
   canon += '}';
   return obs::fnv1a64(canon);
 }
@@ -97,6 +111,15 @@ std::uint64_t cell_result_digest(const CellResult& r) {
   append_u64(canon, r.scrubs_completed);
   canon += ";restores=";
   append_u64(canon, r.restores_completed);
+  // Tilted cells only (see CellResult): untilted digests are unchanged.
+  if (r.tilted()) {
+    canon += ";optilt=";
+    append_double(canon, r.op_tilt);
+    canon += ";ldtilt=";
+    append_double(canon, r.ld_tilt);
+    canon += ";ess=";
+    append_double(canon, r.ess);
+  }
   canon += '}';
   return obs::fnv1a64(canon);
 }
@@ -119,6 +142,21 @@ void retry_backoff(double base_ms, unsigned attempt) {
   const double ms =
       base_ms * static_cast<double>(1ULL << (attempt > 0 ? attempt - 1 : 0));
   std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(ms));
+}
+
+/// Per-cell effective convergence options: the shared base plus the
+/// cell's own importance-sampling tilt (an estimation knob carried on the
+/// scenario; see core/scenario.h). The tilt reaches cell_cache_key
+/// through these options, so two cells identical but for the tilt —
+/// which share a config digest by design — can never collide in the
+/// cache. A unit scenario tilt leaves the base options untouched.
+sim::ConvergenceOptions cell_options(const SweepCell& cell,
+                                     const sim::ConvergenceOptions& base) {
+  sim::ConvergenceOptions opt = base;
+  if (cell.scenario.op_tilt != 1.0 || cell.scenario.ld_tilt != 1.0) {
+    opt.tilt = sim::TiltSpec{cell.scenario.op_tilt, cell.scenario.ld_tilt};
+  }
+  return opt;
 }
 
 void note_event(obs::RunTelemetry* telemetry, std::string site,
@@ -174,6 +212,16 @@ std::unordered_map<std::uint64_t, CellResult> load_cache(
       r.latent_defects = entry.get("latent_defects").as_uint64();
       r.scrubs_completed = entry.get("scrubs_completed").as_uint64();
       r.restores_completed = entry.get("restores_completed").as_uint64();
+      // Optional, present only for tilted cells (see CellResult).
+      if (const obs::JsonValue* v = entry.find("op_tilt")) {
+        r.op_tilt = v->as_double();
+      }
+      if (const obs::JsonValue* v = entry.find("ld_tilt")) {
+        r.ld_tilt = v->as_double();
+      }
+      if (const obs::JsonValue* v = entry.find("ess")) {
+        r.ess = v->as_double();
+      }
       r.result_digest = entry.get("result_digest").as_uint64();
       // A tampered or bit-rotted entry must not masquerade as a result.
       if (cell_result_digest(r) != r.result_digest) {
@@ -220,6 +268,11 @@ void write_cell(obs::JsonWriter& w, const CellResult& r) {
   w.kv("latent_defects", r.latent_defects);
   w.kv("scrubs_completed", r.scrubs_completed);
   w.kv("restores_completed", r.restores_completed);
+  if (r.tilted()) {
+    w.kv("op_tilt", r.op_tilt);
+    w.kv("ld_tilt", r.ld_tilt);
+    w.kv("ess", r.ess);
+  }
   w.kv("result_digest", r.result_digest);
   w.end_object();
 }
@@ -269,6 +322,13 @@ void write_manifest(const std::string& path, const std::string& sweep_name,
     w.kv("min_trials", static_cast<std::uint64_t>(conv.min_trials));
     w.kv("max_trials", static_cast<std::uint64_t>(conv.max_trials));
     w.kv("bucket_hours", conv.bucket_hours);
+    // Non-default estimation settings only, so untilted manifests keep
+    // their exact bytes (per-cell tilts live on the cells, not here).
+    if (conv.target_ess > 0.0) w.kv("target_ess", conv.target_ess);
+    if (conv.tilt && conv.tilt->engaged()) {
+      w.kv("op_tilt", conv.tilt->op_theta);
+      w.kv("ld_tilt", conv.tilt->ld_theta);
+    }
     w.end_object();
     w.kv("total_cells", static_cast<std::uint64_t>(total_cells));
     w.key("cells");
@@ -315,7 +375,8 @@ void write_manifest(const std::string& path, const std::string& sweep_name,
 CellResult simulate_cell(const SweepCell& cell,
                          const sim::ConvergenceOptions& base_options,
                          fault::FaultInjector* fault, bool deadline_armed) {
-  sim::ConvergenceOptions opt = base_options;
+  const sim::ConvergenceOptions effective = cell_options(cell, base_options);
+  sim::ConvergenceOptions opt = effective;
   opt.threads = 1;  // determinism: a cell is one worker's serial job
   opt.telemetry = nullptr;
   opt.trace = nullptr;
@@ -335,7 +396,7 @@ CellResult simulate_cell(const SweepCell& cell,
   r.label = cell.label;
   r.coordinates = cell.coordinates;
   r.config_digest = cell.config_digest;
-  r.cell_key = cell_cache_key(cell.config_digest, base_options);
+  r.cell_key = cell_cache_key(cell.config_digest, effective);
   r.trials = run.result.trials();
   r.batches = run.batches;
   r.converged = run.converged;
@@ -353,6 +414,9 @@ CellResult simulate_cell(const SweepCell& cell,
   r.latent_defects = run.result.latent_defects();
   r.scrubs_completed = run.result.scrubs_completed();
   r.restores_completed = run.result.restores_completed();
+  r.op_tilt = cell.scenario.op_tilt;
+  r.ld_tilt = cell.scenario.ld_tilt;
+  if (r.tilted()) r.ess = run.ess;
   r.result_digest = cell_result_digest(r);
   return r;
 }
@@ -431,7 +495,8 @@ SweepResult SweepRunner::run(const std::string& sweep_name,
   std::vector<std::size_t> pending;
   std::size_t cached = 0;
   for (const SweepCell& cell : cells) {
-    const std::uint64_t key = cell_cache_key(cell.config_digest, conv);
+    const std::uint64_t key =
+        cell_cache_key(cell.config_digest, cell_options(cell, conv));
     const auto hit = cache.find(key);
     if (hit != cache.end()) {
       CellResult r = hit->second;
@@ -523,9 +588,10 @@ SweepResult SweepRunner::run(const std::string& sweep_name,
           }
           const std::lock_guard<std::mutex> lock(mutex);
           failed[idx] = true;
-          out.quarantined.push_back({site, cell.index, cell.label,
-                                     cell_cache_key(cell.config_digest, conv),
-                                     attempt, e.what()});
+          out.quarantined.push_back(
+              {site, cell.index, cell.label,
+               cell_cache_key(cell.config_digest, cell_options(cell, conv)),
+               attempt, e.what()});
           note_event(telemetry, site, "quarantine", attempt,
                      cell.label + ": " + e.what());
           checkpoint();  // a quarantine is persisted like any completion

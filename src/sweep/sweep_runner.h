@@ -144,7 +144,19 @@ struct CellResult {
   std::uint64_t latent_defects = 0;
   std::uint64_t scrubs_completed = 0;
   std::uint64_t restores_completed = 0;
+  /// Importance-sampling tilt the cell ran with (docs/MODEL.md §13) and
+  /// the effective sample size achieved. Serialized (and hashed into the
+  /// result digest) only for tilted cells, so untilted manifests keep
+  /// their exact bytes; a cached untilted cell therefore loads with
+  /// ess == 0 (for untilted runs the ESS equals `trials` anyway).
+  double op_tilt = 1.0;
+  double ld_tilt = 1.0;
+  double ess = 0.0;
   std::uint64_t result_digest = 0;
+
+  [[nodiscard]] bool tilted() const noexcept {
+    return op_tilt != 1.0 || ld_tilt != 1.0;
+  }
 };
 
 struct SweepResult {

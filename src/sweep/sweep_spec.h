@@ -88,6 +88,18 @@ class SweepSpec {
   /// Group width at fixed redundancy.
   SweepSpec& add_group_size_axis(const std::vector<unsigned>& total_drives);
 
+  /// Importance-sampling tilt on the operational-failure hazard
+  /// (docs/MODEL.md §13). An *estimation* axis, not a model axis: every
+  /// point targets the same quantity and leaves the config digest
+  /// untouched, differing only in proposal strength — useful for tuning
+  /// the tilt of a rare-event study or validating tilted against plain
+  /// estimates cell by cell. Cells are cache-keyed by tilt, so points
+  /// never collide despite sharing a digest.
+  SweepSpec& add_op_tilt_axis(const std::vector<double>& thetas);
+
+  /// Same, on the latent-defect hazard.
+  SweepSpec& add_latent_tilt_axis(const std::vector<double>& thetas);
+
   /// Number of cells the spec expands to (product of axis sizes; 1 when no
   /// axis was added — the base scenario alone).
   [[nodiscard]] std::size_t cell_count() const noexcept;

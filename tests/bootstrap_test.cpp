@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <vector>
+
 #include "stats/fit.h"
 #include "stats/weibull.h"
 #include "util/error.h"
@@ -78,6 +81,54 @@ TEST(Bootstrap, WorksWithWeibullBetaStatistic) {
   EXPECT_LT(ci.upper, 2.1);
   EXPECT_LE(ci.lower, 1.4);
   EXPECT_GE(ci.upper, 1.4);
+}
+
+TEST(Bootstrap, InterpolatedPercentileMatchesTypeSevenReference) {
+  // Pin the interval to the documented procedure: resample with
+  // uniform_index in declaration order, then the linearly interpolated
+  // ("type 7") order statistic at alpha and 1 - alpha. The old
+  // truncating index could only ever return an order statistic itself;
+  // at 25 replicates and level 0.90 the exact quantile position is
+  // h = 0.05 * 24 = 1.2, strictly between the 2nd and 3rd.
+  const Weibull w(0.0, 50.0, 1.3);
+  rng::RandomStream gen(21);
+  LifeData data;
+  for (int i = 0; i < 40; ++i) data.push_back({w.sample(gen), true});
+
+  rng::RandomStream rs(22);
+  const auto ci = bootstrap_ci(data, mean_time, 25, 0.90, rs);
+
+  rng::RandomStream ref(22);
+  std::vector<double> stats;
+  LifeData resample(data.size());
+  for (int b = 0; b < 25; ++b) {
+    for (auto& slot : resample) slot = data[ref.uniform_index(data.size())];
+    stats.push_back(mean_time(resample));
+  }
+  std::sort(stats.begin(), stats.end());
+  const auto type7 = [&](double q) {
+    const double h = q * (static_cast<double>(stats.size()) - 1.0);
+    const auto lo = static_cast<std::size_t>(h);
+    const auto hi = std::min(lo + 1, stats.size() - 1);
+    return stats[lo] + (h - static_cast<double>(lo)) * (stats[hi] - stats[lo]);
+  };
+  EXPECT_DOUBLE_EQ(ci.lower, type7(0.05));
+  EXPECT_DOUBLE_EQ(ci.upper, type7(0.95));
+  EXPECT_GT(ci.lower, stats[1]);
+  EXPECT_LT(ci.lower, stats[2]);
+  EXPECT_GT(ci.upper, stats[22]);
+  EXPECT_LT(ci.upper, stats[23]);
+}
+
+TEST(Bootstrap, DegenerateDataPinsInterval) {
+  // One observation: every resample is identical, so the interval is a
+  // point regardless of level or replicate count.
+  LifeData data{{5.0, true}};
+  rng::RandomStream rs(3);
+  const auto ci = bootstrap_ci(data, mean_time, 50, 0.95, rs);
+  EXPECT_DOUBLE_EQ(ci.point, 5.0);
+  EXPECT_DOUBLE_EQ(ci.lower, 5.0);
+  EXPECT_DOUBLE_EQ(ci.upper, 5.0);
 }
 
 TEST(Bootstrap, ValidatesArguments) {

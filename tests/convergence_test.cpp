@@ -149,12 +149,85 @@ TEST(Convergence, MinTrialsGatesEveryStopRule) {
   EXPECT_EQ(run.batches, 3u);
 }
 
+TEST(Convergence, MinTrialsFloorBeatsAbsoluteSemOnWideBatches) {
+  // A batch wider than the remaining distance to the floor must not let
+  // the absolute-SEM rule stop below min_trials: the floor is checked
+  // before every rule, so the loop takes a second batch and stops at
+  // 4000, not 2000.
+  ConvergenceOptions opt;
+  opt.target_relative_sem = 1e-9;
+  opt.target_absolute_sem = 1e9;
+  opt.batch_trials = 2000;
+  opt.min_trials = 2500;
+  opt.max_trials = 100000;
+  opt.seed = 14;
+  const auto run = run_until_converged(busy_group(), opt);
+  ASSERT_TRUE(run.converged);
+  EXPECT_EQ(run.stop, ConvergedRun::StopRule::kAbsoluteSem);
+  EXPECT_EQ(run.result.trials(), 4000u);
+  EXPECT_EQ(run.batches, 2u);
+}
+
+TEST(Convergence, MinTrialsBucketEdgeStopsExactlyAtFloor) {
+  // Boundary case: the floor lands exactly on a batch edge — the first
+  // batch satisfies trials >= min_trials and the generous target stops
+  // the loop right there.
+  ConvergenceOptions opt;
+  opt.target_relative_sem = 1e-9;
+  opt.target_absolute_sem = 1e9;
+  opt.batch_trials = 2000;
+  opt.min_trials = 2000;
+  opt.max_trials = 100000;
+  opt.seed = 14;
+  const auto run = run_until_converged(busy_group(), opt);
+  ASSERT_TRUE(run.converged);
+  EXPECT_EQ(run.stop, ConvergedRun::StopRule::kAbsoluteSem);
+  EXPECT_EQ(run.result.trials(), 2000u);
+  EXPECT_EQ(run.batches, 1u);
+}
+
+TEST(Convergence, EssTargetStops) {
+  // Untilted runs have ESS exactly equal to the trial count, which makes
+  // the ESS rule's arithmetic exactly checkable: target 1200 with
+  // 500-trial batches stops at 1500.
+  ConvergenceOptions opt;
+  opt.target_relative_sem = 1e-9;
+  opt.target_ess = 1200.0;
+  opt.batch_trials = 500;
+  opt.min_trials = 500;
+  opt.max_trials = 100000;
+  opt.seed = 15;
+  const auto run = run_until_converged(busy_group(), opt);
+  ASSERT_TRUE(run.converged);
+  EXPECT_EQ(run.stop, ConvergedRun::StopRule::kEss);
+  EXPECT_EQ(run.result.trials(), 1500u);
+  EXPECT_DOUBLE_EQ(run.ess, 1500.0);
+}
+
+TEST(Convergence, AbsoluteTargetWinsOverEss) {
+  // Both rules are satisfiable in the first round; absolute SEM has the
+  // higher precedence.
+  ConvergenceOptions opt;
+  opt.target_relative_sem = 1e-9;
+  opt.target_absolute_sem = 1e9;
+  opt.target_ess = 100.0;
+  opt.batch_trials = 500;
+  opt.min_trials = 500;
+  opt.max_trials = 100000;
+  opt.seed = 16;
+  const auto run = run_until_converged(busy_group(), opt);
+  ASSERT_TRUE(run.converged);
+  EXPECT_EQ(run.stop, ConvergedRun::StopRule::kAbsoluteSem);
+  EXPECT_EQ(run.result.trials(), 500u);
+}
+
 TEST(Convergence, StopRuleNames) {
   EXPECT_STREQ(to_string(ConvergedRun::StopRule::kBudget), "budget");
   EXPECT_STREQ(to_string(ConvergedRun::StopRule::kRelativeSem),
                "relative-sem");
   EXPECT_STREQ(to_string(ConvergedRun::StopRule::kAbsoluteSem),
                "absolute-sem");
+  EXPECT_STREQ(to_string(ConvergedRun::StopRule::kEss), "ess");
   EXPECT_STREQ(to_string(ConvergedRun::StopRule::kZeroDdf), "zero-ddf");
 }
 
@@ -220,6 +293,9 @@ TEST(Convergence, Validation) {
   EXPECT_THROW(run_until_converged(busy_group(), opt), ModelError);
   opt = {};
   opt.zero_ddf_upper_bound = -0.1;
+  EXPECT_THROW(run_until_converged(busy_group(), opt), ModelError);
+  opt = {};
+  opt.target_ess = -1.0;
   EXPECT_THROW(run_until_converged(busy_group(), opt), ModelError);
 }
 

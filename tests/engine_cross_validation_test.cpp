@@ -9,6 +9,7 @@
 #include "sim/group_simulator.h"
 #include "sim/runner.h"
 #include "sim/timing_engine.h"
+#include "stats/bootstrap.h"
 #include "stats/weibull.h"
 #include "util/math.h"
 
@@ -145,6 +146,43 @@ TEST(EngineCrossValidation, ProbeAgreesWithCountingWhenDdfsArePlentiful) {
   // these (non-rare) rates the no-DDF-path approximation and the freeze
   // convention cost a few percent, no more.
   EXPECT_NEAR(probed / counted, 1.0, 0.10);
+}
+
+TEST(EngineCrossValidation, TiltedEstimateWithinPlainBootstrapCi) {
+  // The importance-sampled (tilted) estimator targets the same per-trial
+  // DDF mean as the plain counting estimator. Bootstrap a 99% interval
+  // around the plain estimate and require the tilted one to land inside
+  // it, widened by the tilted run's own standard error.
+  const auto cfg = paper_s5_group(8, 1, intense_slot(true, true), 20000.0);
+  GroupSimulator engine(cfg);
+  rng::StreamFactory streams(61);
+  TrialResult out;
+  stats::LifeData counts;
+  for (std::size_t i = 0; i < 3000; ++i) {
+    auto rs = streams.stream(i);
+    engine.run_trial(rs, out);
+    counts.push_back({static_cast<double>(out.ddfs.size()), true});
+  }
+  rng::RandomStream rs(62);
+  const auto ci = stats::bootstrap_ci(
+      counts,
+      [](const stats::LifeData& d) {
+        double s = 0.0;
+        for (const auto& o : d) s += o.time;
+        return s / static_cast<double>(d.size());
+      },
+      400, 0.99, rs);
+
+  RunOptions opt{.trials = 3000, .seed = 63, .threads = 0,
+                 .bucket_hours = 2000.0};
+  opt.tilt = TiltSpec{1.5, 1.3};
+  const auto tilted = run_monte_carlo(cfg, opt);
+  const double estimate = tilted.total_ddfs_per_1000() / 1000.0;
+  const double sem = tilted.total_ddfs_per_1000_sem() / 1000.0;
+  ASSERT_GT(sem, 0.0);
+  EXPECT_GT(estimate, ci.lower - 3.0 * sem);
+  EXPECT_LT(estimate, ci.upper + 3.0 * sem);
+  EXPECT_GT(tilted.ess(), 0.0);
 }
 
 }  // namespace

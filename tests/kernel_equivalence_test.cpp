@@ -209,6 +209,30 @@ TEST(CompiledLaw, ExponentialDrawsBitIdentical) {
   expect_draws_identical(stats::Exponential(1.0 / 461386.0));
 }
 
+TEST(CompiledLaw, ExtremeAgeResidualDrawsBitIdentical) {
+  // Ages orders of magnitude past the scale route through the log-space
+  // residual arms (see Weibull::sample_residual). The lowered kernels
+  // mirror that fixed arithmetic expression for expression, so the
+  // bit-identity contract must hold there too — and no draw may collapse
+  // to the old exactly-0 underflow.
+  const std::vector<stats::Weibull> laws = {
+      stats::Weibull(0.0, 100.0, 2.0), stats::Weibull(0.0, 9259.0, 1.0),
+      stats::Weibull(6.0, 168.0, 3.0), stats::Weibull(0.0, 461386.0, 1.12)};
+  for (const auto& dist : laws) {
+    const CompiledLaw law = CompiledLaw::compile(&dist);
+    rng::RandomStream rs_law(7);
+    rng::RandomStream rs_ref(7);
+    for (const double age : {1e6, 1e9, 1e12, 1e15}) {
+      for (int i = 0; i < 200; ++i) {
+        const double a = law.sample_residual(age, rs_law);
+        const double b = dist.sample_residual(age, rs_ref);
+        EXPECT_EQ(a, b) << dist.describe() << " age " << age;
+        EXPECT_GT(b, 0.0) << dist.describe() << " age " << age;
+      }
+    }
+  }
+}
+
 TEST(CompiledLaw, LowersToExpectedKinds) {
   const stats::Weibull general(0.0, 461386.0, 1.12);
   const stats::Weibull unit_shape(0.0, 9259.0, 1.0);

@@ -1,0 +1,159 @@
+// The CI perf gate (obs/perf_gate.h) used to crash on a schema-v1 baseline
+// or a renamed benchmark, bricking CI until someone touched the committed
+// artifact. These tests pin the intended asymmetry: baseline problems
+// degrade to named skips with warnings, candidate problems still fail.
+#include "obs/perf_gate.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "util/error.h"
+
+namespace raidrel::obs {
+namespace {
+
+std::string artifact(const std::string& schema, double base_tps,
+                     double full_tps) {
+  std::string s = "{\"schema\": \"" + schema + "\", \"benchmarks\": [";
+  s += "{\"name\": \"BM_GroupMission_BaseCase\", \"trials_per_second\": " +
+       std::to_string(base_tps) + "},";
+  s += "{\"name\": \"BM_FullRun_MultiThreaded\", \"trials_per_second\": " +
+       std::to_string(full_tps) + "}";
+  s += "]}";
+  return s;
+}
+
+constexpr const char* kV2 = "raidrel-bench-perf/2";
+
+TEST(PerfGate, CleanPass) {
+  const auto report = run_perf_gate(artifact(kV2, 1000.0, 500.0),
+                                    artifact(kV2, 990.0, 505.0));
+  EXPECT_FALSE(report.failed);
+  EXPECT_FALSE(report.degraded);
+  ASSERT_EQ(report.checks.size(), 2u);
+  for (const auto& check : report.checks) {
+    EXPECT_EQ(check.status, PerfGateCheck::Status::kPass) << check.name;
+    EXPECT_GT(check.ratio, 0.0);
+    EXPECT_TRUE(check.note.empty());
+  }
+}
+
+TEST(PerfGate, SchemaV1BaselineStillComparable) {
+  // v1 artifacts always carry trials_per_second; the gate must read them,
+  // not reject them.
+  const auto report = run_perf_gate(artifact("raidrel-bench-perf/1", 1000.0,
+                                             500.0),
+                                    artifact(kV2, 1000.0, 500.0));
+  EXPECT_FALSE(report.failed);
+  EXPECT_FALSE(report.degraded);
+}
+
+TEST(PerfGate, RegressionFailsWithNamedNote) {
+  const auto report = run_perf_gate(artifact(kV2, 1000.0, 500.0),
+                                    artifact(kV2, 600.0, 500.0));
+  EXPECT_TRUE(report.failed);
+  ASSERT_EQ(report.checks.size(), 2u);
+  EXPECT_EQ(report.checks[0].status, PerfGateCheck::Status::kFail);
+  EXPECT_NE(report.checks[0].note.find("regressed 40.0%"), std::string::npos)
+      << report.checks[0].note;
+  EXPECT_EQ(report.checks[1].status, PerfGateCheck::Status::kPass);
+}
+
+TEST(PerfGate, RegressionWithinBudgetPasses) {
+  PerfGateOptions opt;
+  opt.max_regression = 0.5;
+  const auto report = run_perf_gate(artifact(kV2, 1000.0, 500.0),
+                                    artifact(kV2, 600.0, 500.0), opt);
+  EXPECT_FALSE(report.failed);
+}
+
+TEST(PerfGate, UnsupportedBaselineSchemaDegradesToSkips) {
+  // The crash case this gate was rewritten for: an old (or future)
+  // baseline schema must not brick CI — every check becomes a named skip
+  // pointing at the committed baseline, and the gate passes degraded.
+  const auto report = run_perf_gate(artifact("raidrel-bench-perf/0", 1000.0,
+                                             500.0),
+                                    artifact(kV2, 1000.0, 500.0));
+  EXPECT_FALSE(report.failed);
+  EXPECT_TRUE(report.degraded);
+  ASSERT_EQ(report.checks.size(), 2u);
+  for (const auto& check : report.checks) {
+    EXPECT_EQ(check.status, PerfGateCheck::Status::kSkip) << check.name;
+    EXPECT_NE(check.note.find("refresh the committed baseline"),
+              std::string::npos)
+        << check.note;
+  }
+}
+
+TEST(PerfGate, BaselineMissingBenchmarkSkipsThatCheckOnly) {
+  // A watched benchmark the baseline never measured (e.g. just renamed):
+  // skip it with a warning, keep gating the rest.
+  const std::string baseline =
+      "{\"schema\": \"raidrel-bench-perf/2\", \"benchmarks\": ["
+      "{\"name\": \"BM_GroupMission_BaseCase\", "
+      "\"trials_per_second\": 1000.0}]}";
+  const auto report = run_perf_gate(baseline, artifact(kV2, 1000.0, 500.0));
+  EXPECT_FALSE(report.failed);
+  EXPECT_TRUE(report.degraded);
+  ASSERT_EQ(report.checks.size(), 2u);
+  EXPECT_EQ(report.checks[0].status, PerfGateCheck::Status::kPass);
+  EXPECT_EQ(report.checks[1].status, PerfGateCheck::Status::kSkip);
+  EXPECT_NE(report.checks[1].note.find("baseline never measured"),
+            std::string::npos);
+}
+
+TEST(PerfGate, ZeroBaselineThroughputSkips) {
+  // v1 wrote trials_per_second: 0 for "not reported" — same treatment as
+  // an absent benchmark.
+  const auto report = run_perf_gate(artifact(kV2, 1000.0, 0.0),
+                                    artifact(kV2, 1000.0, 500.0));
+  EXPECT_FALSE(report.failed);
+  EXPECT_TRUE(report.degraded);
+  EXPECT_EQ(report.checks[1].status, PerfGateCheck::Status::kSkip);
+}
+
+TEST(PerfGate, CandidateMissingBenchmarkFails) {
+  // The candidate is this build's own artifact: a vanished watched
+  // measurement is exactly the regression the gate exists to catch.
+  const std::string candidate =
+      "{\"schema\": \"raidrel-bench-perf/2\", \"benchmarks\": ["
+      "{\"name\": \"BM_GroupMission_BaseCase\", "
+      "\"trials_per_second\": 1000.0}]}";
+  const auto report = run_perf_gate(artifact(kV2, 1000.0, 500.0), candidate);
+  EXPECT_TRUE(report.failed);
+  EXPECT_EQ(report.checks[1].status, PerfGateCheck::Status::kFail);
+  EXPECT_NE(report.checks[1].note.find("candidate is missing"),
+            std::string::npos);
+}
+
+TEST(PerfGate, UnsupportedCandidateSchemaThrows) {
+  EXPECT_THROW(run_perf_gate(artifact(kV2, 1000.0, 500.0),
+                             artifact("raidrel-bench-perf/3", 1000.0, 500.0)),
+               ModelError);
+}
+
+TEST(PerfGate, MalformedJsonThrows) {
+  EXPECT_THROW(run_perf_gate("{not json", artifact(kV2, 1.0, 1.0)),
+               ModelError);
+  EXPECT_THROW(run_perf_gate(artifact(kV2, 1.0, 1.0), "{not json"),
+               ModelError);
+}
+
+TEST(PerfGate, CustomWatchedListAndValidation) {
+  PerfGateOptions opt;
+  opt.watched = {"BM_GroupMission_BaseCase"};
+  const auto report = run_perf_gate(artifact(kV2, 1000.0, 500.0),
+                                    artifact(kV2, 1000.0, 500.0), opt);
+  ASSERT_EQ(report.checks.size(), 1u);
+  EXPECT_EQ(report.checks[0].name, "BM_GroupMission_BaseCase");
+
+  PerfGateOptions bad;
+  bad.max_regression = 0.0;
+  EXPECT_THROW(run_perf_gate(artifact(kV2, 1.0, 1.0), artifact(kV2, 1.0, 1.0),
+                             bad),
+               ModelError);
+}
+
+}  // namespace
+}  // namespace raidrel::obs

@@ -130,6 +130,31 @@ TEST(Weibull, SampleResidualIncreasingHazardShortensLife) {
   EXPECT_NEAR(young.mean(), w.mean(), 1.0);
 }
 
+TEST(Weibull, SampleResidualExtremeAgeStaysPositive) {
+  // age >> eta: the accumulated hazard h0 = (age/eta)^beta ~ 1e20 dwarfs
+  // the fresh Exp(1) draw. The old absolute-time form pow(h0 + e, 1/beta)
+  // absorbed e entirely (h0 + e == h0 in doubles) and every residual
+  // collapsed to exactly 0; the log-space increment keeps the draw. For
+  // beta = 2 the residual is ~ eta^2/(beta*age) * e = 5e-9 * e.
+  const Weibull w(0.0, 100.0, 2.0);
+  rng::RandomStream rs(13);
+  util::RunningStats stats;
+  for (int i = 0; i < 20000; ++i) {
+    const double r = w.sample_residual(1e12, rs);
+    ASSERT_GT(r, 0.0) << i;
+    ASSERT_TRUE(std::isfinite(r)) << i;
+    stats.add(r);
+  }
+  EXPECT_NEAR(stats.mean(), 5e-9, 5e-10);
+
+  // Increasing hazard: the extreme-age residual sits far below a
+  // moderate-age one, not at a rounded-to-zero floor.
+  rng::RandomStream rs2(14);
+  util::RunningStats moderate;
+  for (int i = 0; i < 20000; ++i) moderate.add(w.sample_residual(1e6, rs2));
+  EXPECT_GT(moderate.mean(), stats.mean() * 1e3);
+}
+
 TEST(Weibull, SampleResidualBeforeLocation) {
   // Age below gamma: the drive cannot have failed; residual = (gamma - age)
   // + fresh draw beyond gamma.
