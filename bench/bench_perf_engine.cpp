@@ -23,6 +23,7 @@
 #include "obs/run_telemetry.h"
 #include "sim/batch_engine.h"
 #include "sim/group_simulator.h"
+#include "sim/lane_ops.h"
 #include "sim/runner.h"
 #include "sim/thread_pool.h"
 #include "sim/timing_engine.h"
@@ -33,12 +34,21 @@ namespace {
 using namespace raidrel;
 
 // Engine benchmarks register which model they run, at how many worker
-// threads, and (for the lockstep engine) at which lane width; the perf
-// artifact joins this with the measured throughput.
+// threads, and (for the lockstep engine) at which lane width and math
+// tier; the perf artifact joins this with the measured throughput. The
+// resolved SIMD backend is stamped on every benchmark that runs the
+// batched engine, so archived numbers are attributable to the lane code
+// path that produced them. `items_per_iteration` is how many trials one
+// benchmark iteration performs — the artifact's real_time_ns is
+// normalized by it (schema v3), so a 64-trial lane iteration reports a
+// per-trial time comparable with the scalar engine's.
 struct EngineMeta {
   std::uint64_t config_digest = 0;
   unsigned threads = 0;
   std::size_t batch_width = 0;
+  std::size_t items_per_iteration = 1;
+  std::string isa;
+  std::string math_tier;
 };
 
 std::map<std::string, EngineMeta>& perf_meta() {
@@ -48,8 +58,19 @@ std::map<std::string, EngineMeta>& perf_meta() {
 
 void note_engine_config(const std::string& bench_name,
                         std::uint64_t config_digest, unsigned threads,
-                        std::size_t batch_width = 0) {
-  perf_meta()[bench_name] = {config_digest, threads, batch_width};
+                        std::size_t batch_width = 0,
+                        std::size_t items_per_iteration = 1,
+                        sim::MathTier tier = sim::MathTier::kExact) {
+  EngineMeta meta;
+  meta.config_digest = config_digest;
+  meta.threads = threads;
+  meta.batch_width = batch_width;
+  meta.items_per_iteration = items_per_iteration;
+  if (batch_width > 1) {
+    meta.isa = util::isa_name(sim::lane_ops().isa);
+    meta.math_tier = sim::math_tier_name(tier);
+  }
+  perf_meta()[bench_name] = std::move(meta);
 }
 
 unsigned resolved_threads(unsigned requested) {
@@ -84,7 +105,7 @@ BENCHMARK(BM_WeibullResidualSample);
 void BM_GroupMission_BaseCase(benchmark::State& state) {
   const auto cfg = core::presets::base_case().to_group_config();
   note_engine_config("BM_GroupMission_BaseCase", sim::config_digest(cfg), 1,
-                     sim::kDefaultBatchWidth);
+                     sim::kDefaultBatchWidth, sim::kDefaultBatchWidth);
   sim::BatchGroupSimulator simulator(cfg, sim::kDefaultBatchWidth);
   rng::StreamFactory streams(3);
   std::uint64_t trial = 0;
@@ -98,6 +119,30 @@ void BM_GroupMission_BaseCase(benchmark::State& state) {
       static_cast<std::int64_t>(sim::kDefaultBatchWidth));
 }
 BENCHMARK(BM_GroupMission_BaseCase);
+
+// Same lane, fast math tier (sim/lane_ops.h): the polynomial log/exp
+// kernels replace libm in the hot Weibull refills. The delta against
+// BM_GroupMission_BaseCase is the price of bit-exactness.
+void BM_GroupMission_BaseCase_FastMath(benchmark::State& state) {
+  const auto cfg = core::presets::base_case().to_group_config();
+  note_engine_config("BM_GroupMission_BaseCase_FastMath",
+                     sim::config_digest(cfg), 1, sim::kDefaultBatchWidth,
+                     sim::kDefaultBatchWidth, sim::MathTier::kFast);
+  sim::BatchGroupSimulator simulator(cfg, sim::kDefaultBatchWidth,
+                                     sim::KernelPolicy::kLowered,
+                                     std::nullopt, sim::MathTier::kFast);
+  rng::StreamFactory streams(3);
+  std::uint64_t trial = 0;
+  for (auto _ : state) {
+    simulator.run_lane(streams, trial, sim::kDefaultBatchWidth);
+    trial += sim::kDefaultBatchWidth;
+    benchmark::DoNotOptimize(simulator.result(0).op_failures);
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(sim::kDefaultBatchWidth));
+}
+BENCHMARK(BM_GroupMission_BaseCase_FastMath);
 
 void BM_GroupMission_BaseCase_Scalar(benchmark::State& state) {
   const auto cfg = core::presets::base_case().to_group_config();
@@ -119,7 +164,7 @@ BENCHMARK(BM_GroupMission_BaseCase_Scalar);
 void BM_GroupMission_NoLatent(benchmark::State& state) {
   const auto cfg = core::presets::no_latent_defects().to_group_config();
   note_engine_config("BM_GroupMission_NoLatent", sim::config_digest(cfg), 1,
-                     sim::kDefaultBatchWidth);
+                     sim::kDefaultBatchWidth, sim::kDefaultBatchWidth);
   sim::BatchGroupSimulator simulator(cfg, sim::kDefaultBatchWidth);
   rng::StreamFactory streams(4);
   std::uint64_t trial = 0;
@@ -155,7 +200,7 @@ BENCHMARK(BM_TimingEngineMission_BaseCase);
 void BM_FullRun_MultiThreaded(benchmark::State& state) {
   const auto cfg = core::presets::base_case().to_group_config();
   note_engine_config("BM_FullRun_MultiThreaded", sim::config_digest(cfg),
-                     resolved_threads(0), sim::kDefaultBatchWidth);
+                     resolved_threads(0), sim::kDefaultBatchWidth, 2000);
   // One persistent pool across iterations, exactly how the convergence
   // loop drives batched runs; thread spawn/join is not part of the cost.
   sim::ThreadPool pool;
@@ -178,7 +223,7 @@ BENCHMARK(BM_FullRun_MultiThreaded)->Unit(benchmark::kMillisecond);
 void BM_FullRun_Telemetry(benchmark::State& state) {
   const auto cfg = core::presets::base_case().to_group_config();
   note_engine_config("BM_FullRun_Telemetry", sim::config_digest(cfg),
-                     resolved_threads(0), sim::kDefaultBatchWidth);
+                     resolved_threads(0), sim::kDefaultBatchWidth, 2000);
   sim::ThreadPool pool;
   for (auto _ : state) {
     obs::RunTelemetry telemetry;
@@ -218,6 +263,15 @@ class CapturingReporter : public benchmark::ConsoleReporter {
         rec.config_digest = meta->second.config_digest;
         rec.threads = meta->second.threads;
         rec.batch_width = meta->second.batch_width;
+        rec.isa = meta->second.isa;
+        rec.math_tier = meta->second.math_tier;
+        // Schema v3: real_time_ns is per work item. A lane iteration
+        // simulates batch-width trials; report the per-trial time so the
+        // number is comparable with the scalar engine's.
+        if (meta->second.items_per_iteration > 1) {
+          rec.real_time_ns /=
+              static_cast<double>(meta->second.items_per_iteration);
+        }
       }
       records_.push_back(std::move(rec));
     }

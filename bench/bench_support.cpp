@@ -144,7 +144,7 @@ void write_perf_json(std::ostream& out,
                      const std::vector<PerfRecord>& records) {
   obs::JsonWriter w(out);
   w.begin_object();
-  w.kv("schema", "raidrel-bench-perf/2");
+  w.kv("schema", "raidrel-bench-perf/3");
   w.key("benchmarks");
   w.begin_array();
   for (const auto& r : records) {
@@ -163,6 +163,12 @@ void write_perf_json(std::ostream& out,
     }
     if (r.batch_width != 0) {
       w.kv("batch_width", static_cast<std::uint64_t>(r.batch_width));
+    }
+    // v3: engine benchmarks carry the lane-backend identity; records
+    // without it (microbenchmarks, older documents) compare as wildcard.
+    if (!r.isa.empty()) w.kv("isa", std::string_view(r.isa));
+    if (!r.math_tier.empty()) {
+      w.kv("math_tier", std::string_view(r.math_tier));
     }
     w.end_object();
   }

@@ -71,21 +71,29 @@ void print_series_table(const std::vector<Series>& series,
 /// distribution draw) leave both at zero.
 struct PerfRecord {
   std::string name;
-  double real_time_ns = 0.0;       ///< wall time per iteration
+  double real_time_ns = 0.0;       ///< wall time per work item (v3)
   double trials_per_second = 0.0;  ///< items/s (0 when not reported)
   std::uint64_t iterations = 0;
   std::uint64_t config_digest = 0; ///< simulated model (0 = none)
   unsigned threads = 0;            ///< engine worker threads (0 = n/a)
   std::size_t batch_width = 0;     ///< lockstep lane width (0 = n/a)
+  std::string isa;        ///< resolved lane backend ("" = not recorded)
+  std::string math_tier;  ///< lane math tier ("" = not recorded)
 };
 
-/// Serialize perf records as a `raidrel-bench-perf/2` JSON document so CI
-/// can archive throughput next to the commit that produced it. Version 2
-/// drops the `trials_per_second: 0` placeholder from microbenchmarks that
-/// never report items/s and records `batch_width` for engine benchmarks
-/// that run the lockstep lanes; consumers (bench/perf_gate.cpp) keep
-/// accepting version 1 documents, whose extra zero field was always
-/// "not reported", not a measurement.
+/// Serialize perf records as a `raidrel-bench-perf/3` JSON document so CI
+/// can archive throughput next to the commit that produced it. Version 3
+/// normalizes `real_time_ns` to *per work item* — a batched engine
+/// benchmark whose iteration runs a 64-trial lane reports the per-trial
+/// time, directly comparable with the scalar engine's, instead of a
+/// per-lane number 64× larger — and tags engine benchmarks with the
+/// resolved SIMD backend (`isa`) and math tier (`math_tier`) so archived
+/// numbers are attributable to the code path that produced them (and the
+/// gate can refuse unlike-for-unlike comparisons). Version 2 dropped the
+/// `trials_per_second: 0` placeholder from microbenchmarks and added
+/// `batch_width`. Consumers (bench/perf_gate.cpp) accept all versions;
+/// cross-version real_time_ns comparisons are only meaningful through
+/// trials_per_second, which has always been per-item.
 void write_perf_json(std::ostream& out,
                      const std::vector<PerfRecord>& records);
 

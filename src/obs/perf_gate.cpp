@@ -11,21 +11,69 @@ namespace {
 
 bool supported_schema(const std::string& schema) {
   // v1 always wrote a trials_per_second field (0 meaning "not
-  // reported"); v2 omits the field entirely for microbenchmarks. Both
-  // are readable through the same accessor below.
-  return schema == "raidrel-bench-perf/1" || schema == "raidrel-bench-perf/2";
+  // reported"); v2 omits the field entirely for microbenchmarks; v3
+  // normalizes real_time_ns per work item and tags engine benchmarks
+  // with isa / math_tier / batch_width. All are readable through the
+  // same accessors below — the gate compares trials_per_second, which
+  // has always been per-item.
+  return schema == "raidrel-bench-perf/1" ||
+         schema == "raidrel-bench-perf/2" ||
+         schema == "raidrel-bench-perf/3";
 }
 
-/// Throughput of `name` in `benchmarks`, or 0 when the benchmark is
-/// absent or never reported items/s.
-double trials_per_second(const JsonValue& benchmarks,
-                         const std::string& name) {
+/// One side's measurement of a watched benchmark: throughput plus the
+/// v3 code-path tags (empty / zero when untagged — older schemas or
+/// microbenchmarks — which compares as a wildcard).
+struct BenchEntry {
+  double tps = 0.0;
+  std::string isa;
+  std::string math_tier;
+  std::uint64_t batch_width = 0;
+};
+
+BenchEntry find_bench(const JsonValue& benchmarks, const std::string& name) {
+  BenchEntry entry;
   for (const JsonValue& bench : benchmarks.items()) {
     if (bench.get("name").as_string() != name) continue;
-    const JsonValue* tps = bench.find("trials_per_second");
-    return tps != nullptr ? tps->as_double() : 0.0;
+    if (const JsonValue* tps = bench.find("trials_per_second")) {
+      entry.tps = tps->as_double();
+    }
+    if (const JsonValue* isa = bench.find("isa")) {
+      entry.isa = isa->as_string();
+    }
+    if (const JsonValue* tier = bench.find("math_tier")) {
+      entry.math_tier = tier->as_string();
+    }
+    if (const JsonValue* width = bench.find("batch_width")) {
+      entry.batch_width = static_cast<std::uint64_t>(width->as_double());
+    }
+    return entry;
   }
-  return 0.0;
+  return entry;
+}
+
+/// Like-for-like guard: when BOTH sides carry a code-path tag and the
+/// values differ, the comparison is meaningless (a slower ISA is not a
+/// regression) and the check must degrade to a named skip. An absent
+/// tag — an older-schema baseline, or a microbenchmark — is a wildcard.
+std::string tag_mismatch(const BenchEntry& baseline,
+                         const BenchEntry& candidate) {
+  if (!baseline.isa.empty() && !candidate.isa.empty() &&
+      baseline.isa != candidate.isa) {
+    return "isa (baseline " + baseline.isa + ", candidate " + candidate.isa +
+           ")";
+  }
+  if (!baseline.math_tier.empty() && !candidate.math_tier.empty() &&
+      baseline.math_tier != candidate.math_tier) {
+    return "math_tier (baseline " + baseline.math_tier + ", candidate " +
+           candidate.math_tier + ")";
+  }
+  if (baseline.batch_width != 0 && candidate.batch_width != 0 &&
+      baseline.batch_width != candidate.batch_width) {
+    return "batch_width (baseline " + std::to_string(baseline.batch_width) +
+           ", candidate " + std::to_string(candidate.batch_width) + ")";
+  }
+  return {};
 }
 
 }  // namespace
@@ -66,9 +114,12 @@ PerfGateReport run_perf_gate(std::string_view baseline_json,
       report.checks.push_back(std::move(check));
       continue;
     }
-    check.baseline_tps = trials_per_second(baseline.get("benchmarks"), name);
-    check.candidate_tps =
-        trials_per_second(candidate.get("benchmarks"), name);
+    const BenchEntry base_entry =
+        find_bench(baseline.get("benchmarks"), name);
+    const BenchEntry cand_entry =
+        find_bench(candidate.get("benchmarks"), name);
+    check.baseline_tps = base_entry.tps;
+    check.candidate_tps = cand_entry.tps;
     if (check.candidate_tps <= 0.0) {
       // The candidate is this build's own measurement: a watched
       // benchmark vanishing from it is a failure, never a skip.
@@ -78,6 +129,16 @@ PerfGateReport run_perf_gate(std::string_view baseline_json,
       check.status = PerfGateCheck::Status::kSkip;
       check.note = "skipped: baseline never measured this benchmark; "
                    "refresh the committed baseline";
+    } else if (const std::string mismatch =
+                   tag_mismatch(base_entry, cand_entry);
+               !mismatch.empty()) {
+      // Unlike code paths (baseline measured on hardware or at a tier
+      // the candidate did not run): a throughput delta is expected, not
+      // a regression — degrade to a named skip, as baseline-side
+      // problems do.
+      check.status = PerfGateCheck::Status::kSkip;
+      check.note = "skipped: not like-for-like on " + mismatch +
+                   "; refresh the committed baseline on this hardware";
     } else {
       check.ratio = check.candidate_tps / check.baseline_tps;
       if (check.ratio < 1.0 - options.max_regression) {

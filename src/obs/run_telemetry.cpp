@@ -31,7 +31,8 @@ WorkerStats& WorkerStats::operator+=(const WorkerStats& o) noexcept {
 
 void RunTelemetry::configure(std::uint64_t master_seed,
                              std::uint64_t config_digest, unsigned threads,
-                             std::size_t batch_width) {
+                             std::size_t batch_width, std::string_view isa,
+                             std::string_view math_tier) {
   if (configured_) {
     RAIDREL_REQUIRE(master_seed == master_seed_ &&
                         config_digest == config_digest_,
@@ -42,6 +43,8 @@ void RunTelemetry::configure(std::uint64_t master_seed,
   config_digest_ = config_digest;
   threads_ = threads;
   batch_width_ = batch_width;
+  isa_ = isa;
+  math_tier_ = math_tier;
   configured_ = true;
 }
 
@@ -136,6 +139,12 @@ void RunTelemetry::write_json(JsonWriter& w) const {
   w.kv("config_digest", digest_hex);
   w.kv("threads", threads_);
   w.kv("batch_width", static_cast<std::uint64_t>(batch_width_));
+  // Additive: only batched runs carry the lane-backend identity, so
+  // scalar-run manifests keep their exact bytes.
+  if (!isa_.empty()) w.kv("isa", std::string_view(isa_));
+  if (!math_tier_.empty()) {
+    w.kv("math_tier", std::string_view(math_tier_));
+  }
   w.kv("wall_seconds", wall_seconds());
   w.kv("trials_per_second", trials_per_second());
 

@@ -98,9 +98,14 @@ class RunTelemetry {
   /// calls must agree on seed and digest (batches of one logical run).
   /// `batch_width` is the engine's lockstep lane width (1 = scalar), so a
   /// throughput regression in an archived manifest is attributable to the
-  /// batching configuration that produced it.
+  /// batching configuration that produced it. `isa` and `math_tier` name
+  /// the batched engine's resolved SIMD backend and transform tier
+  /// (sim/lane_ops.h); empty — the scalar engine — leaves the manifest
+  /// without the corresponding keys, so pre-existing manifests keep their
+  /// exact bytes.
   void configure(std::uint64_t master_seed, std::uint64_t config_digest,
-                 unsigned threads, std::size_t batch_width = 1);
+                 unsigned threads, std::size_t batch_width = 1,
+                 std::string_view isa = {}, std::string_view math_tier = {});
 
   void add_worker(const WorkerStats& ws);  // thread-safe
   void add_batch(const BatchStats& bs);
@@ -145,6 +150,11 @@ class RunTelemetry {
   [[nodiscard]] std::size_t batch_width() const noexcept {
     return batch_width_;
   }
+  /// Resolved SIMD backend / math tier names; empty for scalar runs.
+  [[nodiscard]] const std::string& isa() const noexcept { return isa_; }
+  [[nodiscard]] const std::string& math_tier() const noexcept {
+    return math_tier_;
+  }
   /// Driver wall time summed over batches.
   [[nodiscard]] double wall_seconds() const;
   /// Aggregate throughput: total trials / driver wall time.
@@ -167,6 +177,8 @@ class RunTelemetry {
   std::uint64_t config_digest_ = 0;
   unsigned threads_ = 0;
   std::size_t batch_width_ = 1;
+  std::string isa_;        ///< lane backend of batched runs; "" = scalar
+  std::string math_tier_;  ///< transform tier of batched runs; "" = scalar
   bool configured_ = false;
   ImportanceSamplingStats importance_sampling_;
   bool has_importance_sampling_ = false;

@@ -1,0 +1,37 @@
+#include "rng/bulk.h"
+
+#include "rng/bulk_backends.h"
+
+namespace raidrel::rng {
+
+namespace detail {
+
+void fill_uniform_open_generic(RandomStream* const streams[], double out[],
+                               std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) out[i] = streams[i]->uniform_open();
+}
+
+}  // namespace detail
+
+FillUniformOpenFn fill_uniform_open_backend(util::SimdIsa isa) noexcept {
+  const util::SimdIsa detected = util::detected_isa();
+  if (isa > detected) isa = detected;
+  switch (isa) {
+    case util::SimdIsa::kAvx512:
+      return detail::fill_uniform_open_avx512;
+    case util::SimdIsa::kAvx2:
+      return detail::fill_uniform_open_avx2;
+    case util::SimdIsa::kSse2:
+      return detail::fill_uniform_open_sse2;
+    case util::SimdIsa::kGeneric:
+      break;
+  }
+  return detail::fill_uniform_open_generic;
+}
+
+void fill_uniform_open_n(RandomStream* const streams[], double out[],
+                         std::size_t n) {
+  fill_uniform_open_backend(util::active_isa())(streams, out, n);
+}
+
+}  // namespace raidrel::rng

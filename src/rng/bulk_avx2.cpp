@@ -1,0 +1,92 @@
+// AVX2 backend of the bulk uniform fill: four streams per round.
+#include "rng/bulk_backends.h"
+
+#if defined(__x86_64__) || defined(_M_X64)
+
+#include <immintrin.h>
+
+#include "rng/bulk_impl.h"
+
+namespace raidrel::rng::detail {
+
+namespace {
+struct Avx2Backend {
+  static constexpr std::size_t width = 4;
+  using vu = __m256i;
+  static vu load(const std::uint64_t* p) {
+    return _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p));
+  }
+  static void store(std::uint64_t* p, vu v) {
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(p), v);
+  }
+  // 4x4 u64 transpose, stream-major <-> word-major, all in registers:
+  // unpack pairs within 128-bit halves, then recombine the halves.
+  static void load_states(RandomStream* const streams[], vu s[4]) {
+    const vu ra = load(streams[0]->engine().state_mut().data());
+    const vu rb = load(streams[1]->engine().state_mut().data());
+    const vu rc = load(streams[2]->engine().state_mut().data());
+    const vu rd = load(streams[3]->engine().state_mut().data());
+    const vu t0 = _mm256_unpacklo_epi64(ra, rb);  // a0 b0 a2 b2
+    const vu t1 = _mm256_unpackhi_epi64(ra, rb);  // a1 b1 a3 b3
+    const vu t2 = _mm256_unpacklo_epi64(rc, rd);  // c0 d0 c2 d2
+    const vu t3 = _mm256_unpackhi_epi64(rc, rd);  // c1 d1 c3 d3
+    s[0] = _mm256_permute2x128_si256(t0, t2, 0x20);
+    s[1] = _mm256_permute2x128_si256(t1, t3, 0x20);
+    s[2] = _mm256_permute2x128_si256(t0, t2, 0x31);
+    s[3] = _mm256_permute2x128_si256(t1, t3, 0x31);
+  }
+  static void store_states(RandomStream* const streams[], const vu s[4]) {
+    const vu t0 = _mm256_unpacklo_epi64(s[0], s[1]);  // a0 a1 c0 c1
+    const vu t1 = _mm256_unpackhi_epi64(s[0], s[1]);  // b0 b1 d0 d1
+    const vu t2 = _mm256_unpacklo_epi64(s[2], s[3]);  // a2 a3 c2 c3
+    const vu t3 = _mm256_unpackhi_epi64(s[2], s[3]);  // b2 b3 d2 d3
+    store(streams[0]->engine().state_mut().data(),
+          _mm256_permute2x128_si256(t0, t2, 0x20));
+    store(streams[1]->engine().state_mut().data(),
+          _mm256_permute2x128_si256(t1, t3, 0x20));
+    store(streams[2]->engine().state_mut().data(),
+          _mm256_permute2x128_si256(t0, t2, 0x31));
+    store(streams[3]->engine().state_mut().data(),
+          _mm256_permute2x128_si256(t1, t3, 0x31));
+  }
+  static vu add(vu a, vu b) { return _mm256_add_epi64(a, b); }
+  static vu xor_(vu a, vu b) { return _mm256_xor_si256(a, b); }
+  template <int K>
+  static vu sll(vu v) {
+    return _mm256_slli_epi64(v, K);
+  }
+  template <int K>
+  static vu rotl(vu v) {
+    return _mm256_or_si256(_mm256_slli_epi64(v, K),
+                           _mm256_srli_epi64(v, 64 - K));
+  }
+  static void store_u01(double* dst, vu bits) {
+    const __m256i x = _mm256_srli_epi64(bits, 12);
+    const __m256i mant =
+        _mm256_or_si256(x, _mm256_set1_epi64x(0x4330000000000000LL));
+    __m256d d =
+        _mm256_sub_pd(_mm256_castsi256_pd(mant), _mm256_set1_pd(0x1.0p52));
+    d = _mm256_mul_pd(_mm256_add_pd(d, _mm256_set1_pd(0.5)),
+                      _mm256_set1_pd(0x1.0p-52));
+    _mm256_storeu_pd(dst, d);
+  }
+};
+}  // namespace
+
+void fill_uniform_open_avx2(RandomStream* const streams[], double out[],
+                            std::size_t n) {
+  fill_uniform_open_impl<Avx2Backend>(streams, out, n);
+}
+
+}  // namespace raidrel::rng::detail
+
+#else
+
+namespace raidrel::rng::detail {
+void fill_uniform_open_avx2(RandomStream* const streams[], double out[],
+                            std::size_t n) {
+  fill_uniform_open_generic(streams, out, n);
+}
+}  // namespace raidrel::rng::detail
+
+#endif

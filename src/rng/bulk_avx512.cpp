@@ -1,0 +1,104 @@
+// AVX-512 backend of the bulk uniform fill: eight streams per round.
+// Uses F (512-bit integer lanes, rotates) and DQ (_mm512_cvtepu64_pd).
+#include "rng/bulk_backends.h"
+
+#if defined(__x86_64__) || defined(_M_X64)
+
+#include <immintrin.h>
+
+#include "rng/bulk_impl.h"
+
+namespace raidrel::rng::detail {
+
+namespace {
+struct Avx512Backend {
+  static constexpr std::size_t width = 8;
+  using vu = __m512i;
+  static vu load(const std::uint64_t* p) { return _mm512_loadu_si512(p); }
+  static void store(std::uint64_t* p, vu v) { _mm512_storeu_si512(p, v); }
+  // 8x4 u64 transpose, stream-major <-> word-major, all in registers.
+  // Two streams' states per zmm, then two permutex2var rounds.
+  static void load_states(RandomStream* const streams[], vu s[4]) {
+    vu z[4];
+    for (int k = 0; k < 4; ++k) {
+      const __m256i lo = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(
+          streams[2 * k]->engine().state_mut().data()));
+      const __m256i hi = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(
+          streams[2 * k + 1]->engine().state_mut().data()));
+      z[k] = _mm512_inserti64x4(_mm512_castsi256_si512(lo), hi, 1);
+    }
+    const vu idx_lo = _mm512_setr_epi64(0, 4, 8, 12, 1, 5, 9, 13);
+    const vu idx_hi = _mm512_setr_epi64(2, 6, 10, 14, 3, 7, 11, 15);
+    const vu p0 = _mm512_permutex2var_epi64(z[0], idx_lo, z[1]);
+    const vu p1 = _mm512_permutex2var_epi64(z[2], idx_lo, z[3]);
+    const vu p2 = _mm512_permutex2var_epi64(z[0], idx_hi, z[1]);
+    const vu p3 = _mm512_permutex2var_epi64(z[2], idx_hi, z[3]);
+    const vu idx_a = _mm512_setr_epi64(0, 1, 2, 3, 8, 9, 10, 11);
+    const vu idx_b = _mm512_setr_epi64(4, 5, 6, 7, 12, 13, 14, 15);
+    s[0] = _mm512_permutex2var_epi64(p0, idx_a, p1);
+    s[1] = _mm512_permutex2var_epi64(p0, idx_b, p1);
+    s[2] = _mm512_permutex2var_epi64(p2, idx_a, p3);
+    s[3] = _mm512_permutex2var_epi64(p2, idx_b, p3);
+  }
+  static void store_states(RandomStream* const streams[], const vu s[4]) {
+    const vu idx_even = _mm512_setr_epi64(0, 8, 1, 9, 2, 10, 3, 11);
+    const vu idx_odd = _mm512_setr_epi64(4, 12, 5, 13, 6, 14, 7, 15);
+    const vu q0 = _mm512_permutex2var_epi64(s[0], idx_even, s[1]);
+    const vu q1 = _mm512_permutex2var_epi64(s[2], idx_even, s[3]);
+    const vu q2 = _mm512_permutex2var_epi64(s[0], idx_odd, s[1]);
+    const vu q3 = _mm512_permutex2var_epi64(s[2], idx_odd, s[3]);
+    const vu idx_a = _mm512_setr_epi64(0, 1, 8, 9, 2, 3, 10, 11);
+    const vu idx_b = _mm512_setr_epi64(4, 5, 12, 13, 6, 7, 14, 15);
+    const vu z0 = _mm512_permutex2var_epi64(q0, idx_a, q1);
+    const vu z1 = _mm512_permutex2var_epi64(q0, idx_b, q1);
+    const vu z2 = _mm512_permutex2var_epi64(q2, idx_a, q3);
+    const vu z3 = _mm512_permutex2var_epi64(q2, idx_b, q3);
+    const vu z[4] = {z0, z1, z2, z3};
+    for (int k = 0; k < 4; ++k) {
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(
+                              streams[2 * k]->engine().state_mut().data()),
+                          _mm512_castsi512_si256(z[k]));
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(
+                              streams[2 * k + 1]->engine().state_mut().data()),
+                          _mm512_extracti64x4_epi64(z[k], 1));
+    }
+  }
+  static vu add(vu a, vu b) { return _mm512_add_epi64(a, b); }
+  static vu xor_(vu a, vu b) { return _mm512_xor_si512(a, b); }
+  template <int K>
+  static vu sll(vu v) {
+    return _mm512_slli_epi64(v, K);
+  }
+  template <int K>
+  static vu rotl(vu v) {
+    return _mm512_rol_epi64(v, K);
+  }
+  static void store_u01(double* dst, vu bits) {
+    // cvtepu64_pd is exact for values < 2^52 (they are 52-bit after the
+    // shift), matching static_cast<double> in the scalar conversion.
+    const __m512i x = _mm512_srli_epi64(bits, 12);
+    __m512d d = _mm512_cvtepu64_pd(x);
+    d = _mm512_mul_pd(_mm512_add_pd(d, _mm512_set1_pd(0.5)),
+                      _mm512_set1_pd(0x1.0p-52));
+    _mm512_storeu_pd(dst, d);
+  }
+};
+}  // namespace
+
+void fill_uniform_open_avx512(RandomStream* const streams[], double out[],
+                              std::size_t n) {
+  fill_uniform_open_impl<Avx512Backend>(streams, out, n);
+}
+
+}  // namespace raidrel::rng::detail
+
+#else
+
+namespace raidrel::rng::detail {
+void fill_uniform_open_avx512(RandomStream* const streams[], double out[],
+                              std::size_t n) {
+  fill_uniform_open_generic(streams, out, n);
+}
+}  // namespace raidrel::rng::detail
+
+#endif

@@ -1,0 +1,81 @@
+// SSE2 backend of the bulk uniform fill: two streams per round.
+// Compiled as its own TU so wider backends' flags never leak here.
+#include "rng/bulk_backends.h"
+
+#if defined(__x86_64__) || defined(_M_X64)
+
+#include <emmintrin.h>
+
+#include "rng/bulk_impl.h"
+
+namespace raidrel::rng::detail {
+
+namespace {
+struct Sse2Backend {
+  static constexpr std::size_t width = 2;
+  using vu = __m128i;
+  static vu load(const std::uint64_t* p) {
+    return _mm_loadu_si128(reinterpret_cast<const __m128i*>(p));
+  }
+  static void store(std::uint64_t* p, vu v) {
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(p), v);
+  }
+  // 2x4 state transpose, stream-major <-> word-major, all in registers.
+  static void load_states(RandomStream* const streams[], vu s[4]) {
+    const std::uint64_t* a = streams[0]->engine().state_mut().data();
+    const std::uint64_t* b = streams[1]->engine().state_mut().data();
+    const vu a01 = load(a), a23 = load(a + 2);
+    const vu b01 = load(b), b23 = load(b + 2);
+    s[0] = _mm_unpacklo_epi64(a01, b01);
+    s[1] = _mm_unpackhi_epi64(a01, b01);
+    s[2] = _mm_unpacklo_epi64(a23, b23);
+    s[3] = _mm_unpackhi_epi64(a23, b23);
+  }
+  static void store_states(RandomStream* const streams[], const vu s[4]) {
+    std::uint64_t* a = streams[0]->engine().state_mut().data();
+    std::uint64_t* b = streams[1]->engine().state_mut().data();
+    store(a, _mm_unpacklo_epi64(s[0], s[1]));
+    store(a + 2, _mm_unpacklo_epi64(s[2], s[3]));
+    store(b, _mm_unpackhi_epi64(s[0], s[1]));
+    store(b + 2, _mm_unpackhi_epi64(s[2], s[3]));
+  }
+  static vu add(vu a, vu b) { return _mm_add_epi64(a, b); }
+  static vu xor_(vu a, vu b) { return _mm_xor_si128(a, b); }
+  template <int K>
+  static vu sll(vu v) {
+    return _mm_slli_epi64(v, K);
+  }
+  template <int K>
+  static vu rotl(vu v) {
+    return _mm_or_si128(_mm_slli_epi64(v, K), _mm_srli_epi64(v, 64 - K));
+  }
+  static void store_u01(double* dst, vu bits) {
+    // Exact u64->double for values < 2^52: OR in the 2^52 exponent and
+    // subtract 2^52 (see bulk_impl.h).
+    const __m128i x = _mm_srli_epi64(bits, 12);
+    const __m128i mant =
+        _mm_or_si128(x, _mm_set1_epi64x(0x4330000000000000LL));
+    __m128d d = _mm_sub_pd(_mm_castsi128_pd(mant), _mm_set1_pd(0x1.0p52));
+    d = _mm_mul_pd(_mm_add_pd(d, _mm_set1_pd(0.5)), _mm_set1_pd(0x1.0p-52));
+    _mm_storeu_pd(dst, d);
+  }
+};
+}  // namespace
+
+void fill_uniform_open_sse2(RandomStream* const streams[], double out[],
+                            std::size_t n) {
+  fill_uniform_open_impl<Sse2Backend>(streams, out, n);
+}
+
+}  // namespace raidrel::rng::detail
+
+#else  // non-x86: keep the symbol, forward to the scalar loop
+
+namespace raidrel::rng::detail {
+void fill_uniform_open_sse2(RandomStream* const streams[], double out[],
+                            std::size_t n) {
+  fill_uniform_open_generic(streams, out, n);
+}
+}  // namespace raidrel::rng::detail
+
+#endif

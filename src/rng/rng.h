@@ -61,6 +61,15 @@ class Xoshiro256 {
     return s_;
   }
 
+  /// Mutable 256-bit state, for the bulk uniform fill (rng/bulk.h): the
+  /// fill gathers many engines' states, steps them all through one SIMD
+  /// xoshiro round, and scatters them back — bit-identical per engine to
+  /// calling operator()(). Not a general mutation hook; leaving a state
+  /// all-zero breaks the generator.
+  [[nodiscard]] std::array<std::uint64_t, 4>& state_mut() noexcept {
+    return s_;
+  }
+
  private:
   static std::uint64_t rotl(std::uint64_t x, int k) noexcept {
     return (x << k) | (x >> (64 - k));

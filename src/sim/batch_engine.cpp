@@ -4,73 +4,24 @@
 #include <cmath>
 #include <limits>
 
-#if defined(__SSE2__)
-#include <emmintrin.h>
-#endif
-
 #include "util/error.h"
 
 namespace raidrel::sim {
 
 namespace {
 constexpr double kInf = std::numeric_limits<double>::infinity();
-
-/// First-minimum scan over p[0..n): the minimum value and the lowest index
-/// holding it — exactly what a scalar `<` loop computes. The scalar loop is
-/// latency-bound (an n-deep chain of compare+cmov pairs), and with ~8 slots
-/// per group it is the single hottest line of the round loop, so on x86-64
-/// (where SSE2 is baseline) the scan runs as a pairwise min tree followed by
-/// an equality match. Comparisons only, no arithmetic: the minimum of a set
-/// of doubles is the same value under any association, and the match keeps
-/// the first index, so the result is bit-identical to the scalar loop.
-/// Timers are never NaN (they are sampled lifetimes or +inf).
-inline void argmin_first(const double* p, std::size_t n, double& t_out,
-                         std::uint32_t& s_out) noexcept {
-#if defined(__SSE2__)
-  if (n >= 4 && n <= 32) {
-    const std::size_t even = n & ~std::size_t{1};
-    __m128d m = _mm_loadu_pd(p);
-    for (std::size_t k = 2; k < even; k += 2) {
-      m = _mm_min_pd(m, _mm_loadu_pd(p + k));
-    }
-    const double t =
-        _mm_cvtsd_f64(_mm_min_sd(m, _mm_unpackhi_pd(m, m)));
-    if (even < n && p[even] < t) {
-      // A strictly smaller odd tail wins; a tie keeps the earlier index.
-      t_out = p[even];
-      s_out = static_cast<std::uint32_t>(even);
-      return;
-    }
-    const __m128d tv = _mm_set1_pd(t);
-    unsigned mask = 0;
-    for (std::size_t k = 0; k < even; k += 2) {
-      mask |= static_cast<unsigned>(
-                  _mm_movemask_pd(_mm_cmpeq_pd(_mm_loadu_pd(p + k), tv)))
-              << k;
-    }
-    t_out = t;
-    s_out = static_cast<std::uint32_t>(__builtin_ctz(mask));
-    return;
-  }
-#endif
-  double t = p[0];
-  std::uint32_t s = 0;
-  for (std::uint32_t k = 1; k < n; ++k) {
-    if (p[k] < t) {
-      t = p[k];
-      s = k;
-    }
-  }
-  t_out = t;
-  s_out = s;
-}
 }  // namespace
 
 BatchGroupSimulator::BatchGroupSimulator(const raid::GroupConfig& config,
                                          std::size_t width,
                                          KernelPolicy policy,
-                                         std::optional<TiltSpec> tilt)
-    : cfg_(config), width_(width), nslots_(config.slots.size()) {
+                                         std::optional<TiltSpec> tilt,
+                                         MathTier tier)
+    : cfg_(config),
+      ops_(&lane_ops()),
+      tier_(tier),
+      width_(width),
+      nslots_(config.slots.size()) {
   RAIDREL_REQUIRE(width >= 1, "batch width must be at least 1");
   cfg_.validate();
   kernels_.reserve(nslots_);
@@ -129,6 +80,8 @@ BatchGroupSimulator::BatchGroupSimulator(const raid::GroupConfig& config,
   spare_queue_head_.resize(width_);
 
   active_.reserve(width_);
+  amin_t_.resize(width_);
+  amin_slot_.resize(width_);
   bkt_clear_.resize(width_);
   bkt_restore_.resize(width_);
   bkt_op_.resize(width_);
@@ -215,14 +168,14 @@ void BatchGroupSimulator::bulk_sample(Law which, const Ev* elems,
         law.sample_residual_n_tilted(*tilt, age_scratch_.data(),
                                      horizon_scratch_.data(),
                                      rs_scratch_.data(), out_scratch_.data(),
-                                     lw_scratch_.data(), n);
+                                     lw_scratch_.data(), n, *ops_, tier_);
       } else {
         for (std::size_t k = 0; k < n; ++k) {
           horizon_scratch_[k] = mission - elems[k].t;
         }
         law.sample_n_tilted(*tilt, horizon_scratch_.data(),
                             rs_scratch_.data(), out_scratch_.data(),
-                            lw_scratch_.data(), n);
+                            lw_scratch_.data(), n, *ops_, tier_);
       }
       // Scatter the weight terms in bucket (= lane) order: one add per
       // draw, the same rounding sequence as the scalar engine's
@@ -234,9 +187,9 @@ void BatchGroupSimulator::bulk_sample(Law which, const Ev* elems,
     }
     if (residual) {
       law.sample_residual_n(age_scratch_.data(), rs_scratch_.data(),
-                            out_scratch_.data(), n);
+                            out_scratch_.data(), n, *ops_, tier_);
     } else {
-      law.sample_n(rs_scratch_.data(), out_scratch_.data(), n);
+      law.sample_n(rs_scratch_.data(), out_scratch_.data(), n, *ops_, tier_);
     }
     return;
   }
@@ -801,17 +754,26 @@ void BatchGroupSimulator::run_lane(const rng::StreamFactory& streams,
   Ev* const bufs[4] = {bkt_clear_.data(), bkt_restore_.data(),
                        bkt_op_.data(), bkt_ld_.data()};
   while (!active_.empty()) {
+    // One lane-layer pass scans every live lane's slot timers up front
+    // (sim/lane_ops.h round_argmin: comparisons only, bit-identical to the
+    // scalar first-minimum loop). Legal because the dispatch loop below
+    // only mutates a lane's timers via handle_spare_arrival, a lane's
+    // argmin reads only its own timer slice, and in the original per-lane
+    // order every lane's scan also preceded its own (and only its own)
+    // mutation.
+    ops_->round_argmin(tnext, nslots_, active_.data(), active_.size(),
+                       amin_t_.data(), amin_slot_.data());
     // Bucket cursors indexed by kKind*, so the classified event stores
     // through computed addresses instead of a four-way branch the
     // predictor cannot learn (clears and new defects alternate close to
     // randomly in scrubbed configurations).
     std::size_t cnt[4] = {0, 0, 0, 0};
     std::size_t keep = 0;
-    for (const std::uint32_t lane : active_) {
+    for (std::size_t a = 0; a < active_.size(); ++a) {
+      const std::uint32_t lane = active_[a];
       const std::size_t base = static_cast<std::size_t>(lane) * nslots_;
-      double t;
-      std::uint32_t slot;
-      argmin_first(tnext + base, nslots_, t, slot);
+      const double t = amin_t_[a];
+      const std::uint32_t slot = amin_slot_[a];
       if (has_pool) {
         const double spare_t = next_spare_arrival(lane);
         // Ties go to the spare (<=, not <), as in the scalar loop.

@@ -37,6 +37,7 @@
 #include "raid/group_config.h"
 #include "rng/rng.h"
 #include "sim/group_simulator.h"
+#include "sim/lane_ops.h"
 #include "sim/slot_kernel.h"
 
 namespace raidrel::sim {
@@ -51,10 +52,18 @@ class BatchGroupSimulator {
   /// reference virtual kernels exactly as in GroupSimulator, and `tilt`
   /// carries the same importance-sampling semantics (present routes through
   /// the weighted samplers, unit tilt stays bit-identical, per-trial log
-  /// weights land in TrialResult::log_weight).
+  /// weights land in TrialResult::log_weight). `tier` selects the bulk
+  /// refills' math tier (sim/lane_ops.h): the default kExact keeps the
+  /// bit-reproducibility contract above; kFast trades it for the
+  /// polynomial transcendental kernels (statistically equivalent,
+  /// deterministic per seed, but not bit-identical to the scalar engine).
+  /// The lane backend itself (SSE2/AVX2/AVX-512/generic) is resolved at
+  /// construction from util::active_isa() and never changes a bit at
+  /// either tier.
   BatchGroupSimulator(const raid::GroupConfig& config, std::size_t width,
                       KernelPolicy policy = KernelPolicy::kLowered,
-                      std::optional<TiltSpec> tilt = std::nullopt);
+                      std::optional<TiltSpec> tilt = std::nullopt,
+                      MathTier tier = MathTier::kExact);
 
   /// Simulate `count` (1..width()) missions in lockstep. Trial w draws
   /// from streams.stream(first_stream_index + w), so the lane's results
@@ -139,6 +148,10 @@ class BatchGroupSimulator {
 
   const raid::GroupConfig& cfg_;
   std::vector<SlotKernel> kernels_;  ///< lowered laws, one per slot
+  /// Constructor-resolved lane backend (never null) and math tier; every
+  /// bulk refill and the round-loop argmin route through this table.
+  const LaneOps* ops_;
+  MathTier tier_;
   std::size_t width_;
   std::size_t nslots_;
   std::size_t count_ = 0;  ///< live lane size of the current run_lane
@@ -202,6 +215,11 @@ class BatchGroupSimulator {
   // through a cursor (n_*_), not grown — a round holds at most one event
   // per lane.
   std::vector<std::uint32_t> active_;
+  // Per-round argmin outputs, amin_*_[k] for active_[k] (width_-sized):
+  // ops_->round_argmin scans every live lane's slot timers in one pass
+  // before the dispatch loop touches any of them.
+  std::vector<double> amin_t_;
+  std::vector<std::uint32_t> amin_slot_;
   std::vector<Ev> bkt_clear_;
   std::vector<Ev> bkt_restore_;
   std::vector<Ev> bkt_op_;

@@ -57,6 +57,7 @@ ConvergedRun run_until_converged(const raid::GroupConfig& config,
     run.pool = &pool;
     run.batch_width = options.batch_width;
     run.tilt = options.tilt;
+    run.math_tier = options.math_tier;
     out.result.merge(run_monte_carlo(config, run));
     next_index += batch;
     ++out.batches;

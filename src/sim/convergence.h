@@ -63,6 +63,10 @@ struct ConvergenceOptions {
   /// sim/runner.h and docs/MODEL.md §13). Disjoint batch stream ranges
   /// keep the merged weighted estimate equal to one big tilted run.
   std::optional<TiltSpec> tilt;
+  /// Math tier forwarded to every batch's RunOptions (sim/lane_ops.h).
+  /// Unlike batch_width, a non-default tier changes result bits, so the
+  /// sweep engine folds it into the cell cache key.
+  MathTier math_tier = MathTier::kExact;
 };
 
 struct ConvergedRun {

@@ -1,0 +1,103 @@
+// Width-generic SIMD lane primitives for the batched lockstep engine,
+// dispatched at runtime by ISA (docs/MODEL.md §14).
+//
+// One LaneOps table per ISA tier (generic scalar, SSE2, AVX2, AVX-512)
+// is linked into every binary; util::active_isa() picks the widest one
+// the hardware — or the RAIDREL_FORCE_ISA override — allows. The table
+// bundles everything the engine dispatches per lane width:
+//
+//  * argmin_first / round_argmin — the round loop's next-event scan.
+//    Comparisons only (the minimum of a set of doubles is the same
+//    value under any association; the equality match keeps the first
+//    index), so every backend is bit-identical to the scalar `<` loop.
+//  * fill_uniform_open — the bulk RNG fill (rng/bulk.h), bit-identical
+//    to per-stream scalar draws at every width.
+//  * neg_log_n / weibull_quantile_n — the MathTier::kFast transform
+//    kernels: polynomial log/exp evaluated in a fixed operation order
+//    with no FMA contraction, so every backend (scalar included)
+//    produces the same bits as every other — deterministic across
+//    widths and ISAs, but *different* from libm, hence a separate tier.
+//
+// Math tiers: kExact (default) keeps every transform on libm — results
+// bit-identical to the scalar engine, the contract every equivalence
+// test pins. kFast swaps the hot Weibull-quantile transforms (the
+// -log(u) draw and the pow in fresh refills, including tilted ones)
+// onto the polynomial kernels: ~1e-15 relative accuracy per sample
+// (tests/math_tier_test.cpp pins 1e-12), statistically equivalent
+// results, not bit-comparable to kExact. Residual draws and hazard
+// caps stay on libm in both tiers — they are rare, and their expm1 /
+// log1p precision properties are load-bearing (slot_kernel.h).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+#include "rng/bulk.h"
+#include "util/cpu_features.h"
+
+namespace raidrel::sim {
+
+/// Transform-arithmetic tier for the batched engine's bulk refills.
+/// kExact is the default everywhere; kFast must be asked for
+/// (RunOptions::math_tier) and is recorded in the run manifest and
+/// sweep cache keys because its results are not bit-comparable.
+enum class MathTier : std::uint8_t {
+  kExact = 0,  ///< libm transforms; bit-identical to the scalar engine
+  kFast = 1,   ///< polynomial SIMD transforms; statistically equivalent
+};
+
+/// Canonical name ("exact" | "fast"), as recorded in manifests and
+/// BENCH_perf.json.
+const char* math_tier_name(MathTier tier) noexcept;
+
+/// Parse a math_tier_name spelling; nullopt for anything else.
+std::optional<MathTier> parse_math_tier(std::string_view name) noexcept;
+
+/// One ISA tier's lane primitives. Obtained from lane_ops() /
+/// lane_ops_for(); the tables are immutable statics, so the pointer can
+/// be kept for the life of the process.
+struct LaneOps {
+  util::SimdIsa isa;
+
+  /// First-minimum scan over p[0..n): the minimum value and the lowest
+  /// index holding it — exactly what a scalar `<` loop computes, at
+  /// every backend. Timers are never NaN (sampled lifetimes or +inf).
+  void (*argmin_first)(const double* p, std::size_t n, double& t_out,
+                       std::uint32_t& s_out);
+
+  /// The whole round's scans in one dispatched call: for each k in
+  /// [0, nlanes), argmin_first over tnext[lanes[k]*nslots ..+nslots)
+  /// into t_out[k] / slot_out[k]. Amortizes the indirect call over the
+  /// lane set (one per round instead of one per lane).
+  void (*round_argmin)(const double* tnext, std::size_t nslots,
+                       const std::uint32_t* lanes, std::size_t nlanes,
+                       double* t_out, std::uint32_t* slot_out);
+
+  /// Bulk uniform fill for this tier (rng/bulk.h; bit-identical to
+  /// scalar draws at every width).
+  rng::FillUniformOpenFn fill_uniform_open;
+
+  /// MathTier::kFast only — out[i] = -log(u[i]) by the polynomial
+  /// kernel, u[i] in (0, 1). In-place allowed (out == u).
+  void (*neg_log_n)(const double u[], double out[], std::size_t n);
+
+  /// MathTier::kFast only — out[i] = a + b * exp(c * log(e[i])), the
+  /// Weibull quantile transform (c = 1/beta), e[i] > 0. In-place
+  /// allowed (out == e).
+  void (*weibull_quantile_n)(const double e[], double out[], std::size_t n,
+                             double a, double b, double c);
+};
+
+/// The active tier's table: detected ISA clamped by RAIDREL_FORCE_ISA.
+/// Reads the environment per call; resolve once per simulator, not per
+/// refill.
+const LaneOps& lane_ops();
+
+/// A specific tier's table, clamped to the detected hardware (a wider
+/// request degrades to the widest runnable backend, mirroring
+/// util::resolve_isa).
+const LaneOps& lane_ops_for(util::SimdIsa isa) noexcept;
+
+}  // namespace raidrel::sim

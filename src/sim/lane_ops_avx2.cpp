@@ -1,0 +1,71 @@
+// AVX2 backend of the lane layer: 4 doubles per lane op.
+#include "sim/lane_ops_backends.h"
+
+#if defined(__x86_64__) || defined(_M_X64)
+
+#include <immintrin.h>
+
+#include "sim/lane_ops_impl.h"
+
+namespace raidrel::sim::detail {
+
+namespace {
+struct Avx2Backend {
+  static constexpr std::size_t width = 4;
+  using vd = __m256d;
+  using vi = __m256i;
+  static vd load(const double* p) { return _mm256_loadu_pd(p); }
+  static void store(double* p, vd v) { _mm256_storeu_pd(p, v); }
+  static vd set1(double v) { return _mm256_set1_pd(v); }
+  static vi set1_i(std::int64_t v) { return _mm256_set1_epi64x(v); }
+  static vd add(vd a, vd b) { return _mm256_add_pd(a, b); }
+  static vd sub(vd a, vd b) { return _mm256_sub_pd(a, b); }
+  static vd mul(vd a, vd b) { return _mm256_mul_pd(a, b); }
+  static vd div(vd a, vd b) { return _mm256_div_pd(a, b); }
+  static vd min_(vd a, vd b) { return _mm256_min_pd(a, b); }
+  static vd max_(vd a, vd b) { return _mm256_max_pd(a, b); }
+  static double reduce_min(vd v) {
+    const __m128d m =
+        _mm_min_pd(_mm256_castpd256_pd128(v), _mm256_extractf128_pd(v, 1));
+    return _mm_cvtsd_f64(_mm_min_sd(m, _mm_unpackhi_pd(m, m)));
+  }
+  static unsigned eq_mask(vd a, vd b) {
+    return static_cast<unsigned>(
+        _mm256_movemask_pd(_mm256_cmp_pd(a, b, _CMP_EQ_OQ)));
+  }
+  static vi asint(vd v) { return _mm256_castpd_si256(v); }
+  static vd asdouble(vi v) { return _mm256_castsi256_pd(v); }
+  static vi add_i(vi a, vi b) { return _mm256_add_epi64(a, b); }
+  static vi sub_i(vi a, vi b) { return _mm256_sub_epi64(a, b); }
+  template <int K>
+  static vi sll_i(vi v) {
+    return _mm256_slli_epi64(v, K);
+  }
+  template <int K>
+  static vi srl_i(vi v) {
+    return _mm256_srli_epi64(v, K);
+  }
+};
+}  // namespace
+
+const LaneOps& lane_ops_avx2() noexcept {
+  static const LaneOps ops = {
+      util::SimdIsa::kAvx2,
+      &argmin_first_impl<Avx2Backend>,
+      &round_argmin_impl<Avx2Backend>,
+      rng::fill_uniform_open_backend(util::SimdIsa::kAvx2),
+      &neg_log_n_impl<Avx2Backend>,
+      &weibull_quantile_n_impl<Avx2Backend>,
+  };
+  return ops;
+}
+
+}  // namespace raidrel::sim::detail
+
+#else
+
+namespace raidrel::sim::detail {
+const LaneOps& lane_ops_avx2() noexcept { return lane_ops_generic(); }
+}  // namespace raidrel::sim::detail
+
+#endif

@@ -1,0 +1,68 @@
+// SSE2 backend of the lane layer: 2 doubles per lane op.
+#include "sim/lane_ops_backends.h"
+
+#if defined(__x86_64__) || defined(_M_X64)
+
+#include <emmintrin.h>
+
+#include "sim/lane_ops_impl.h"
+
+namespace raidrel::sim::detail {
+
+namespace {
+struct Sse2Backend {
+  static constexpr std::size_t width = 2;
+  using vd = __m128d;
+  using vi = __m128i;
+  static vd load(const double* p) { return _mm_loadu_pd(p); }
+  static void store(double* p, vd v) { _mm_storeu_pd(p, v); }
+  static vd set1(double v) { return _mm_set1_pd(v); }
+  static vi set1_i(std::int64_t v) { return _mm_set1_epi64x(v); }
+  static vd add(vd a, vd b) { return _mm_add_pd(a, b); }
+  static vd sub(vd a, vd b) { return _mm_sub_pd(a, b); }
+  static vd mul(vd a, vd b) { return _mm_mul_pd(a, b); }
+  static vd div(vd a, vd b) { return _mm_div_pd(a, b); }
+  static vd min_(vd a, vd b) { return _mm_min_pd(a, b); }
+  static vd max_(vd a, vd b) { return _mm_max_pd(a, b); }
+  static double reduce_min(vd v) {
+    return _mm_cvtsd_f64(_mm_min_sd(v, _mm_unpackhi_pd(v, v)));
+  }
+  static unsigned eq_mask(vd a, vd b) {
+    return static_cast<unsigned>(_mm_movemask_pd(_mm_cmpeq_pd(a, b)));
+  }
+  static vi asint(vd v) { return _mm_castpd_si128(v); }
+  static vd asdouble(vi v) { return _mm_castsi128_pd(v); }
+  static vi add_i(vi a, vi b) { return _mm_add_epi64(a, b); }
+  static vi sub_i(vi a, vi b) { return _mm_sub_epi64(a, b); }
+  template <int K>
+  static vi sll_i(vi v) {
+    return _mm_slli_epi64(v, K);
+  }
+  template <int K>
+  static vi srl_i(vi v) {
+    return _mm_srli_epi64(v, K);
+  }
+};
+}  // namespace
+
+const LaneOps& lane_ops_sse2() noexcept {
+  static const LaneOps ops = {
+      util::SimdIsa::kSse2,
+      &argmin_first_impl<Sse2Backend>,
+      &round_argmin_impl<Sse2Backend>,
+      rng::fill_uniform_open_backend(util::SimdIsa::kSse2),
+      &neg_log_n_impl<Sse2Backend>,
+      &weibull_quantile_n_impl<Sse2Backend>,
+  };
+  return ops;
+}
+
+}  // namespace raidrel::sim::detail
+
+#else
+
+namespace raidrel::sim::detail {
+const LaneOps& lane_ops_sse2() noexcept { return lane_ops_generic(); }
+}  // namespace raidrel::sim::detail
+
+#endif

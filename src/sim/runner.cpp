@@ -172,8 +172,14 @@ RunResult run_monte_carlo(const raid::GroupConfig& config,
 
   const std::size_t lane = std::max<std::size_t>(1, options.batch_width);
   if (options.telemetry) {
-    options.telemetry->configure(options.seed, config_digest(config),
-                                 threads, lane);
+    // The scalar engine (lane 1) uses no lane backend and is always
+    // exact; batched runs record the resolved ISA and the math tier so an
+    // archived throughput number is attributable to the code path that
+    // produced it.
+    options.telemetry->configure(
+        options.seed, config_digest(config), threads, lane,
+        lane > 1 ? util::isa_name(lane_ops().isa) : "",
+        lane > 1 ? math_tier_name(options.math_tier) : "");
   }
   const auto batch_start = std::chrono::steady_clock::now();
 
@@ -225,7 +231,7 @@ RunResult run_monte_carlo(const raid::GroupConfig& config,
       // tail. Lane results are folded in trial-index order, keeping even
       // the aggregation order identical to the scalar path per worker.
       BatchGroupSimulator simulator(config, lane, options.kernel_policy,
-                                    options.tilt);
+                                    options.tilt, options.math_tier);
       for (;;) {
         const std::size_t begin = next_trial.fetch_add(chunk);
         if (begin >= options.trials) break;

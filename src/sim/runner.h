@@ -14,6 +14,7 @@
 #include "obs/run_telemetry.h"
 #include "obs/trace.h"
 #include "raid/group_config.h"
+#include "sim/lane_ops.h"
 #include "sim/run_result.h"
 #include "sim/slot_kernel.h"
 #include "sim/thread_pool.h"
@@ -77,6 +78,16 @@ struct RunOptions {
   /// and stays bit-identical to the plain one. Engaged tilt requires
   /// lowerable op/latent laws and is rejected by fleet runs.
   std::optional<TiltSpec> tilt = std::nullopt;
+
+  /// Math tier of the batched engine's bulk refills (sim/lane_ops.h and
+  /// docs/MODEL.md §14). The default kExact keeps every result
+  /// bit-identical to the scalar engine at any batch width or ISA; kFast
+  /// routes the hot Weibull-quantile transforms through polynomial SIMD
+  /// kernels — statistically equivalent and deterministic per seed, but
+  /// not bit-comparable to kExact, so it is recorded in the run manifest
+  /// and feeds the sweep cache key. Ignored when batch_width == 1 (the
+  /// scalar engine is always exact); fleet runs are always scalar.
+  MathTier math_tier = MathTier::kExact;
 };
 
 /// Run `options.trials` missions of `config` and aggregate.

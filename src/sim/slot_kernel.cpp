@@ -34,25 +34,63 @@ CompiledLaw CompiledLaw::compile(const stats::Distribution* dist,
   return law;  // kVirtual fallback (composite/empirical/piecewise/...)
 }
 
+namespace {
+
+// Fill out[0..n) with each stream's next Exp(1) draw: the SIMD uniform
+// fill first (bit-identical per stream to scalar uniform_open at every
+// width — rng/bulk.h), then the tier's negated log. The exact tier's
+// -std::log(u) is the scalar exponential() arithmetic on the identical
+// uniform, so splitting the draw changes no value; the fast tier swaps
+// in the polynomial kernel (docs/MODEL.md §14).
+inline void fill_exponential(rng::RandomStream* const streams[], double out[],
+                             std::size_t n, const LaneOps& ops,
+                             MathTier tier) {
+  ops.fill_uniform_open(streams, out, n);
+  if (tier == MathTier::kFast) {
+    ops.neg_log_n(out, out, n);
+    return;
+  }
+  for (std::size_t i = 0; i < n; ++i) out[i] = -std::log(out[i]);
+}
+
+// Residual draws keep the exact raw draw at every tier (the residual
+// transforms below stay on libm — see slot_kernel.h).
+inline void fill_exponential_exact(rng::RandomStream* const streams[],
+                                   double out[], std::size_t n,
+                                   const LaneOps& ops) {
+  ops.fill_uniform_open(streams, out, n);
+  for (std::size_t i = 0; i < n; ++i) out[i] = -std::log(out[i]);
+}
+
+}  // namespace
+
 // The bulk bodies mirror the scalar switch cases arm for arm. Splitting a
 // refill into "draw every exponential" then "transform every exponential"
 // changes no value: each element's draw still comes from its own stream in
 // its own turn, and storing the intermediate E to memory is exact (doubles
-// round-trip). The transform pass keeps divisions as divisions and pow as
-// std::pow for the same last-ulp reasons as the scalar kernels.
+// round-trip). The exact-tier transform passes keep divisions as divisions
+// and pow as std::pow for the same last-ulp reasons as the scalar kernels;
+// the fast tier substitutes the lane layer's polynomial kernels for the
+// hot -log and Weibull-pow transforms only.
 void CompiledLaw::sample_n(rng::RandomStream* const streams[], double out[],
-                           std::size_t n) const {
+                           std::size_t n, const LaneOps& ops,
+                           MathTier tier) const {
   switch (kind_) {
     case Kind::kExponentialWeibull: {
+      fill_exponential(streams, out, n, ops, tier);
       const double a = a_;
       const double b = b_;
       for (std::size_t i = 0; i < n; ++i) {
-        out[i] = a + b * streams[i]->exponential();
+        out[i] = a + b * out[i];
       }
       return;
     }
     case Kind::kWeibull: {
-      for (std::size_t i = 0; i < n; ++i) out[i] = streams[i]->exponential();
+      fill_exponential(streams, out, n, ops, tier);
+      if (tier == MathTier::kFast) {
+        ops.weibull_quantile_n(out, out, n, a_, b_, inv_beta_);
+        return;
+      }
       const double a = a_;
       const double b = b_;
       const double inv_beta = inv_beta_;
@@ -62,13 +100,16 @@ void CompiledLaw::sample_n(rng::RandomStream* const streams[], double out[],
       return;
     }
     case Kind::kExponential: {
+      fill_exponential(streams, out, n, ops, tier);
       const double b = b_;
       for (std::size_t i = 0; i < n; ++i) {
-        out[i] = streams[i]->exponential() / b;
+        out[i] = out[i] / b;
       }
       return;
     }
     default:
+      // kVirtual: a fallback sampler may consume any number of
+      // underlying draws, so there is nothing to prefill.
       for (std::size_t i = 0; i < n; ++i) out[i] = dist_->sample(*streams[i]);
       return;
   }
@@ -76,15 +117,18 @@ void CompiledLaw::sample_n(rng::RandomStream* const streams[], double out[],
 
 void CompiledLaw::sample_residual_n(const double ages[],
                                     rng::RandomStream* const streams[],
-                                    double out[], std::size_t n) const {
+                                    double out[], std::size_t n,
+                                    const LaneOps& ops, MathTier tier) const {
+  (void)tier;  // residual transforms stay on libm at every tier
   switch (kind_) {
     case Kind::kExponentialWeibull: {
+      fill_exponential_exact(streams, out, n, ops);
       const double a = a_;
       const double b = b_;
       for (std::size_t i = 0; i < n; ++i) {
         const double age = ages[i];
         const double x0 = std::max(age - a, 0.0) / b;
-        const double e = streams[i]->exponential();
+        const double e = out[i];
         const double ratio = e / x0;  // h0 == x0 when beta == 1
         if (x0 > 0.0 && std::isfinite(ratio)) {
           out[i] = b * x0 * std::expm1(std::log1p(ratio));
@@ -96,7 +140,7 @@ void CompiledLaw::sample_residual_n(const double ages[],
       return;
     }
     case Kind::kWeibull: {
-      for (std::size_t i = 0; i < n; ++i) out[i] = streams[i]->exponential();
+      fill_exponential_exact(streams, out, n, ops);
       const double a = a_;
       const double b = b_;
       const double beta = beta_;
@@ -118,9 +162,10 @@ void CompiledLaw::sample_residual_n(const double ages[],
       return;
     }
     case Kind::kExponential: {
+      fill_exponential_exact(streams, out, n, ops);
       const double b = b_;
       for (std::size_t i = 0; i < n; ++i) {
-        out[i] = streams[i]->exponential() / b;  // memoryless
+        out[i] = out[i] / b;  // memoryless
       }
       return;
     }
@@ -133,30 +178,37 @@ void CompiledLaw::sample_residual_n(const double ages[],
 }
 
 // The tilted bulk bodies follow the same draw-pass / transform-pass split
-// as the plain ones; the weight term for element i is *assigned* to
-// log_w[i] so the caller can fold it into its per-lane accumulator with a
-// single add — the same rounding sequence as the scalar samplers, which
-// do one `log_w += term` per draw.
+// as the plain ones, with HazardTilt::apply_e folding each pre-drawn raw
+// exponential through the capped proposal. The weight term for element i
+// is *assigned* to log_w[i] so the caller can fold it into its per-lane
+// accumulator with a single add — the same rounding sequence as the
+// scalar samplers, which do one `log_w += term` per draw. Hazard caps
+// and weight arithmetic stay exact at every tier.
 void CompiledLaw::sample_n_tilted(const HazardTilt& tilt,
                                   const double horizons[],
                                   rng::RandomStream* const streams[],
-                                  double out[], double log_w[],
-                                  std::size_t n) const {
+                                  double out[], double log_w[], std::size_t n,
+                                  const LaneOps& ops, MathTier tier) const {
   switch (kind_) {
     case Kind::kExponentialWeibull: {
+      fill_exponential(streams, out, n, ops, tier);
       const double a = a_;
       const double b = b_;
       for (std::size_t i = 0; i < n; ++i) {
         const double e =
-            tilt.sample_e(*streams[i], cum_hazard(horizons[i]), log_w[i]);
+            tilt.apply_e(out[i], cum_hazard(horizons[i]), log_w[i]);
         out[i] = a + b * e;
       }
       return;
     }
     case Kind::kWeibull: {
+      fill_exponential(streams, out, n, ops, tier);
       for (std::size_t i = 0; i < n; ++i) {
-        out[i] =
-            tilt.sample_e(*streams[i], cum_hazard(horizons[i]), log_w[i]);
+        out[i] = tilt.apply_e(out[i], cum_hazard(horizons[i]), log_w[i]);
+      }
+      if (tier == MathTier::kFast) {
+        ops.weibull_quantile_n(out, out, n, a_, b_, inv_beta_);
+        return;
       }
       const double a = a_;
       const double b = b_;
@@ -167,10 +219,11 @@ void CompiledLaw::sample_n_tilted(const HazardTilt& tilt,
       return;
     }
     case Kind::kExponential: {
+      fill_exponential(streams, out, n, ops, tier);
       const double b = b_;
       for (std::size_t i = 0; i < n; ++i) {
         const double e =
-            tilt.sample_e(*streams[i], cum_hazard(horizons[i]), log_w[i]);
+            tilt.apply_e(out[i], cum_hazard(horizons[i]), log_w[i]);
         out[i] = e / b;
       }
       return;
@@ -189,16 +242,19 @@ void CompiledLaw::sample_residual_n_tilted(const HazardTilt& tilt,
                                            const double horizon_ages[],
                                            rng::RandomStream* const streams[],
                                            double out[], double log_w[],
-                                           std::size_t n) const {
+                                           std::size_t n, const LaneOps& ops,
+                                           MathTier tier) const {
+  (void)tier;  // residual transforms stay on libm at every tier
   switch (kind_) {
     case Kind::kExponentialWeibull: {
+      fill_exponential_exact(streams, out, n, ops);
       const double a = a_;
       const double b = b_;
       for (std::size_t i = 0; i < n; ++i) {
         const double age = ages[i];
         const double x0 = std::max(age - a, 0.0) / b;
         const double cap = std::max(cum_hazard(horizon_ages[i]) - x0, 0.0);
-        const double e = tilt.sample_e(*streams[i], cap, log_w[i]);
+        const double e = tilt.apply_e(out[i], cap, log_w[i]);
         const double ratio = e / x0;  // h0 == x0 when beta == 1
         if (x0 > 0.0 && std::isfinite(ratio)) {
           out[i] = b * x0 * std::expm1(std::log1p(ratio));
@@ -210,6 +266,7 @@ void CompiledLaw::sample_residual_n_tilted(const HazardTilt& tilt,
       return;
     }
     case Kind::kWeibull: {
+      fill_exponential_exact(streams, out, n, ops);
       const double a = a_;
       const double b = b_;
       const double beta = beta_;
@@ -218,7 +275,7 @@ void CompiledLaw::sample_residual_n_tilted(const HazardTilt& tilt,
         const double x0 = std::max(ages[i] - a, 0.0) / b;
         const double h0 = x0 > 0.0 ? std::pow(x0, beta) : 0.0;
         const double cap = std::max(cum_hazard(horizon_ages[i]) - h0, 0.0);
-        out[i] = tilt.sample_e(*streams[i], cap, log_w[i]);
+        out[i] = tilt.apply_e(out[i], cap, log_w[i]);
       }
       for (std::size_t i = 0; i < n; ++i) {
         const double age = ages[i];
@@ -237,11 +294,12 @@ void CompiledLaw::sample_residual_n_tilted(const HazardTilt& tilt,
       return;
     }
     case Kind::kExponential: {
+      fill_exponential_exact(streams, out, n, ops);
       const double b = b_;
       for (std::size_t i = 0; i < n; ++i) {
         const double cap =
             std::max(b * (horizon_ages[i] - ages[i]), 0.0);
-        const double e = tilt.sample_e(*streams[i], cap, log_w[i]);
+        const double e = tilt.apply_e(out[i], cap, log_w[i]);
         out[i] = e / b;  // memoryless
       }
       return;

@@ -37,6 +37,7 @@
 
 #include "raid/group_config.h"
 #include "rng/rng.h"
+#include "sim/lane_ops.h"
 #include "stats/distribution.h"
 
 namespace raidrel::sim {
@@ -99,14 +100,15 @@ class HazardTilt {
 
   [[nodiscard]] double theta() const noexcept { return theta_; }
 
-  /// One proposal draw of the nominal exponent. Writes the draw's exact
-  /// log-likelihood-ratio term into `log_w_term` (assigned, not
-  /// accumulated). `cap` is a proposal parameter, not a correctness
-  /// input: any non-negative value yields an unbiased estimator, tighter
-  /// ones just cut weight variance.
-  [[nodiscard]] double sample_e(rng::RandomStream& rs, double cap,
-                                double& log_w_term) const {
-    const double raw = rs.exponential();
+  /// The proposal transform applied to an already-drawn Exp(1) variate
+  /// `raw` — the bulk samplers pre-fill their raw draws (rng/bulk.h)
+  /// and feed them through here; the arithmetic is sample_e's, verbatim.
+  /// Writes the draw's exact log-likelihood-ratio term into `log_w_term`
+  /// (assigned, not accumulated). `cap` is a proposal parameter, not a
+  /// correctness input: any non-negative value yields an unbiased
+  /// estimator, tighter ones just cut weight variance.
+  [[nodiscard]] double apply_e(double raw, double cap,
+                               double& log_w_term) const {
     if (raw < theta_ * cap) {
       const double e = raw / theta_;
       log_w_term = (theta_ - 1.0) * e - log_theta_;
@@ -114,6 +116,12 @@ class HazardTilt {
     }
     log_w_term = (theta_ - 1.0) * cap;
     return raw - (theta_ - 1.0) * cap;
+  }
+
+  /// One proposal draw of the nominal exponent (scalar path).
+  [[nodiscard]] double sample_e(rng::RandomStream& rs, double cap,
+                                double& log_w_term) const {
+    return apply_e(rs.exponential(), cap, log_w_term);
   }
 
  private:
@@ -288,35 +296,51 @@ class CompiledLaw {
 
   /// Bulk draw for the batched lockstep engine (sim/batch_engine.h):
   /// out[i] = sample(*streams[i]) for i in [0, n), one draw per stream, in
-  /// index order. Performs exactly the scalar arithmetic per element — the
-  /// log and pow chains are merely regrouped into flat passes over
-  /// independent elements so they pipeline — so a bulk refill is
-  /// bit-identical to n scalar sample() calls (docs/MODEL.md §12).
+  /// index order. The raw uniforms come from `ops.fill_uniform_open` —
+  /// the SIMD block fill, bit-identical to per-stream scalar draws at
+  /// every width — and at MathTier::kExact the transforms perform
+  /// exactly the scalar arithmetic per element, so an exact-tier bulk
+  /// refill is bit-identical to n scalar sample() calls (docs/MODEL.md
+  /// §12). MathTier::kFast routes the -log and Weibull-pow transforms
+  /// through ops' polynomial kernels instead (docs/MODEL.md §14):
+  /// deterministic across widths and ISAs, statistically equivalent,
+  /// not bit-comparable to the exact tier. kVirtual laws always draw
+  /// element-wise through the fallback (a virtual sampler may consume
+  /// any number of underlying uniforms, so there is nothing to prefill).
   void sample_n(rng::RandomStream* const streams[], double out[],
-                std::size_t n) const;
+                std::size_t n, const LaneOps& ops,
+                MathTier tier = MathTier::kExact) const;
 
   /// Bulk residual draw: out[i] = sample_residual(ages[i], *streams[i]),
-  /// same element-wise arithmetic and per-stream draw order as the scalar
-  /// call.
+  /// same element-wise arithmetic and per-stream draw order as the
+  /// scalar call at both tiers — residual transforms stay on libm (their
+  /// expm1/log1p precision behavior is load-bearing; they are also rare
+  /// next to fresh refills), so only the uniform fill batches here.
   void sample_residual_n(const double ages[],
                          rng::RandomStream* const streams[], double out[],
-                         std::size_t n) const;
+                         std::size_t n, const LaneOps& ops,
+                         MathTier tier = MathTier::kExact) const;
 
   /// Bulk tilted draw: out[i] = sample_tilted(tilt, horizons[i],
   /// *streams[i], ·) and log_w[i] = the draw's weight term (assigned, not
   /// accumulated — the caller folds per-element terms into its per-lane
   /// totals so the adds happen in the same order as scalar dispatch).
+  /// MathTier::kFast applies to the raw Exp(1) draw and the Weibull
+  /// transform; the weight arithmetic and hazard caps stay exact.
   void sample_n_tilted(const HazardTilt& tilt, const double horizons[],
                        rng::RandomStream* const streams[], double out[],
-                       double log_w[], std::size_t n) const;
+                       double log_w[], std::size_t n, const LaneOps& ops,
+                       MathTier tier = MathTier::kExact) const;
 
   /// Bulk tilted residual draw, same weight-term contract as
-  /// sample_n_tilted.
+  /// sample_n_tilted and the same libm-residual-transform rule as
+  /// sample_residual_n.
   void sample_residual_n_tilted(const HazardTilt& tilt, const double ages[],
                                 const double horizon_ages[],
                                 rng::RandomStream* const streams[],
-                                double out[], double log_w[],
-                                std::size_t n) const;
+                                double out[], double log_w[], std::size_t n,
+                                const LaneOps& ops,
+                                MathTier tier = MathTier::kExact) const;
 
   /// Two laws compare equal iff every sampling path produces the same
   /// values, which lets the batched engine detect slot-uniform groups and

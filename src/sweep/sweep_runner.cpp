@@ -76,6 +76,13 @@ std::uint64_t cell_cache_key(std::uint64_t config_digest,
     canon += ',';
     append_double(canon, options.tilt->ld_theta);
   }
+  // The fast math tier changes result bits (sim/lane_ops.h), so it MUST
+  // feed the key; the default exact tier — like batch_width, which never
+  // changes a bit — stays out, keeping every pre-existing key unchanged.
+  if (options.math_tier != sim::MathTier::kExact) {
+    canon += ";mtier=";
+    canon += sim::math_tier_name(options.math_tier);
+  }
   canon += '}';
   return obs::fnv1a64(canon);
 }
@@ -328,6 +335,9 @@ void write_manifest(const std::string& path, const std::string& sweep_name,
     if (conv.tilt && conv.tilt->engaged()) {
       w.kv("op_tilt", conv.tilt->op_theta);
       w.kv("ld_tilt", conv.tilt->ld_theta);
+    }
+    if (conv.math_tier != sim::MathTier::kExact) {
+      w.kv("math_tier", sim::math_tier_name(conv.math_tier));
     }
     w.end_object();
     w.kv("total_cells", static_cast<std::uint64_t>(total_cells));

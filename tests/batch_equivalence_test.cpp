@@ -15,6 +15,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <cstdlib>
 #include <memory>
 #include <vector>
 
@@ -26,6 +27,7 @@
 #include "sim/slot_kernel.h"
 #include "stats/basic_distributions.h"
 #include "stats/weibull.h"
+#include "util/cpu_features.h"
 #include "util/error.h"
 
 namespace raidrel::sim {
@@ -249,6 +251,27 @@ TEST(BatchEquivalence, InvalidWidthAndCountThrow) {
   BatchGroupSimulator simulator(cfg, 8);
   EXPECT_THROW(simulator.run_lane(streams, 0, 0), ModelError);
   EXPECT_THROW(simulator.run_lane(streams, 0, 9), ModelError);
+}
+
+TEST(BatchEquivalence, BitIdenticalUnderEveryForcedIsa) {
+  // The SIMD lane layer ships one backend per ISA tier
+  // (util/cpu_features.h); every backend must uphold the same
+  // bit-identity contract. Force each runnable tier in turn — the
+  // engine resolves its LaneOps table at construction, so the override
+  // takes effect per simulator — and rerun the scalar comparison. CI
+  // also runs this whole binary once per forced tier; this in-process
+  // loop keeps the guarantee even in a single unforced run.
+  const auto cfg = busy_group();
+  const auto scalar = scalar_trials(cfg, 120, KernelPolicy::kLowered);
+  for (util::SimdIsa isa : {util::SimdIsa::kGeneric, util::SimdIsa::kSse2,
+                            util::SimdIsa::kAvx2, util::SimdIsa::kAvx512}) {
+    if (isa > util::detected_isa()) continue;
+    SCOPED_TRACE(util::isa_name(isa));
+    ASSERT_EQ(::setenv("RAIDREL_FORCE_ISA", util::isa_name(isa), 1), 0);
+    expect_trials_identical(
+        scalar, batch_trials(cfg, 120, 16, KernelPolicy::kLowered));
+    ::unsetenv("RAIDREL_FORCE_ISA");
+  }
 }
 
 // ---- Runner-level invariance -------------------------------------------

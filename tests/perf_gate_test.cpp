@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <string>
 
 #include "util/error.h"
@@ -129,7 +130,7 @@ TEST(PerfGate, CandidateMissingBenchmarkFails) {
 
 TEST(PerfGate, UnsupportedCandidateSchemaThrows) {
   EXPECT_THROW(run_perf_gate(artifact(kV2, 1000.0, 500.0),
-                             artifact("raidrel-bench-perf/3", 1000.0, 500.0)),
+                             artifact("raidrel-bench-perf/4", 1000.0, 500.0)),
                ModelError);
 }
 
@@ -138,6 +139,77 @@ TEST(PerfGate, MalformedJsonThrows) {
                ModelError);
   EXPECT_THROW(run_perf_gate(artifact(kV2, 1.0, 1.0), "{not json"),
                ModelError);
+}
+
+/// A v3 artifact whose BaseCase entry carries code-path tags; the
+/// MultiThreaded entry stays untagged (wildcard).
+std::string tagged_artifact(double base_tps, const std::string& isa,
+                            const std::string& tier,
+                            std::uint64_t batch_width = 64) {
+  std::string s = "{\"schema\": \"raidrel-bench-perf/3\", \"benchmarks\": [";
+  s += "{\"name\": \"BM_GroupMission_BaseCase\", \"trials_per_second\": " +
+       std::to_string(base_tps);
+  if (!isa.empty()) s += ", \"isa\": \"" + isa + "\"";
+  if (!tier.empty()) s += ", \"math_tier\": \"" + tier + "\"";
+  if (batch_width != 0) {
+    s += ", \"batch_width\": " + std::to_string(batch_width);
+  }
+  s += "},";
+  s += "{\"name\": \"BM_FullRun_MultiThreaded\", \"trials_per_second\": "
+       "500.0}";
+  s += "]}";
+  return s;
+}
+
+TEST(PerfGate, SchemaV3LikeForLikePasses) {
+  const auto report =
+      run_perf_gate(tagged_artifact(1000.0, "avx512", "exact"),
+                    tagged_artifact(990.0, "avx512", "exact"));
+  EXPECT_FALSE(report.failed);
+  EXPECT_FALSE(report.degraded);
+}
+
+TEST(PerfGate, IsaMismatchSkipsInsteadOfFailing) {
+  // Baseline measured on an AVX-512 box, candidate running on SSE2
+  // hardware at half the speed: not a regression — a different code
+  // path. The gate must degrade to a named skip, not brick CI.
+  const auto report =
+      run_perf_gate(tagged_artifact(1000.0, "avx512", "exact"),
+                    tagged_artifact(500.0, "sse2", "exact"));
+  EXPECT_FALSE(report.failed);
+  EXPECT_TRUE(report.degraded);
+  ASSERT_EQ(report.checks.size(), 2u);
+  EXPECT_EQ(report.checks[0].status, PerfGateCheck::Status::kSkip);
+  EXPECT_NE(report.checks[0].note.find("not like-for-like on isa"),
+            std::string::npos)
+      << report.checks[0].note;
+  EXPECT_NE(report.checks[0].note.find("avx512"), std::string::npos);
+  // The untagged MultiThreaded entry still gates normally.
+  EXPECT_EQ(report.checks[1].status, PerfGateCheck::Status::kPass);
+}
+
+TEST(PerfGate, MathTierAndWidthMismatchesAlsoSkip) {
+  const auto tiers = run_perf_gate(tagged_artifact(1000.0, "avx2", "fast"),
+                                   tagged_artifact(400.0, "avx2", "exact"));
+  EXPECT_FALSE(tiers.failed);
+  ASSERT_GE(tiers.checks.size(), 1u);
+  EXPECT_EQ(tiers.checks[0].status, PerfGateCheck::Status::kSkip);
+  EXPECT_NE(tiers.checks[0].note.find("math_tier"), std::string::npos);
+
+  const auto widths =
+      run_perf_gate(tagged_artifact(1000.0, "avx2", "exact", 64),
+                    tagged_artifact(400.0, "avx2", "exact", 8));
+  EXPECT_EQ(widths.checks[0].status, PerfGateCheck::Status::kSkip);
+  EXPECT_NE(widths.checks[0].note.find("batch_width"), std::string::npos);
+}
+
+TEST(PerfGate, UntaggedBaselineComparesAsWildcard) {
+  // A v2-era baseline has no tags: the candidate's tags alone must not
+  // block the comparison — a real 40% regression still fails.
+  const auto report = run_perf_gate(
+      artifact(kV2, 1000.0, 500.0), tagged_artifact(600.0, "avx512", "exact"));
+  EXPECT_TRUE(report.failed);
+  EXPECT_EQ(report.checks[0].status, PerfGateCheck::Status::kFail);
 }
 
 TEST(PerfGate, CustomWatchedListAndValidation) {

@@ -13,6 +13,7 @@
 #include "sim/convergence.h"
 #include "sim/fleet_simulator.h"
 #include "sim/group_simulator.h"
+#include "sim/lane_ops.h"
 #include "sim/runner.h"
 #include "stats/basic_distributions.h"
 #include "stats/weibull.h"
@@ -207,6 +208,44 @@ TEST(RunTelemetry, ManifestJsonCarriesSchemaAndIdentity) {
   EXPECT_NE(json.find("\"batch_width\": " +
                       std::to_string(sim::kDefaultBatchWidth)),
             std::string::npos);
+  // Batched runs also record which SIMD backend executed them and, at
+  // the default tier, "exact" — the manifest must attribute results to
+  // the code path that produced them (docs/MODEL.md §14).
+  EXPECT_NE(json.find("\"isa\": \"" +
+                      std::string(util::isa_name(sim::lane_ops().isa)) +
+                      "\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"math_tier\": \"exact\""), std::string::npos);
+}
+
+TEST(RunTelemetry, ManifestRecordsFastTierAndScalarRunsStayBare) {
+  {
+    obs::RunTelemetry telemetry;
+    sim::RunOptions run;
+    run.trials = 64;
+    run.seed = 14;
+    run.threads = 1;
+    run.math_tier = sim::MathTier::kFast;
+    run.telemetry = &telemetry;
+    sim::run_monte_carlo(busy_pool_group(), run);
+    EXPECT_NE(telemetry.json().find("\"math_tier\": \"fast\""),
+              std::string::npos);
+  }
+  {
+    // batch_width 1 runs the scalar engine: no lane backend, no tier —
+    // the keys are additive and must not appear at all (a scalar
+    // manifest stays byte-compatible with pre-SIMD consumers).
+    obs::RunTelemetry telemetry;
+    sim::RunOptions run;
+    run.trials = 64;
+    run.seed = 14;
+    run.threads = 1;
+    run.batch_width = 1;
+    run.telemetry = &telemetry;
+    sim::run_monte_carlo(busy_pool_group(), run);
+    EXPECT_EQ(telemetry.json().find("\"isa\""), std::string::npos);
+    EXPECT_EQ(telemetry.json().find("\"math_tier\""), std::string::npos);
+  }
 }
 
 TEST(RunTelemetry, MixingConfigsInOneSinkThrows) {
