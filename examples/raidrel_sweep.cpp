@@ -2,8 +2,8 @@
 //
 // Reproduces the Table 3 scrub comparison and the figure sweeps (scrub
 // period, restore time, latent-defect rate from the Table 1 grid, disk
-// vintage, group size) on the sharded sweep engine, with a digest-keyed
-// result cache per study:
+// vintage, group size, check-drive count x rebuild placement) on the
+// sharded sweep engine, with a digest-keyed result cache per study:
 //
 //   $ ./raidrel_sweep                      # every study, cached manifests
 //   $ ./raidrel_sweep --study table3       # just the Table 3 comparison
@@ -84,9 +84,17 @@ sweep::SweepSpec make_study(const std::string& study) {
     return sweep::SweepSpec("group", core::presets::base_case())
         .add_group_size_axis({4, 6, 8, 10, 14});
   }
+  if (study == "check-drives") {
+    // Check-drive count m against rebuild placement: the "one more check
+    // drive beats a faster rebuild" tradeoff (docs/MODEL.md §15).
+    return sweep::SweepSpec("check-drives", core::presets::base_case())
+        .add_redundancy_axis({1, 2, 3})
+        .add_rebuild_model_axis({raid::RebuildModel::kDedicatedSpare,
+                                 raid::RebuildModel::kDeclustered});
+  }
   throw ModelError("unknown --study \"" + study +
                    "\"; valid choices: table3, scrub, restore, latent, "
-                   "vintage, group, all");
+                   "vintage, group, check-drives, all");
 }
 
 void print_study(const sweep::SweepSpec& spec,
@@ -162,7 +170,8 @@ int main(int argc, char** argv) {
     const std::string study = args.get_string("study", "all");
     std::vector<std::string> studies;
     if (study == "all") {
-      studies = {"table3", "scrub", "restore", "latent", "vintage", "group"};
+      studies = {"table3",  "scrub", "restore",      "latent",
+                 "vintage", "group", "check-drives"};
     } else {
       studies = {study};
     }

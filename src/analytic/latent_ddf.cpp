@@ -36,9 +36,6 @@ double defective_probability(const LatentDdfInputs& in, double t) {
   return q_ss * -std::expm1(-rate * t);
 }
 
-namespace {
-
-/// P(at least k of n independent events each with probability q).
 double at_least_k_of_n(double q, unsigned n, unsigned k) {
   if (k == 0) return 1.0;
   if (k > n) return 0.0;
@@ -55,8 +52,6 @@ double at_least_k_of_n(double q, unsigned n, unsigned k) {
   return std::max(0.0, 1.0 - below);
 }
 
-}  // namespace
-
 double ddf_intensity(const LatentDdfInputs& in, double t) {
   in.validate();
   const double q = defective_probability(in, t);
@@ -68,7 +63,11 @@ double ddf_intensity(const LatentDdfInputs& in, double t) {
                              at_least_k_of_n(q, others, in.redundancy);
   // Multi-operational overlap (redundancy extra failures inside a restore
   // window); first-order constant-rate expression generalizing the
-  // paper's N(N+1) lambda^2 / mu.
+  // paper's N(N+1) lambda^2 / mu: each extra overlapping failure
+  // multiplies in (survivors * h * E[R]), matching the exponential-repair
+  // CTMC's absorption flux N(N-1)...(N-m) h^(m+1) E[R]^m to first order
+  // for any redundancy m (validated against simulation at m = 3 in
+  // tests/latent_ddf_test.cpp).
   double op_term = static_cast<double>(in.total_drives) * h;
   for (unsigned k = 0; k < in.redundancy; ++k) {
     op_term *= static_cast<double>(others - k) * h * in.mean_restore;

@@ -36,6 +36,14 @@ struct LatentDdfInputs {
   void validate() const;
 };
 
+/// P(at least k of n independent events each with probability q) — the
+/// equal-probability (binomial) special case of the engines' m-overlap
+/// Poisson-binomial census, computed by the complement recurrence. Exposed
+/// so tests can hold it against util::poisson_binomial_tail with equal
+/// per-event probabilities for arbitrary k (the m >= 3 regimes the
+/// multi-overlap terms below rely on).
+double at_least_k_of_n(double q, unsigned n, unsigned k);
+
 /// Probability one drive carries an outstanding defect at time t.
 double defective_probability(const LatentDdfInputs& in, double t);
 

@@ -8,6 +8,17 @@ namespace raidrel::core {
 
 raid::GroupConfig ScenarioConfig::to_group_config() const {
   RAIDREL_REQUIRE(group_drives >= 2, "group needs at least two drives");
+  // Validate the geometry here, at the scenario boundary, so a driver's
+  // --redundancy typo reports in the driver's own terms instead of
+  // surfacing from deep inside make_uniform_group.
+  RAIDREL_REQUIRE(redundancy >= 1,
+                  "redundancy must be at least 1 check drive (got " +
+                      std::to_string(redundancy) + ")");
+  RAIDREL_REQUIRE(group_drives > redundancy,
+                  "group of " + std::to_string(group_drives) +
+                      " drives cannot hold " + std::to_string(redundancy) +
+                      " check drives — it needs at least one data drive "
+                      "(group_drives > redundancy)");
   RAIDREL_REQUIRE(!ttscrub || ttld,
                   "scrubbing without latent defects is meaningless");
   raid::SlotModel slot;
@@ -19,8 +30,10 @@ raid::GroupConfig ScenarioConfig::to_group_config() const {
   if (ttscrub) {
     slot.time_to_scrub = std::make_unique<stats::Weibull>(*ttscrub);
   }
-  return raid::make_uniform_group(group_drives, redundancy, slot,
-                                  mission_hours);
+  raid::GroupConfig cfg = raid::make_uniform_group(group_drives, redundancy,
+                                                   slot, mission_hours);
+  cfg.rebuild = rebuild;
+  return cfg;
 }
 
 std::string ScenarioConfig::summary() const {
@@ -28,8 +41,11 @@ std::string ScenarioConfig::summary() const {
   auto w = [&](const stats::WeibullParams& p) {
     os << "(g=" << p.gamma << ", eta=" << p.eta << ", b=" << p.beta << ")";
   };
-  os << name << ": " << group_drives << " drives, redundancy " << redundancy
-     << ", mission " << mission_hours << " h; TTOp";
+  os << name << ": " << group_drives << " drives, redundancy " << redundancy;
+  if (rebuild != raid::RebuildModel::kDedicatedSpare) {
+    os << ", " << raid::to_string(rebuild);
+  }
+  os << ", mission " << mission_hours << " h; TTOp";
   w(ttop);
   os << " TTR";
   w(ttr);

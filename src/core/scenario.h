@@ -17,8 +17,14 @@ struct ScenarioConfig {
   std::string name = "scenario";
 
   unsigned group_drives = 8;   ///< paper: 7 data + 1 parity
-  unsigned redundancy = 1;     ///< 1 = RAID5-style, 2 = RAID6-style
+  unsigned redundancy = 1;     ///< check drives m (1 = RAID5-style, 2 =
+                               ///< RAID6-style, m >= 3 = erasure codes)
   double mission_hours = 87600.0;
+
+  /// Rebuild placement model (raid::RebuildModel): the paper's dedicated
+  /// spare (default) or declustered placement, where the effective
+  /// restore time scales with the surviving-source count.
+  raid::RebuildModel rebuild = raid::RebuildModel::kDedicatedSpare;
 
   /// Time to operational failure, d_Op (Table 2 base case).
   stats::WeibullParams ttop{0.0, 461386.0, 1.12};

@@ -23,6 +23,7 @@ GroupConfig GroupConfig::clone() const {
   c.spare_pool = spare_pool;
   c.stripe_zones = stripe_zones;
   c.latent_clock = latent_clock;
+  c.rebuild = rebuild;
   c.reconstruction_defect_probability = reconstruction_defect_probability;
   c.slots.reserve(slots.size());
   for (const auto& s : slots) c.slots.push_back(s.clone());
@@ -73,6 +74,16 @@ GroupConfig make_uniform_group(unsigned total_drives, unsigned redundancy,
   }
   cfg.validate();
   return cfg;
+}
+
+const char* to_string(RebuildModel rebuild) noexcept {
+  switch (rebuild) {
+    case RebuildModel::kDedicatedSpare:
+      return "dedicated-spare";
+    case RebuildModel::kDeclustered:
+      return "declustered";
+  }
+  return "unknown";
 }
 
 const char* to_string(DdfKind kind) noexcept {

@@ -1,16 +1,16 @@
 // RAID group description consumed by the simulation engines.
 //
 // A group is `total_drives` disk slots protected by `redundancy` drives'
-// worth of parity: redundancy 1 models the paper's N+1 (RAID 4/5) groups,
-// redundancy 2 the RAID 6 extension the paper's conclusion points to. Data
-// is lost when the number of *simultaneously* failed or defective drives
-// exceeds the redundancy:
-//   redundancy 1: a second concurrent operational failure, or an
-//     operational failure while another drive carries an unscrubbed latent
-//     defect (the paper's two DDF scenarios);
-//   redundancy 2: a third concurrent fault of those kinds.
-// Simultaneous latent defects alone never fail the array (they would have
-// to share a stripe, which the paper deems negligible and does not model).
+// worth of erasure coding — an (n, n-m) code tolerating any m concurrent
+// faults: redundancy 1 models the paper's N+1 (RAID 4/5) groups,
+// redundancy 2 the RAID 6 extension its conclusion points to, and m >= 3
+// the many-check-drive codes of Mann et al. (PAPERS.md). Data is lost
+// when the number of *simultaneously* failed or defective drives exceeds
+// the redundancy: m concurrent operational failures plus outstanding
+// latent defects on other drives, with one more fault of either kind,
+// lose data. Simultaneous latent defects alone never fail the array (they
+// would have to share a stripe, which the paper deems negligible and does
+// not model).
 #pragma once
 
 #include <cstdint>
@@ -64,10 +64,33 @@ enum class LatentClock : std::uint8_t {
   kDriveAge,
 };
 
+/// How a failed drive's data is rebuilt.
+enum class RebuildModel : std::uint8_t {
+  /// The paper's model: the failed drive rebuilds onto one dedicated
+  /// replacement at the full d_Restore law, independent of group state.
+  kDedicatedSpare,
+  /// Declustered placement (Mann et al., "More Check Drives"): every
+  /// surviving drive contributes rebuild bandwidth, so the effective
+  /// restore time scales with the surviving-source count at the failure
+  /// instant:
+  ///   t_restore = t_base * (n_data / n_surviving_rebuild_sources),
+  /// where t_base is the d_Restore draw and the sources are the other
+  /// drives not down or rebuilding (defective-but-operational drives
+  /// still serve reads and count). A healthy group has more sources than
+  /// data drives, so declustering *speeds up* the first rebuild; as
+  /// drives fail mid-rebuild later restores slow down. The scale is
+  /// fixed when the failure occurs (in-flight rebuilds are not
+  /// re-scaled), and spare handling is copyback-free: the rebuilt data
+  /// stays spread across the group, so no second copyback pass follows
+  /// a completed restore.
+  kDeclustered,
+};
+
 /// Full group configuration.
 struct GroupConfig {
   std::vector<SlotModel> slots;   ///< one entry per drive
-  unsigned redundancy = 1;        ///< parity drives (1 = RAID5, 2 = RAID6)
+  unsigned redundancy = 1;        ///< check drives m (1 = RAID5, 2 = RAID6,
+                                  ///< m >= 3 = general erasure codes)
   double mission_hours = 87600.0; ///< simulated horizon (paper: 10 years)
 
   /// When the restore that ends a DDF completes, wipe outstanding latent
@@ -93,6 +116,11 @@ struct GroupConfig {
 
   /// Latent-defect clock semantics (see LatentClock).
   LatentClock latent_clock = LatentClock::kRenewal;
+
+  /// Rebuild placement model (see RebuildModel). The default reproduces
+  /// the paper exactly; kDeclustered scales each restore draw by the
+  /// surviving-source ratio at the failure instant.
+  RebuildModel rebuild = RebuildModel::kDedicatedSpare;
 
   /// Probability that a completed rebuild leaves a write-error latent
   /// defect on the reconstructed drive (paper §4.2: "Write-errors that
@@ -138,5 +166,6 @@ struct DdfEvent {
 };
 
 const char* to_string(DdfKind kind) noexcept;
+const char* to_string(RebuildModel rebuild) noexcept;
 
 }  // namespace raidrel::raid

@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "util/error.h"
+#include "util/math.h"
 
 namespace raidrel::sim {
 
@@ -46,6 +47,7 @@ BatchGroupSimulator::BatchGroupSimulator(const raid::GroupConfig& config,
   }
   has_zones_ = cfg_.stripe_zones != 0;
   age_clock_ = cfg_.latent_clock == raid::LatentClock::kDriveAge;
+  declustered_ = cfg_.rebuild == raid::RebuildModel::kDeclustered;
   uniform_latent_present_ =
       uniform_law_[static_cast<std::size_t>(Law::kLatent)] &&
       kernels_[0].latent.present();
@@ -474,19 +476,22 @@ double BatchGroupSimulator::probe_probability(std::uint32_t lane,
     max_p = std::max(max_p, p[k]);
   }
   if (max_p == 0.0) return 0.0;
-  std::vector<double>& dist = probe_dist_;
-  std::fill(dist.begin(), dist.begin() + static_cast<std::ptrdiff_t>(np) + 1,
-            0.0);
-  dist[0] = 1.0;
-  for (std::size_t j = 0; j < np; ++j) {
-    for (std::size_t k = j + 1; k > 0; --k) {
-      dist[k] = dist[k] * (1.0 - p[j]) + dist[k - 1] * p[j];
-    }
-    dist[0] *= 1.0 - p[j];
+  // Shared exact m-overlap tail (util::poisson_binomial_tail): the same DP
+  // arithmetic as the scalar engine's probe, so the probes cannot drift.
+  return util::poisson_binomial_tail(p.data(), np, needed,
+                                     probe_dist_.data());
+}
+
+double BatchGroupSimulator::declustered_restore_scale(
+    std::uint32_t lane, std::uint32_t failed_slot) const noexcept {
+  const std::size_t base = static_cast<std::size_t>(lane) * nslots_;
+  unsigned sources = 0;
+  for (std::uint32_t j = 0; j < nslots_; ++j) {
+    if (j == failed_slot) continue;
+    if (!restoring(base + j)) ++sources;
   }
-  double below = 0.0;
-  for (unsigned k = 0; k < needed; ++k) below += dist[k];
-  return std::clamp(1.0 - below, 0.0, 1.0);
+  return static_cast<double>(cfg_.data_drives()) /
+         static_cast<double>(std::max(1u, sources));
 }
 
 void BatchGroupSimulator::process_scrub_completions() {
@@ -564,7 +569,14 @@ void BatchGroupSimulator::process_op_failures() {
   bulk_sample(Law::kRestore, ev, n_op_, false);
   for (std::size_t k = 0; k < n_op_; ++k) {
     const Ev& e = ev[k];
-    const double restore_duration = out_scratch_[k];
+    double restore_duration = out_scratch_[k];
+    if (declustered_) {
+      // One event per lane per round, and the earlier elements of this
+      // bucket belong to other lanes, so this lane's census state is
+      // exactly what the scalar engine would see at this instant; the
+      // `base * scale` product order matches the scalar handler.
+      restore_duration *= declustered_restore_scale(e.lane, e.slot);
+    }
     TrialResult& res = results_[e.lane];
     obs::TrialTrace* trace = any_trace_ ? traces_[e.lane] : nullptr;
     if (trace) {

@@ -138,6 +138,11 @@ class BatchGroupSimulator {
   [[nodiscard]] double probe_probability(std::uint32_t lane,
                                          std::uint32_t failed_slot,
                                          double now, double window) const;
+  /// Declustered restore-time scale for one lane at the instant
+  /// `failed_slot` fails — the scalar engine's census and arithmetic, on
+  /// this lane's state slice.
+  [[nodiscard]] double declustered_restore_scale(
+      std::uint32_t lane, std::uint32_t failed_slot) const noexcept;
 
   // Per-kind round processors; each batches its leading refill draws and
   // finishes element-wise in lane order.
@@ -161,6 +166,7 @@ class BatchGroupSimulator {
   // at ~150 events/trial).
   bool has_zones_ = false;       ///< cfg_.stripe_zones != 0
   bool age_clock_ = false;       ///< latent clock is kDriveAge
+  bool declustered_ = false;     ///< cfg_.rebuild == kDeclustered
   bool uniform_latent_present_ = false;  ///< every slot has the same latent law
   bool any_trace_ = false;       ///< some lane of the current run records
   // Importance-sampling state, mirroring GroupSimulator: tilted_ is true

@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "util/error.h"
+#include "util/math.h"
 
 namespace raidrel::sim {
 
@@ -46,6 +47,7 @@ GroupSimulator::GroupSimulator(const raid::GroupConfig& config,
     ld_tilt_ = HazardTilt(tilt->ld_theta);
     tilted_ = true;
   }
+  declustered_ = cfg_.rebuild == raid::RebuildModel::kDeclustered;
   slots_.resize(cfg_.slots.size());
   probe_p_.resize(slots_.size());
   probe_dist_.resize(slots_.size() + 1);
@@ -137,21 +139,26 @@ double GroupSimulator::probe_probability(std::size_t failed_slot, double now,
   // When every peer's window probability underflowed to zero the DP can
   // only return zero — skip it (common in short windows late in life).
   if (max_p == 0.0) return 0.0;
-  // Poisson-binomial tail P(#failures >= needed) by dynamic programming
-  // over the count distribution (group sizes are small).
-  std::vector<double>& dist = probe_dist_;
-  std::fill(dist.begin(), dist.begin() + static_cast<std::ptrdiff_t>(np) + 1,
-            0.0);
-  dist[0] = 1.0;
-  for (std::size_t j = 0; j < np; ++j) {
-    for (std::size_t k = j + 1; k > 0; --k) {
-      dist[k] = dist[k] * (1.0 - p[j]) + dist[k - 1] * p[j];
-    }
-    dist[0] *= 1.0 - p[j];
+  // Exact m-overlap event probability for any redundancy: Poisson-binomial
+  // tail P(#failures >= needed) over the count distribution (group sizes
+  // are small). Shared with the batched engine through util so the two
+  // probes cannot drift.
+  return util::poisson_binomial_tail(p.data(), np, needed,
+                                     probe_dist_.data());
+}
+
+double GroupSimulator::declustered_restore_scale(
+    std::size_t failed_slot) const noexcept {
+  // Surviving rebuild sources at the failure instant: the other drives not
+  // down or rebuilding. Defective-but-operational drives still serve reads
+  // and count as sources.
+  unsigned sources = 0;
+  for (std::size_t j = 0; j < slots_.size(); ++j) {
+    if (j == failed_slot) continue;
+    if (!slots_[j].restoring()) ++sources;
   }
-  double below = 0.0;
-  for (unsigned k = 0; k < needed; ++k) below += dist[k];
-  return std::clamp(1.0 - below, 0.0, 1.0);
+  return static_cast<double>(cfg_.data_drives()) /
+         static_cast<double>(std::max(1u, sources));
 }
 
 void GroupSimulator::handle_op_failure(std::size_t i, double now,
@@ -160,7 +167,15 @@ void GroupSimulator::handle_op_failure(std::size_t i, double now,
   Slot& s = slots_[i];
   ++out.op_failures;
 
-  const double restore_duration = kernels_[i].restore.sample(rs);
+  double restore_duration = kernels_[i].restore.sample(rs);
+  if (declustered_) {
+    // Declustered placement: the effective restore time is fixed at the
+    // failure instant (in-flight rebuilds are never re-scaled) and the
+    // scaled duration is what the freeze window, the probe window and the
+    // rebuild all see. The batched engine applies the identical
+    // `base * scale` product, preserving bit-identity.
+    restore_duration *= declustered_restore_scale(i);
+  }
 
   if (now >= group_failed_until_) {
     // Fault census at the failure instant: drives down or rebuilding

@@ -20,9 +20,15 @@
 // Data-loss (DDF) rule, evaluated at every operational-failure instant:
 // faulted drives = drives down or rebuilding (including the one that just
 // failed) plus *other* drives carrying an outstanding latent defect; data
-// is lost when faulted drives exceed the group redundancy. Latent-defect
-// arrivals never trigger data loss by themselves (paper §5: an operational
-// failure followed by a latent defect is not a DDF).
+// is lost when faulted drives exceed the group redundancy. The census and
+// the probe are exact for any redundancy m >= 1 (general m-fault-tolerant
+// erasure codes), not just the paper's N+1 / N+2. Latent-defect arrivals
+// never trigger data loss by themselves (paper §5: an operational failure
+// followed by a latent defect is not a DDF).
+//
+// Under raid::RebuildModel::kDeclustered each restore draw is scaled by
+// data_drives / surviving-sources at the failure instant (docs/MODEL.md
+// §15); the dedicated-spare default leaves every draw untouched.
 //
 // After a DDF the group cannot fail again until the concomitant restore
 // completes (paper §5); on completion the group re-enters the paper's
@@ -148,10 +154,17 @@ class GroupSimulator {
 
   /// Probability that enough other currently operational drives fail inside
   /// (now, now + window] to exceed the redundancy, from their exact
-  /// residual lifetimes (Poisson-binomial tail over per-drive window
-  /// probabilities).
+  /// residual lifetimes (util::poisson_binomial_tail over per-drive window
+  /// probabilities — exact m-overlap events for any redundancy).
   [[nodiscard]] double probe_probability(std::size_t failed_slot, double now,
                                          double window) const;
+
+  /// Declustered restore-time scale at the instant slot `failed_slot`
+  /// fails: data_drives / surviving rebuild sources (other drives not down
+  /// or rebuilding; defective-but-operational drives still serve reads and
+  /// count). See raid::RebuildModel::kDeclustered.
+  [[nodiscard]] double declustered_restore_scale(
+      std::size_t failed_slot) const noexcept;
 
   const raid::GroupConfig& cfg_;
   std::vector<SlotKernel> kernels_;  ///< lowered laws, one per slot
@@ -162,6 +175,7 @@ class GroupSimulator {
   HazardTilt op_tilt_;
   HazardTilt ld_tilt_;
   bool tilted_ = false;
+  bool declustered_ = false;  ///< cfg_.rebuild == kDeclustered
   double log_w_ = 0.0;
   double group_failed_until_ = 0.0;  ///< DDF freeze window end
   std::size_t ddf_slot_ = SIZE_MAX;  ///< slot whose restore ends the freeze

@@ -58,6 +58,13 @@ void append_group(std::string& out, const raid::GroupConfig& config) {
                                                             : "drive-age";
   out += ";recon_defect=";
   append_double(out, config.reconstruction_defect_probability);
+  // Appended only when non-default so every pre-existing digest (and the
+  // caches keyed on them) keeps its exact value — the same convention as
+  // the sweep cache's conditional tilt/math-tier segments.
+  if (config.rebuild != raid::RebuildModel::kDedicatedSpare) {
+    out += ";rebuild=";
+    out += raid::to_string(config.rebuild);
+  }
   out += ";laws=[";
   for (const auto& slot : config.slots) {
     append_law(out, slot.time_to_op_failure);

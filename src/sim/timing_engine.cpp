@@ -21,6 +21,10 @@ TimingDiagramEngine::TimingDiagramEngine(const raid::GroupConfig& config,
   RAIDREL_REQUIRE(cfg_.stripe_zones == 0,
                   "TimingDiagramEngine does not implement the stripe-"
                   "collision refinement; use GroupSimulator");
+  RAIDREL_REQUIRE(cfg_.rebuild == raid::RebuildModel::kDedicatedSpare,
+                  "TimingDiagramEngine pre-generates per-slot timelines and "
+                  "cannot scale restores by group state at the failure "
+                  "instant (declustered rebuild); use GroupSimulator");
   kernels_.reserve(cfg_.slots.size());
   for (const auto& slot : cfg_.slots) {
     kernels_.push_back(SlotKernel::compile(slot, policy));

@@ -127,6 +127,11 @@ std::uint64_t cell_result_digest(const CellResult& r) {
     canon += ";ess=";
     append_double(canon, r.ess);
   }
+  // Non-default rebuild models only: dedicated-spare digests are unchanged.
+  if (!r.rebuild.empty()) {
+    canon += ";rebuild=";
+    canon += r.rebuild;
+  }
   canon += '}';
   return obs::fnv1a64(canon);
 }
@@ -229,6 +234,9 @@ std::unordered_map<std::uint64_t, CellResult> load_cache(
       if (const obs::JsonValue* v = entry.find("ess")) {
         r.ess = v->as_double();
       }
+      if (const obs::JsonValue* v = entry.find("rebuild")) {
+        r.rebuild = v->as_string();
+      }
       r.result_digest = entry.get("result_digest").as_uint64();
       // A tampered or bit-rotted entry must not masquerade as a result.
       if (cell_result_digest(r) != r.result_digest) {
@@ -280,6 +288,7 @@ void write_cell(obs::JsonWriter& w, const CellResult& r) {
     w.kv("ld_tilt", r.ld_tilt);
     w.kv("ess", r.ess);
   }
+  if (!r.rebuild.empty()) w.kv("rebuild", std::string_view(r.rebuild));
   w.kv("result_digest", r.result_digest);
   w.end_object();
 }
@@ -427,6 +436,9 @@ CellResult simulate_cell(const SweepCell& cell,
   r.op_tilt = cell.scenario.op_tilt;
   r.ld_tilt = cell.scenario.ld_tilt;
   if (r.tilted()) r.ess = run.ess;
+  if (cell.scenario.rebuild != raid::RebuildModel::kDedicatedSpare) {
+    r.rebuild = raid::to_string(cell.scenario.rebuild);
+  }
   r.result_digest = cell_result_digest(r);
   return r;
 }

@@ -152,6 +152,11 @@ struct CellResult {
   double op_tilt = 1.0;
   double ld_tilt = 1.0;
   double ess = 0.0;
+  /// Rebuild placement model the cell ran with. Serialized (and hashed
+  /// into the result digest) only when non-default — same additive-key
+  /// convention as the tilt fields, so pre-existing manifests keep their
+  /// exact bytes. Empty = dedicated spare (the paper's model).
+  std::string rebuild;
   std::uint64_t result_digest = 0;
 
   [[nodiscard]] bool tilted() const noexcept {

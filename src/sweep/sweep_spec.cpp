@@ -117,6 +117,30 @@ SweepSpec& SweepSpec::add_group_size_axis(
   return add_axis(std::move(axis));
 }
 
+SweepSpec& SweepSpec::add_redundancy_axis(
+    const std::vector<unsigned>& redundancies) {
+  Axis axis{"redundancy", {}};
+  for (const unsigned m : redundancies) {
+    RAIDREL_REQUIRE(m >= 1, "redundancy must be at least 1 check drive");
+    axis.points.push_back({std::to_string(m), [m](core::ScenarioConfig& s) {
+                             s.redundancy = m;
+                           }});
+  }
+  return add_axis(std::move(axis));
+}
+
+SweepSpec& SweepSpec::add_rebuild_model_axis(
+    const std::vector<raid::RebuildModel>& models) {
+  Axis axis{"rebuild", {}};
+  for (const raid::RebuildModel model : models) {
+    axis.points.push_back(
+        {raid::to_string(model), [model](core::ScenarioConfig& s) {
+           s.rebuild = model;
+         }});
+  }
+  return add_axis(std::move(axis));
+}
+
 SweepSpec& SweepSpec::add_op_tilt_axis(const std::vector<double>& thetas) {
   Axis axis{"op-tilt", {}};
   for (const double theta : thetas) {

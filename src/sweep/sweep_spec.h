@@ -88,6 +88,16 @@ class SweepSpec {
   /// Group width at fixed redundancy.
   SweepSpec& add_group_size_axis(const std::vector<unsigned>& total_drives);
 
+  /// Check-drive count m at fixed group width (1 = RAID5, 2 = RAID6,
+  /// m >= 3 = general erasure codes).
+  SweepSpec& add_redundancy_axis(const std::vector<unsigned>& redundancies);
+
+  /// Rebuild placement model: dedicated spare vs. declustered (see
+  /// raid::RebuildModel). Declustered cells digest differently, so the two
+  /// points never collide in the result cache.
+  SweepSpec& add_rebuild_model_axis(
+      const std::vector<raid::RebuildModel>& models);
+
   /// Importance-sampling tilt on the operational-failure hazard
   /// (docs/MODEL.md §13). An *estimation* axis, not a model axis: every
   /// point targets the same quantity and leaves the config digest

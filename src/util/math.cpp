@@ -367,4 +367,27 @@ bool approx_equal(double a, double b, double rtol, double atol) {
   return std::abs(a - b) <= atol + rtol * std::max(std::abs(a), std::abs(b));
 }
 
+double poisson_binomial_tail(const double* p, std::size_t n,
+                             unsigned at_least, double* count_dist) {
+  RAIDREL_REQUIRE(p != nullptr || n == 0, "need event probabilities");
+  RAIDREL_REQUIRE(count_dist != nullptr, "need n + 1 doubles of scratch");
+  if (at_least == 0) return 1.0;
+  if (at_least > n) return 0.0;
+  // The engines' probe DP verbatim: fold events in one at a time, updating
+  // the count distribution in place from the top down. Keeping the exact
+  // operation order is what makes this sharable with the bit-identity
+  // contract between the scalar and batched engines.
+  std::fill(count_dist, count_dist + n + 1, 0.0);
+  count_dist[0] = 1.0;
+  for (std::size_t j = 0; j < n; ++j) {
+    for (std::size_t k = j + 1; k > 0; --k) {
+      count_dist[k] = count_dist[k] * (1.0 - p[j]) + count_dist[k - 1] * p[j];
+    }
+    count_dist[0] *= 1.0 - p[j];
+  }
+  double below = 0.0;
+  for (unsigned k = 0; k < at_least; ++k) below += count_dist[k];
+  return std::clamp(1.0 - below, 0.0, 1.0);
+}
+
 }  // namespace raidrel::util

@@ -130,4 +130,16 @@ class RunningStats {
 /// True when |a-b| <= atol + rtol*max(|a|,|b|).
 bool approx_equal(double a, double b, double rtol = 1e-9, double atol = 0.0);
 
+/// Poisson-binomial tail P(at least `at_least` of the n independent events
+/// with probabilities p[0..n) occur), by dynamic programming over the
+/// count distribution. `count_dist` is caller-provided scratch of at least
+/// n + 1 doubles (it holds the exact count pmf on return — count_dist[k] =
+/// P(exactly k events) — so probe consumers can reuse one allocation
+/// across calls). The DP arithmetic is the simulation engines' m-overlap
+/// probe census verbatim (see sim/group_simulator.cpp), so a value
+/// computed here is bit-identical to theirs; equal probabilities reduce to
+/// the binomial tail. at_least == 0 returns 1, at_least > n returns 0.
+double poisson_binomial_tail(const double* p, std::size_t n,
+                             unsigned at_least, double* count_dist);
+
 }  // namespace raidrel::util

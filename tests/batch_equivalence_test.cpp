@@ -53,6 +53,22 @@ raid::GroupConfig spare_pool_group() {
   return cfg;
 }
 
+raid::GroupConfig high_redundancy_group(unsigned redundancy,
+                                        raid::RebuildModel rebuild) {
+  // Same failure-heavy laws in a wider group: m-overlap events stay
+  // frequent enough that the census, freeze, and (for declustered) the
+  // restore-scale path all fire inside 200 trials.
+  raid::SlotModel m;
+  m.time_to_op_failure = std::make_unique<stats::Weibull>(0.0, 4000.0, 1.2);
+  m.time_to_restore = std::make_unique<stats::Weibull>(6.0, 100.0, 2.0);
+  m.time_to_latent_defect =
+      std::make_unique<stats::Weibull>(0.0, 2000.0, 1.0);
+  m.time_to_scrub = std::make_unique<stats::Weibull>(6.0, 300.0, 3.0);
+  auto cfg = raid::make_uniform_group(12, redundancy, m, 20000.0);
+  cfg.rebuild = rebuild;
+  return cfg;
+}
+
 raid::GroupConfig stripe_zone_group() {
   auto cfg = busy_group();
   cfg.stripe_zones = 4;
@@ -207,6 +223,32 @@ TEST(BatchEquivalence, MixedVintageLaws) {
 TEST(BatchEquivalence, Raid6BaseCase) {
   expect_engine_equivalence(
       core::presets::raid6_base_case().to_group_config(), 120);
+}
+
+TEST(BatchEquivalence, HighRedundancyBothRebuildModels) {
+  // The acceptance matrix of the m-fault generalization: redundancy
+  // 1..4 x both rebuild placements, bit-identical at every lane width.
+  // Declustered restores multiply the sampled duration by the
+  // source-count scale at the failure instant; the batched engine must
+  // apply the exact same multiply to the exact same draw.
+  for (const unsigned redundancy : {1u, 2u, 3u, 4u}) {
+    for (const raid::RebuildModel rebuild :
+         {raid::RebuildModel::kDedicatedSpare,
+          raid::RebuildModel::kDeclustered}) {
+      SCOPED_TRACE("redundancy " + std::to_string(redundancy) + " " +
+                   raid::to_string(rebuild));
+      expect_engine_equivalence(high_redundancy_group(redundancy, rebuild));
+    }
+  }
+}
+
+TEST(BatchEquivalence, DeclusteredWithSparePool) {
+  // Declustered scaling composed with spare-pool queueing: a rebuild
+  // blocked on a spare keeps the duration fixed at its failure instant,
+  // and both engines must agree on every resulting timestamp.
+  auto cfg = high_redundancy_group(3, raid::RebuildModel::kDeclustered);
+  cfg.spare_pool = raid::SparePoolConfig{2, 200.0};
+  expect_engine_equivalence(cfg);
 }
 
 TEST(BatchEquivalence, PartialLanesAndOffsets) {

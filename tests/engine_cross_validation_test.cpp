@@ -112,6 +112,27 @@ TEST(EngineCrossValidation, Raid6Scenario) {
   expect_statistically_equal(a.ddfs, b.ddfs, "ddfs");
 }
 
+TEST(EngineCrossValidation, TripleRedundancyScenario) {
+  // m = 3: the generic `down + defective > redundancy` comparison and the
+  // timing engine's pairwise §5 procedure must keep agreeing beyond the
+  // two redundancy levels the paper evaluates.
+  const auto cfg = paper_s5_group(12, 3, intense_slot(true, true), 20000.0);
+  const auto a = collect<GroupSimulator>(cfg, 3000, 71);
+  const auto b = collect<TimingDiagramEngine>(cfg, 3000, 72);
+  expect_statistically_equal(a.ddfs, b.ddfs, "ddfs");
+  expect_statistically_equal(a.op_failures, b.op_failures, "op failures");
+}
+
+TEST(EngineCrossValidation, QuadRedundancyScenario) {
+  // m = 4: data loss needs five overlapping faults, deep in the regime
+  // the census and freeze logic were never exercised in before.
+  const auto cfg = paper_s5_group(12, 4, intense_slot(true, true), 20000.0);
+  const auto a = collect<GroupSimulator>(cfg, 3000, 81);
+  const auto b = collect<TimingDiagramEngine>(cfg, 3000, 82);
+  expect_statistically_equal(a.ddfs, b.ddfs, "ddfs");
+  expect_statistically_equal(a.op_failures, b.op_failures, "op failures");
+}
+
 TEST(EngineCrossValidation, StateOneResetOnlyTrimsDdfs) {
   // With defect wiping ON (the paper's state-1 semantics) the event engine
   // must report no more DDFs than the §5 convention, and the two must stay

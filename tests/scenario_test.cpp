@@ -52,6 +52,39 @@ TEST(Scenario, ScrubWithoutLatentRejected) {
   EXPECT_THROW(cfg.to_group_config(), ModelError);
 }
 
+TEST(Scenario, RedundancyBoundsValidatedWithDriverFriendlyMessages) {
+  // The CLI/scenario boundary must reject impossible geometries before
+  // they reach the engines, naming the offending numbers.
+  ScenarioConfig no_check = presets::base_case();
+  no_check.redundancy = 0;
+  try {
+    no_check.to_group_config();
+    FAIL() << "redundancy 0 must be rejected";
+  } catch (const ModelError& e) {
+    EXPECT_NE(std::string(e.what()).find("at least 1 check drive"),
+              std::string::npos)
+        << e.what();
+  }
+
+  ScenarioConfig all_checks = presets::base_case();
+  all_checks.group_drives = 4;
+  all_checks.redundancy = 4;  // no data drive left
+  try {
+    all_checks.to_group_config();
+    FAIL() << "group_drives == redundancy must be rejected";
+  } catch (const ModelError& e) {
+    EXPECT_NE(std::string(e.what()).find("group_drives > redundancy"),
+              std::string::npos)
+        << e.what();
+  }
+
+  // m >= 3 general erasure codes are valid geometry, not an error.
+  ScenarioConfig wide = presets::base_case();
+  wide.group_drives = 12;
+  wide.redundancy = 4;
+  EXPECT_NO_THROW(wide.to_group_config().validate());
+}
+
 TEST(Scenario, SummaryMentionsEveryLaw) {
   const auto s = presets::base_case().summary();
   EXPECT_NE(s.find("TTOp"), std::string::npos);
