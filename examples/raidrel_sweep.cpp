@@ -21,12 +21,24 @@
 //   $ ./raidrel_sweep --list-inject-sites                  # the registry
 //   $ ./raidrel_sweep --study table3 --inject cell:1       # survive a fault
 //
-// Exit codes: 0 = complete, 3 = completed with quarantined cells or
-// survived I/O errors (results printed, rerun to retry the failures),
-// 2 = configuration / model error.
+// Graceful shutdown: the first SIGINT/SIGTERM drains cooperatively — the
+// in-flight cells are abandoned (nothing partial is written), the manifest
+// keeps its last checkpoint, and the process exits 4; rerunning resumes
+// from the checkpoint and converges to byte-identical manifests. A second
+// signal forces the conventional 128+N exit immediately. --wall-deadline
+// bounds the whole invocation the same way; --cell-time-budget /
+// --cell-hard-budget bound individual cells (docs/MODEL.md §16).
+//
+// Exit codes: 0 = complete, 2 = configuration / model error, 3 = completed
+// degraded (quarantined cells or survived I/O errors; results printed,
+// rerun to retry the failures), 4 = interrupted with a durable checkpoint
+// (signal or --wall-deadline; rerun to resume), 128+N = forced by a second
+// signal N.
 #include <iostream>
 #include <optional>
 #include <vector>
+
+#include "util/cancel.h"
 
 #include "analytic/mttdl.h"
 #include "core/presets.h"
@@ -197,9 +209,28 @@ int main(int argc, char** argv) {
     opt.progress = args.get_bool("quiet", false) ? nullptr : &std::cout;
     opt.cell_attempts =
         static_cast<unsigned>(args.get_int_at_least("cell-attempts", 2, 1));
-    opt.cell_trial_deadline =
-        static_cast<std::size_t>(args.get_int_at_least("deadline", 0, 0));
+    // --trial-deadline is the canonical name for the per-cell trial clamp;
+    // --deadline remains an alias from the release that introduced it.
+    opt.cell_trial_deadline = static_cast<std::size_t>(
+        args.has("trial-deadline")
+            ? args.get_int_at_least("trial-deadline", 0, 0)
+            : args.get_int_at_least("deadline", 0, 0));
     opt.retry_backoff_ms = args.get_double("retry-backoff-ms", 0.0);
+    opt.cell_soft_budget_seconds = args.get_double("cell-time-budget", 0.0);
+    opt.cell_hard_budget_seconds = args.get_double("cell-hard-budget", 0.0);
+
+    // Cooperative shutdown: one root token for the whole invocation,
+    // optionally bounded by a wall-clock deadline, tripped by the first
+    // SIGINT/SIGTERM (the second forces _exit(128+sig)). Workers drain at
+    // trial granularity, so the checkpointed manifest stays durable.
+    const double wall_deadline = args.get_double("wall-deadline", 0.0);
+    RAIDREL_REQUIRE(wall_deadline >= 0.0,
+                    "--wall-deadline must be non-negative seconds");
+    util::CancelToken cancel_token(
+        wall_deadline > 0.0 ? util::Deadline::after_seconds(wall_deadline)
+                            : util::Deadline::never());
+    const util::SignalGuard signal_guard(cancel_token);
+    opt.cancel = &cancel_token;
 
     // One injector for the whole invocation: hit counters run across
     // studies, so "--inject manifest_write:2" means the second manifest
@@ -244,6 +275,16 @@ int main(int argc, char** argv) {
       if (result.degraded()) {
         print_failures(result);
         exit_code = 3;
+      }
+      if (result.interrupted) {
+        // Signal or wall deadline: the manifest holds the last durable
+        // checkpoint, remaining studies are skipped, and exit code 4 tells
+        // scripts "rerun to resume byte-identically".
+        std::cout << "sweep interrupted (" << result.stop_reason << ") after "
+                  << result.cells.size() << "/" << result.total_cells
+                  << " cells; checkpoint is durable, rerun to resume.\n";
+        exit_code = 4;
+        break;
       }
       if (!result.complete) {
         if (!result.degraded()) {

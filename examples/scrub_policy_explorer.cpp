@@ -10,12 +10,18 @@
 // The scrub periods are one axis of a sweep::SweepSpec and run on the
 // sharded sweep engine: pass --manifest to cache converged cells, and a
 // rerun (or a tweaked budget) only simulates what changed.
+//
+// SIGINT/SIGTERM drain cooperatively (exit 4, manifest checkpoint durable,
+// rerun to resume); a second signal forces 128+N. --wall-deadline bounds
+// the invocation the same way. Exit codes: 0 complete, 2 config error,
+// 3 degraded, 4 interrupted.
 #include <algorithm>
 #include <iostream>
 
 #include "core/presets.h"
 #include "report/table.h"
 #include "sweep/sweep_runner.h"
+#include "util/cancel.h"
 #include "util/cli.h"
 #include "util/error.h"
 #include "util/strings.h"
@@ -132,7 +138,26 @@ int main(int argc, char** argv) {
         static_cast<unsigned>(args.get_int_at_least("threads", 0, 0));
     opt.manifest_path = args.get_string("manifest", "");
 
+    // Graceful shutdown: first SIGINT/SIGTERM (or an expired
+    // --wall-deadline) drains the sweep at trial granularity and exits 4
+    // with the manifest checkpoint intact; a second signal forces 128+N.
+    const double wall_deadline = args.get_double("wall-deadline", 0.0);
+    RAIDREL_REQUIRE(wall_deadline >= 0.0,
+                    "--wall-deadline must be non-negative seconds");
+    util::CancelToken cancel_token(
+        wall_deadline > 0.0 ? util::Deadline::after_seconds(wall_deadline)
+                            : util::Deadline::never());
+    const util::SignalGuard signal_guard(cancel_token);
+    opt.cancel = &cancel_token;
+
     const auto sweep_result = sweep::SweepRunner(opt).run(spec);
+    if (sweep_result.interrupted) {
+      std::cerr << "sweep interrupted (" << sweep_result.stop_reason << ") — "
+                << sweep_result.cells.size() << "/"
+                << sweep_result.total_cells
+                << " periods done; checkpoint is durable, rerun to resume.\n";
+      return 4;
+    }
     // The recommendation scans every tested period; with quarantined cells
     // missing it could endorse a policy the failed cells would veto.
     if (!sweep_result.complete) {

@@ -1,6 +1,12 @@
 #include "fault/fault_injection.h"
 
 #include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <limits>
+#include <thread>
+
+#include "util/cancel.h"
 
 namespace raidrel::fault {
 
@@ -56,6 +62,22 @@ FaultPlan FaultPlan::parse(const std::string& text) {
     RAIDREL_REQUIRE(!token.empty(), "empty fault spec in plan \"" + text + '"');
 
     FaultSpec spec;
+    // Optional "@ms" / "@hang" kind suffix (parsed first: it is the
+    // outermost decoration in the grammar).
+    const std::size_t at = token.rfind('@');
+    if (at != std::string::npos) {
+      const std::string arg = token.substr(at + 1);
+      token.resize(at);
+      if (arg == "hang") {
+        spec.delay_ms = std::numeric_limits<double>::infinity();
+      } else {
+        RAIDREL_REQUIRE(!arg.empty() && arg.find_first_not_of("0123456789") ==
+                                            std::string::npos,
+                        "fault delay must be milliseconds or \"hang\": " +
+                            token + '@' + arg);
+        spec.delay_ms = static_cast<double>(std::stoull(arg));
+      }
+    }
     // Optional "*count" suffix.
     const std::size_t star = token.rfind('*');
     if (star != std::string::npos) {
@@ -103,39 +125,84 @@ FaultInjector::FaultInjector(FaultPlan plan) {
 }
 
 void FaultInjector::check(std::string_view site, std::string_view key) {
-  const std::lock_guard<std::mutex> lock(mutex_);
-  RAIDREL_REQUIRE(is_registered_site(site),
-                  "fault check at unregistered site \"" + std::string(site) +
-                      "\"; add it to registered_sites()");
+  double delay_ms = -1.0;
   SiteState* state = nullptr;
-  for (auto& [name, s] : sites_) {
-    if (name == site) {
-      state = &s;
-      break;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    RAIDREL_REQUIRE(is_registered_site(site),
+                    "fault check at unregistered site \"" + std::string(site) +
+                        "\"; add it to registered_sites()");
+    for (auto& [name, s] : sites_) {
+      if (name == site) {
+        state = &s;
+        break;
+      }
     }
-  }
-  if (state == nullptr) {
-    sites_.emplace_back(std::string(site), SiteState{});
-    state = &sites_.back().second;
-  }
-  const std::uint64_t hit = ++state->hits;
-  for (ArmedSpec& armed : armed_) {
-    if (armed.spec.site != site) continue;
-    bool fire = false;
-    if (!armed.spec.key.empty()) {
-      if (key == armed.spec.key && armed.fired < armed.spec.count) {
-        ++armed.fired;
+    if (state == nullptr) {
+      sites_.emplace_back(std::string(site), SiteState{});
+      state = &sites_.back().second;
+    }
+    const std::uint64_t hit = ++state->hits;
+    for (ArmedSpec& armed : armed_) {
+      if (armed.spec.site != site) continue;
+      bool fire = false;
+      if (!armed.spec.key.empty()) {
+        if (key == armed.spec.key && armed.fired < armed.spec.count) {
+          ++armed.fired;
+          fire = true;
+        }
+      } else if (hit >= armed.spec.first_hit &&
+                 hit < armed.spec.first_hit + armed.spec.count) {
         fire = true;
       }
-    } else if (hit >= armed.spec.first_hit &&
-               hit < armed.spec.first_hit + armed.spec.count) {
-      fire = true;
-    }
-    if (fire) {
+      if (!fire) continue;
+      if (armed.spec.is_delay()) {
+        // Sleep outside the mutex: a delayed site must not serialize every
+        // other thread's fault checks behind it.
+        delay_ms = armed.spec.delay_ms;
+        ++state->delayed;
+        break;
+      }
       ++state->injected;
       throw InjectedFault(site, hit, key);
     }
   }
+  if (delay_ms < 0.0) return;
+
+  if (std::isinf(delay_ms)) {
+    // A hang wedges until the thread's cancellation context breaks it —
+    // the deterministic stand-in for a worker stuck on a pathological
+    // cell. Refuse to wedge a thread that nothing could ever unwedge.
+    util::CancelToken* token = util::current_cancel_token();
+    if (token == nullptr) {
+      throw ModelError("injected hang at site \"" + std::string(site) +
+                       "\" requires a cancellation context "
+                       "(util::CancelScope); refusing to wedge forever");
+    }
+    constexpr auto kSlice = std::chrono::milliseconds(2);
+    try {
+      for (;;) {
+        token->poll();
+        std::this_thread::sleep_for(kSlice);
+      }
+    } catch (const util::OperationCancelled&) {
+      // Re-find the site under the lock: sites_ may have reallocated
+      // while this thread slept, so the earlier pointer is stale.
+      const std::lock_guard<std::mutex> lock(mutex_);
+      for (auto& [name, s] : sites_) {
+        if (name == site) {
+          ++s.injected;  // a broken hang is an observed failure
+          break;
+        }
+      }
+      throw;
+    }
+  }
+  // Finite delay: a slow-but-honest operation. Deliberately sleeps the
+  // whole duration without polling — this is what lets tests drive a cell
+  // past its soft AND hard watchdog budgets deterministically.
+  std::this_thread::sleep_for(
+      std::chrono::duration<double, std::milli>(delay_ms));
 }
 
 std::uint64_t FaultInjector::hits(std::string_view site) const {
@@ -150,6 +217,14 @@ std::uint64_t FaultInjector::injected(std::string_view site) const {
   const std::lock_guard<std::mutex> lock(mutex_);
   for (const auto& [name, s] : sites_) {
     if (name == site) return s.injected;
+  }
+  return 0;
+}
+
+std::uint64_t FaultInjector::delayed(std::string_view site) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [name, s] : sites_) {
+    if (name == site) return s.delayed;
   }
   return 0;
 }

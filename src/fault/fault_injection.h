@@ -53,22 +53,39 @@ bool is_registered_site(std::string_view site);
 /// [first_hit, first_hit + count)) or key-matched (fire on the first
 /// `count` checks whose work-unit key equals `key` — e.g. a sweep cell
 /// label, which stays deterministic under any thread count).
+///
+/// The *kind* of a firing is selected by `delay_ms`:
+///  - negative (the default): throw InjectedFault — a failing site;
+///  - finite >= 0: a `delay` — the check sleeps that many milliseconds,
+///    uninterruptibly (a slow-but-honest operation), then returns
+///    normally. Deterministically exercises watchdog budgets;
+///  - +infinity: a `hang` — the check wedges until the thread's current
+///    cancellation context (util::current_cancel_token) is cancelled,
+///    then throws util::OperationCancelled. Deterministically exercises
+///    the cancellation paths; arming a hang on a thread with no
+///    cancellation context is refused (ModelError) rather than
+///    deadlocking the process.
 struct FaultSpec {
   std::string site;
   std::uint64_t first_hit = 1;  ///< 1-based; ignored when key is set
   std::uint64_t count = 1;      ///< consecutive failures
   std::string key;              ///< empty = hit-indexed
+  double delay_ms = -1.0;       ///< <0 throw; >=0 delay; inf hang
+
+  [[nodiscard]] bool is_delay() const noexcept { return delay_ms >= 0.0; }
 };
 
 /// An ordered set of FaultSpecs. Parsed from the CLI grammar
 ///
 ///   plan  := spec ("," spec)*
-///   spec  := site [":" arg] ["*" count]
+///   spec  := site [":" arg] ["*" count] ["@" (ms | "hang")]
 ///   arg   := integer hit index | work-unit key (anything non-numeric)
 ///
 /// "manifest_write:2" fires the 2nd manifest write, "cell:scrub=168"
 /// fires every attempt of the cell labeled scrub=168 once,
-/// "runner_trial:1*9" fires trials 1 through 9.
+/// "runner_trial:1*9" fires trials 1 through 9, "cell:3@250" delays the
+/// third cell attempt by 250 ms, "cell:scrub=48@hang" wedges that cell
+/// until cancelled.
 class FaultPlan {
  public:
   FaultPlan() = default;
@@ -107,11 +124,15 @@ class FaultInjector {
   /// Times `site` actually threw.
   [[nodiscard]] std::uint64_t injected(std::string_view site) const;
   [[nodiscard]] std::uint64_t total_injected() const;
+  /// Times a delay/hang fired at `site` (delays completed or hangs
+  /// entered; hangs additionally count under injected() once cancelled).
+  [[nodiscard]] std::uint64_t delayed(std::string_view site) const;
 
  private:
   struct SiteState {
     std::uint64_t hits = 0;
     std::uint64_t injected = 0;
+    std::uint64_t delayed = 0;
   };
   struct ArmedSpec {
     FaultSpec spec;

@@ -68,6 +68,11 @@ void RunTelemetry::set_importance_sampling(
   has_importance_sampling_ = true;
 }
 
+void RunTelemetry::set_stop_reason(const StopStats& stop) {
+  stop_ = stop;
+  has_stop_ = true;
+}
+
 void RunTelemetry::add_fault_event(FaultEvent event) {
   const std::lock_guard<std::mutex> lock(mutex_);
   fault_events_.push_back(std::move(event));
@@ -211,6 +216,19 @@ void RunTelemetry::write_json(JsonWriter& w) const {
       w.end_object();
     }
     w.end_array();
+  }
+
+  // Additive: only runs whose driver recorded a stop reason carry it —
+  // and only cancelled/deadlined ones carry the latency diagnostics.
+  if (has_stop_) {
+    w.kv("stop_reason", std::string_view(stop_.stop_reason));
+    if (stop_.cancel_latency_seconds >= 0.0) {
+      w.key("cancellation");
+      w.begin_object();
+      w.kv("polls", stop_.cancel_polls);
+      w.kv("latency_seconds", stop_.cancel_latency_seconds);
+      w.end_object();
+    }
   }
 
   w.end_object();

@@ -56,7 +56,7 @@ struct WorkerStats {
 /// (sweep/sweep_runner.h) emits these so a run's telemetry records not
 /// just what was computed but what was survived. `kind` is a small closed
 /// vocabulary: "injected", "retry", "quarantine", "io-error",
-/// "cache-reject".
+/// "cache-reject", "stalled" (a cell exceeded a watchdog budget).
 struct FaultEvent {
   std::string site;    ///< failure site name ("cell", "manifest_write", ...)
   std::string kind;
@@ -86,6 +86,18 @@ struct ImportanceSamplingStats {
   double ess = 0.0;         ///< effective sample size (sum w)^2 / sum w^2
   double weight_sum = 0.0;  ///< sum of trial weights
   double max_weight = 0.0;  ///< weight-degeneracy flag: largest single w
+};
+
+/// Why a run stopped and what the stop cost (docs/MODEL.md §16). The
+/// convergence loop records its stop rule here; cancelled or deadlined
+/// runs additionally carry the cancellation-latency diagnostics. Recorded
+/// only when a driver calls set_stop_reason, so manifests from layers that
+/// never set one serialize byte-identically to before the field existed.
+struct StopStats {
+  std::string stop_reason;  ///< convergence StopRule name, "cancelled", ...
+  std::uint64_t cancel_polls = 0;  ///< cancellation checks observed
+  /// Cancel request -> drain complete, seconds; <0 = not cancelled.
+  double cancel_latency_seconds = -1.0;
 };
 
 /// Telemetry sink for one logical run (possibly many batches). Attach via
@@ -124,6 +136,17 @@ class RunTelemetry {
       const noexcept {
     return importance_sampling_;
   }
+
+  /// Record (or refresh — last write wins, so a driver can overwrite a
+  /// batch-level value with the run-level one) why the run stopped. The
+  /// manifest gains "stop_reason" — and, for cancelled runs, a
+  /// "cancellation" object with poll and latency counters — only after
+  /// this is called, so prior manifests keep their exact bytes.
+  void set_stop_reason(const StopStats& stop);
+  [[nodiscard]] bool has_stop_reason() const noexcept {
+    return has_stop_;
+  }
+  [[nodiscard]] const StopStats& stop() const noexcept { return stop_; }
 
   /// Record one fault-tolerance event (thread-safe). Events are appended
   /// in arrival order; the JSON manifest gains a "faults" array only when
@@ -182,6 +205,8 @@ class RunTelemetry {
   bool configured_ = false;
   ImportanceSamplingStats importance_sampling_;
   bool has_importance_sampling_ = false;
+  StopStats stop_;
+  bool has_stop_ = false;
 };
 
 }  // namespace raidrel::obs

@@ -18,6 +18,10 @@ const char* to_string(ConvergedRun::StopRule rule) noexcept {
       return "ess";
     case ConvergedRun::StopRule::kZeroDdf:
       return "zero-ddf";
+    case ConvergedRun::StopRule::kCancelled:
+      return "cancelled";
+    case ConvergedRun::StopRule::kDeadline:
+      return "deadline";
   }
   return "?";
 }
@@ -37,6 +41,21 @@ ConvergedRun run_until_converged(const raid::GroupConfig& config,
                   "min_trials must not exceed max_trials");
 
   ConvergedRun out{RunResult(config.mission_hours, options.bucket_hours)};
+
+  // Effective cancellation token of the study. A wall-clock deadline is
+  // expressed as a derived token carrying it: a child of the caller's
+  // token when one was passed (so both an external cancel AND the deadline
+  // can end the study), a fresh root otherwise. Workers poll it at trial
+  // granularity, so expiry stops the run mid-batch, not at the next batch
+  // boundary.
+  util::CancelToken deadline_token;
+  util::CancelToken* cancel = options.cancel;
+  if (options.deadline.armed()) {
+    deadline_token = cancel != nullptr ? cancel->child(options.deadline)
+                                       : util::CancelToken(options.deadline);
+    cancel = &deadline_token;
+  }
+
   // One persistent worker pool for every batch of the study: workers are
   // spawned on the first multi-threaded batch and then parked between
   // batches instead of being respawned per run_monte_carlo call.
@@ -58,13 +77,19 @@ ConvergedRun run_until_converged(const raid::GroupConfig& config,
     run.batch_width = options.batch_width;
     run.tilt = options.tilt;
     run.math_tier = options.math_tier;
+    run.cancel = cancel;
     out.result.merge(run_monte_carlo(config, run));
     next_index += batch;
     ++out.batches;
 
+    // A batch cancelled before its first trial completed can leave the
+    // study with zero trials; the RunResult accessors refuse to fabricate
+    // statistics for an empty sample, so guard them and report the honest
+    // "no information" diagnostics (infinite relative SEM, zero ESS).
     const std::size_t trials = out.result.trials();
-    const double mean = out.result.total_ddfs_per_1000();
-    const double sem = out.result.total_ddfs_per_1000_sem();
+    const double mean = trials > 0 ? out.result.total_ddfs_per_1000() : 0.0;
+    const double sem =
+        trials > 0 ? out.result.total_ddfs_per_1000_sem() : 0.0;
     out.relative_sem = mean > 0.0
                            ? sem / mean
                            : std::numeric_limits<double>::infinity();
@@ -72,6 +97,19 @@ ConvergedRun run_until_converged(const raid::GroupConfig& config,
     out.ess = out.result.ess();
     if (options.telemetry) {
       options.telemetry->annotate_last_batch(out.relative_sem, sem);
+    }
+    // Cancellation trumps every stopping rule including the min-trials
+    // floor: the study was ended from outside (or ran out of wall time),
+    // and the partial batch above already merged, so finalize what we
+    // have and report why.
+    if (cancel != nullptr) {
+      const util::CancelReason why = cancel->reason();
+      if (why != util::CancelReason::kNone) {
+        out.stop = why == util::CancelReason::kDeadline
+                       ? ConvergedRun::StopRule::kDeadline
+                       : ConvergedRun::StopRule::kCancelled;
+        break;
+      }
     }
     // Stop-rule precedence (documented at ConvergedRun::StopRule): the
     // min-trials floor is checked before ANY stopping rule, so a single
@@ -109,6 +147,18 @@ ConvergedRun run_until_converged(const raid::GroupConfig& config,
       out.stop = ConvergedRun::StopRule::kZeroDdf;
       break;
     }
+  }
+  if (options.telemetry) {
+    // The manifest's stop_reason records how the study actually ended;
+    // cancelled/deadlined studies also carry the drain diagnostics
+    // (cancellation-check count, request-to-drain latency).
+    obs::StopStats stop;
+    stop.stop_reason = to_string(out.stop);
+    if (cancel != nullptr && cancel->cancelled()) {
+      stop.cancel_polls = cancel->polls();
+      stop.cancel_latency_seconds = cancel->seconds_since_cancel();
+    }
+    options.telemetry->set_stop_reason(stop);
   }
   return out;
 }

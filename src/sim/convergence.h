@@ -67,6 +67,19 @@ struct ConvergenceOptions {
   /// Unlike batch_width, a non-default tier changes result bits, so the
   /// sweep engine folds it into the cell cache key.
   MathTier math_tier = MathTier::kExact;
+  /// Cooperative cancellation (util/cancel.h), forwarded to every batch's
+  /// RunOptions. A cancelled token ends the study as soon as the current
+  /// batch drains: the partial batch still merges, and the loop returns
+  /// what it has under StopRule kCancelled/kDeadline with honest SEM/ESS
+  /// diagnostics for however many trials actually completed (possibly
+  /// zero — see ConvergedRun::result). Null — the default — is off.
+  util::CancelToken* cancel = nullptr;
+  /// Wall-clock bound on the whole study. When armed, the loop derives a
+  /// child of `cancel` (or a fresh root token) carrying this deadline, so
+  /// running out of wall time stops the study mid-convergence exactly like
+  /// an external cancel — at trial granularity, not batch granularity.
+  /// Deadline::never() — the default — is off.
+  util::Deadline deadline = util::Deadline::never();
 };
 
 struct ConvergedRun {
@@ -74,8 +87,21 @@ struct ConvergedRun {
   /// are evaluated in a fixed precedence order each round — min-trials
   /// floor first (no rule may stop below it, even when a wide batch
   /// overshoots every target in round one), then relative SEM, absolute
-  /// SEM, ESS, and last the zero-DDF rule of three.
-  enum class StopRule { kBudget, kRelativeSem, kAbsoluteSem, kEss, kZeroDdf };
+  /// SEM, ESS, and last the zero-DDF rule of three. kCancelled/kDeadline
+  /// trump everything including the floor: they mean the study was ended
+  /// from outside (signal, caller) or ran out of wall time, and the
+  /// result carries whatever trials had completed when the drain finished
+  /// (`converged` stays false; diagnostics are computed from the partial
+  /// sample, or left infinite/zero when no trial completed at all).
+  enum class StopRule {
+    kBudget,
+    kRelativeSem,
+    kAbsoluteSem,
+    kEss,
+    kZeroDdf,
+    kCancelled,
+    kDeadline,
+  };
 
   RunResult result;
   bool converged = false;          ///< some target reached within budget

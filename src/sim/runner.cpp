@@ -210,18 +210,37 @@ RunResult run_monte_carlo(const raid::GroupConfig& config,
     ws.spare_arrivals += trial.spare_arrivals;
   };
 
+  // Drain protocol: once the token reads cancelled, a worker stops
+  // claiming and abandons the rest of its current claim — but everything
+  // it already completed still merges below, so the caller gets an honest
+  // partial result. Poll granularity is one trial (scalar/fleet) or one
+  // lane (batched): coarse enough to stay off the hot path, fine enough
+  // that cancel latency is bounded by one simulated mission.
+  auto cancel_requested = [&options]() noexcept {
+    return options.cancel != nullptr &&
+           options.cancel->poll_quiet() != util::CancelReason::kNone;
+  };
+
   auto worker = [&] {
+    // Innermost cancellation context for layers below that have no token
+    // parameter (the fault injector's hang kind polls this).
+    const util::CancelScope cancel_scope(options.cancel);
     const auto worker_start = std::chrono::steady_clock::now();
     obs::WorkerStats ws;
     RunResult local(config.mission_hours, options.bucket_hours);
+    bool drained = false;
     if (lane == 1) {
       GroupSimulator simulator(config, options.kernel_policy, options.tilt);
       TrialResult trial;
-      for (;;) {
+      while (!drained) {
         const std::size_t begin = next_trial.fetch_add(chunk);
         if (begin >= options.trials) break;
         const std::size_t end = std::min(begin + chunk, options.trials);
         for (std::size_t i = begin; i < end; ++i) {
+          if (cancel_requested()) {
+            drained = true;
+            break;
+          }
           const std::uint64_t index = options.first_trial_index + i;
           if (options.fault != nullptr) options.fault->check("runner_trial");
           auto rs = streams.stream(index);
@@ -239,11 +258,15 @@ RunResult run_monte_carlo(const raid::GroupConfig& config,
       // the aggregation order identical to the scalar path per worker.
       BatchGroupSimulator simulator(config, lane, options.kernel_policy,
                                     options.tilt, options.math_tier);
-      for (;;) {
+      while (!drained) {
         const std::size_t begin = next_trial.fetch_add(chunk);
         if (begin >= options.trials) break;
         const std::size_t end = std::min(begin + chunk, options.trials);
         for (std::size_t lb = begin; lb < end; lb += lane) {
+          if (cancel_requested()) {
+            drained = true;
+            break;
+          }
           const std::size_t n = std::min(lane, end - lb);
           if (options.fault != nullptr) {
             for (std::size_t k = 0; k < n; ++k) {
@@ -286,6 +309,11 @@ RunResult run_monte_carlo(const raid::GroupConfig& config,
           {options.tilt->op_theta, options.tilt->ld_theta, total.ess(),
            total.weight_sum(), total.max_weight()});
     }
+    if (options.cancel != nullptr && options.cancel->cancelled()) {
+      options.telemetry->set_stop_reason(
+          {util::to_string(options.cancel->reason()), options.cancel->polls(),
+           options.cancel->seconds_since_cancel()});
+    }
   }
   return total;
 }
@@ -319,17 +347,28 @@ RunResult run_fleet_monte_carlo(const FleetConfig& config,
   // Fleet trials are heavyweight, so the claim cap stays small.
   const std::size_t chunk = claim_chunk(options.trials, threads, 1, 8);
 
+  auto cancel_requested = [&options]() noexcept {
+    return options.cancel != nullptr &&
+           options.cancel->poll_quiet() != util::CancelReason::kNone;
+  };
+
   auto worker = [&] {
+    const util::CancelScope cancel_scope(options.cancel);
     const auto worker_start = std::chrono::steady_clock::now();
     obs::WorkerStats ws;
     RunResult local(mission, options.bucket_hours);
     FleetSimulator simulator(config, options.kernel_policy);
     FleetTrialResult trial;
-    for (;;) {
+    bool drained = false;
+    while (!drained) {
       const std::size_t begin = next_trial.fetch_add(chunk);
       if (begin >= options.trials) break;
       const std::size_t end = std::min(begin + chunk, options.trials);
       for (std::size_t i = begin; i < end; ++i) {
+        if (cancel_requested()) {
+          drained = true;
+          break;
+        }
         const std::uint64_t index = options.first_trial_index + i;
         if (options.fault != nullptr) options.fault->check("runner_trial");
         auto rs = streams.stream(index);
@@ -370,6 +409,11 @@ RunResult run_fleet_monte_carlo(const FleetConfig& config,
             ? static_cast<double>(batch.trials) / batch.wall_seconds
             : 0.0;
     options.telemetry->add_batch(batch);
+    if (options.cancel != nullptr && options.cancel->cancelled()) {
+      options.telemetry->set_stop_reason(
+          {util::to_string(options.cancel->reason()), options.cancel->polls(),
+           options.cancel->seconds_since_cancel()});
+    }
   }
   return total;
 }

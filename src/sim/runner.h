@@ -18,6 +18,7 @@
 #include "sim/run_result.h"
 #include "sim/slot_kernel.h"
 #include "sim/thread_pool.h"
+#include "util/cancel.h"
 
 namespace raidrel::sim {
 
@@ -78,6 +79,21 @@ struct RunOptions {
   /// and stays bit-identical to the plain one. Engaged tilt requires
   /// lowerable op/latent laws and is rejected by fleet runs.
   std::optional<TiltSpec> tilt = std::nullopt;
+
+  /// Cooperative cancellation (util/cancel.h). When set, every worker
+  /// installs the token as its thread's cancellation context and polls it
+  /// at trial granularity (the scalar and fleet engines before each trial,
+  /// the batched engine before each lane). A cancelled token makes the run
+  /// *drain*: workers stop claiming work, finish nothing further, and the
+  /// call returns the partial RunResult of every trial completed so far —
+  /// it does not throw, so callers can finalize honest estimates from what
+  /// they have. A run whose token is never cancelled is bit-identical to a
+  /// run with no token at all (polling touches no random stream); only the
+  /// *set* of completed trials is scheduler-dependent after a cancel, and
+  /// every completed trial is still bit-exact per its index. May return a
+  /// zero-trial result if cancelled before any trial completes. Null — the
+  /// default — skips the polls entirely.
+  util::CancelToken* cancel = nullptr;
 
   /// Math tier of the batched engine's bulk refills (sim/lane_ops.h and
   /// docs/MODEL.md §14). The default kExact keeps every result

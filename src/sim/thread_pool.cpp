@@ -1,6 +1,7 @@
 #include "sim/thread_pool.h"
 
 #include "fault/fault_injection.h"
+#include "util/cancel.h"
 
 namespace raidrel::sim {
 
@@ -42,11 +43,15 @@ void ThreadPool::worker_loop() {
       --unclaimed_;
       const std::function<void()>* job = job_;
       fault::FaultInjector* injector = injector_;
+      const util::CancelToken* cancel = cancel_;
       lock.unlock();
       // A throwing task must not unwind into std::thread (std::terminate);
       // capture and let run() rethrow on the coordinating thread instead.
+      // A cancelled token drains the same way: skip the job, record
+      // OperationCancelled, keep counting invocations down.
       std::exception_ptr error;
       try {
+        if (cancel != nullptr) cancel->poll();
         if (injector != nullptr) injector->check("pool_task");
         (*job)();
       } catch (...) {

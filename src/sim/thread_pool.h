@@ -32,6 +32,10 @@ namespace raidrel::fault {
 class FaultInjector;
 }
 
+namespace raidrel::util {
+class CancelToken;
+}
+
 namespace raidrel::sim {
 
 class ThreadPool {
@@ -62,6 +66,24 @@ class ThreadPool {
     injector_ = injector;
   }
 
+  /// Optional cooperative-cancellation hook (util/cancel.h): when set,
+  /// every task invocation polls the token before running. A cancelled
+  /// token makes workers *drain* — each remaining invocation is skipped
+  /// (counted as done without calling `fn`), every in-flight invocation
+  /// still runs to completion, and run() rethrows OperationCancelled on
+  /// the coordinating thread once all workers are parked. The pool stays
+  /// fully reusable afterwards, exactly like any other task exception.
+  ///
+  /// The Monte Carlo runner deliberately does NOT arm this: its workers
+  /// poll the same token themselves and drain by returning partial
+  /// results (sim/runner.h), which the convergence loop finalizes. The
+  /// pool-level hook is for callers whose tasks have nothing partial to
+  /// hand back. Set before run(); null disables; the token must outlive
+  /// the pool's last run().
+  void set_cancel_token(const util::CancelToken* token) noexcept {
+    cancel_ = token;
+  }
+
   /// Workers currently parked or running.
   [[nodiscard]] unsigned worker_count() const noexcept {
     return static_cast<unsigned>(workers_.size());
@@ -76,6 +98,7 @@ class ThreadPool {
   std::condition_variable work_done_;
   const std::function<void()>* job_ = nullptr;
   fault::FaultInjector* injector_ = nullptr;
+  const util::CancelToken* cancel_ = nullptr;
   std::exception_ptr first_error_;  ///< first task exception of this run()
   unsigned unclaimed_ = 0;  ///< invocations not yet picked up by a worker
   unsigned active_ = 0;     ///< invocations picked up and still running

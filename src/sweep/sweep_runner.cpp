@@ -4,6 +4,7 @@
 #include <atomic>
 #include <chrono>
 #include <cmath>
+#include <condition_variable>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -393,15 +394,28 @@ void write_manifest(const std::string& path, const std::string& sweep_name,
 
 CellResult simulate_cell(const SweepCell& cell,
                          const sim::ConvergenceOptions& base_options,
-                         fault::FaultInjector* fault, bool deadline_armed) {
+                         fault::FaultInjector* fault, bool deadline_armed,
+                         util::CancelToken* cancel) {
   const sim::ConvergenceOptions effective = cell_options(cell, base_options);
   sim::ConvergenceOptions opt = effective;
   opt.threads = 1;  // determinism: a cell is one worker's serial job
   opt.telemetry = nullptr;
   opt.trace = nullptr;
   opt.fault = fault;
+  opt.cancel = cancel;
   const raid::GroupConfig config = cell.scenario.to_group_config();
   const sim::ConvergedRun run = sim::run_until_converged(config, opt);
+  if (run.stop == sim::ConvergedRun::StopRule::kCancelled ||
+      run.stop == sim::ConvergedRun::StopRule::kDeadline) {
+    // A cell never keeps partial work — the manifest holds only full,
+    // bit-reproducible results — so surface the cancellation and let the
+    // worker decide between "leave pending" (sweep-level interrupt) and
+    // "quarantine as stalled" (the cell's own soft budget expired).
+    throw util::OperationCancelled(
+        run.stop == sim::ConvergedRun::StopRule::kDeadline
+            ? util::CancelReason::kDeadline
+            : util::CancelReason::kCancelled);
+  }
   if (deadline_armed && !run.converged) {
     // A deadline stop is a deterministic failure: re-running cannot
     // converge any better, so the caller quarantines without retrying.
@@ -473,9 +487,24 @@ SweepResult SweepRunner::run(const std::string& sweep_name,
   obs::RunTelemetry* telemetry = options_.telemetry;
   const double backoff_ms = options_.retry_backoff_ms;
 
+  util::CancelToken* sweep_cancel = options_.cancel;
+  const double soft_budget = options_.cell_soft_budget_seconds;
+  const double hard_budget = options_.cell_hard_budget_seconds;
+  RAIDREL_REQUIRE(soft_budget >= 0.0 && hard_budget >= 0.0,
+                  "cell time budgets must be non-negative");
+  // Every cell attempt runs under its own child token when either the
+  // sweep can be cancelled or a soft budget bounds the cell; with neither,
+  // the legacy token-free path is preserved exactly (zero polls).
+  const bool cell_tokens = sweep_cancel != nullptr || soft_budget > 0.0;
+  auto soft_deadline = [soft_budget] {
+    return soft_budget > 0.0 ? util::Deadline::after_seconds(soft_budget)
+                             : util::Deadline::never();
+  };
+
   SweepResult out;
   std::atomic<std::uint64_t> retries{0};
   std::atomic<std::uint64_t> injected{0};
+  std::atomic<std::uint64_t> stalled{0};
   auto observe = [&](const std::exception& e) {
     if (is_injected_fault(e)) {
       injected.fetch_add(1);
@@ -572,17 +601,120 @@ SweepResult SweepRunner::run(const std::string& sweep_name,
     }
   };
 
+  // In-flight attempt registry for the watchdog. Workers register each
+  // attempt before it starts and unregister when it resolves; the monitor
+  // thread scans the registry on a fixed tick and flags attempts past
+  // their budgets. Lock order: inflight_mutex is never held while taking
+  // the main mutex with another thread in between — the watchdog collects
+  // under inflight_mutex, releases, then reports under the main mutex.
+  struct InFlight {
+    std::size_t index = 0;
+    const std::string* label = nullptr;
+    std::chrono::steady_clock::time_point start;
+    bool soft_noted = false;
+    bool hard_noted = false;
+  };
+  const bool watchdog_armed = soft_budget > 0.0 || hard_budget > 0.0;
+  std::mutex inflight_mutex;  // guards inflight and watchdog_stop
+  std::condition_variable watchdog_cv;
+  std::vector<InFlight> inflight;
+  bool watchdog_stop = false;
+  auto register_attempt = [&](std::size_t idx, const SweepCell& cell) {
+    if (!watchdog_armed) return;
+    const std::lock_guard<std::mutex> lk(inflight_mutex);
+    inflight.push_back(
+        {idx, &cell.label, std::chrono::steady_clock::now(), false, false});
+  };
+  auto unregister_attempt = [&](std::size_t idx) {
+    if (!watchdog_armed) return;
+    const std::lock_guard<std::mutex> lk(inflight_mutex);
+    for (auto it = inflight.begin(); it != inflight.end(); ++it) {
+      if (it->index == idx) {
+        inflight.erase(it);
+        break;
+      }
+    }
+  };
+  std::thread watchdog;
+  if (watchdog_armed) {
+    watchdog = std::thread([&] {
+      // Tick fast enough to notice a breach at a fraction of the smallest
+      // armed budget, slow enough to stay invisible in profiles.
+      double tick_s = 0.25;
+      if (soft_budget > 0.0) tick_s = std::min(tick_s, soft_budget / 8.0);
+      if (hard_budget > 0.0) tick_s = std::min(tick_s, hard_budget / 8.0);
+      const auto tick =
+          std::chrono::duration<double>(std::max(tick_s, 0.001));
+      std::unique_lock<std::mutex> lk(inflight_mutex);
+      while (!watchdog_stop) {
+        watchdog_cv.wait_for(lk, tick);
+        const auto now = std::chrono::steady_clock::now();
+        std::vector<ErrorRecord> hard_records;
+        for (InFlight& f : inflight) {
+          const double elapsed =
+              std::chrono::duration<double>(now - f.start).count();
+          if (soft_budget > 0.0 && !f.soft_noted && elapsed > soft_budget) {
+            f.soft_noted = true;
+            stalled.fetch_add(1);
+            note_event(telemetry, "cell", "stalled", 0,
+                       *f.label + ": exceeded soft budget (" +
+                           std::to_string(soft_budget) + "s)");
+          }
+          if (hard_budget > 0.0 && !f.hard_noted && elapsed > hard_budget) {
+            f.hard_noted = true;
+            stalled.fetch_add(1);
+            hard_records.push_back(
+                {"watchdog_hard", f.index, *f.label, 0, 0,
+                 "cell still in flight past the hard watchdog budget (" +
+                     std::to_string(hard_budget) + "s)"});
+          }
+        }
+        if (!hard_records.empty()) {
+          lk.unlock();
+          {
+            const std::lock_guard<std::mutex> lock(mutex);
+            for (ErrorRecord& r : hard_records) {
+              note_event(telemetry, r.site, "stalled", 0,
+                         r.label + ": " + r.message);
+              out.io_errors.push_back(std::move(r));
+            }
+          }
+          lk.lock();
+        }
+      }
+    });
+  }
+
   std::atomic<std::size_t> next{0};
   auto worker = [&] {
     for (;;) {
+      // A tripped sweep token stops the claim loop: unclaimed cells stay
+      // pending (a resumed run recomputes them in full), and whatever
+      // this worker already completed is durable in the manifest.
+      if (sweep_cancel != nullptr &&
+          sweep_cancel->poll_quiet() != util::CancelReason::kNone) {
+        return;
+      }
       const std::size_t p = next.fetch_add(1);
       if (p >= pending.size()) return;
       const std::size_t idx = pending[p];
       const SweepCell& cell = cells[idx];
       for (unsigned attempt = 1;; ++attempt) {
+        // Fresh child per attempt: a retry must not inherit the expired
+        // soft deadline of the attempt it replaces. The CancelScope makes
+        // the token visible to layers without a token parameter (an
+        // injected @hang at the "cell" site polls it).
+        util::CancelToken cell_token =
+            sweep_cancel != nullptr ? sweep_cancel->child(soft_deadline())
+                                    : util::CancelToken(soft_deadline());
+        util::CancelToken* cell_cancel = cell_tokens ? &cell_token : nullptr;
+        const util::CancelScope cancel_scope(cell_cancel);
+        register_attempt(idx, cell);
         try {
           if (fault != nullptr) fault->check("cell", cell.label);
-          CellResult r = simulate_cell(cell, conv, fault, deadline_armed);
+          CellResult r =
+              simulate_cell(cell, conv, fault, deadline_armed, cell_cancel);
+          unregister_attempt(idx);
           const std::lock_guard<std::mutex> lock(mutex);
           slots[idx] = std::move(r);
           done[idx] = true;
@@ -597,7 +729,35 @@ SweepResult SweepRunner::run(const std::string& sweep_name,
                                << ")\n";
           }
           break;
+        } catch (const util::OperationCancelled& e) {
+          unregister_attempt(idx);
+          if (sweep_cancel != nullptr && sweep_cancel->cancelled()) {
+            // Sweep-level interrupt (signal or wall deadline): nothing
+            // partial to keep — leave the cell pending and stop claiming.
+            return;
+          }
+          // The cell's own soft budget expired. Retrying would replay the
+          // same budget exhaustion (modulo scheduler luck), so quarantine
+          // straight away, like cell_deadline.
+          stalled.fetch_add(1);
+          const std::lock_guard<std::mutex> lock(mutex);
+          failed[idx] = true;
+          out.quarantined.push_back(
+              {"cell_stalled", cell.index, cell.label,
+               cell_cache_key(cell.config_digest, cell_options(cell, conv)),
+               attempt, e.what()});
+          note_event(telemetry, "cell_stalled", "quarantine", attempt,
+                     cell.label + ": " + e.what());
+          checkpoint();  // a stall is persisted like any quarantine
+          if (options_.progress != nullptr) {
+            *options_.progress << "[" << (completed + out.quarantined.size())
+                               << "/" << cells.size() << "] " << cell.label
+                               << ": STALLED after " << attempt
+                               << " attempt(s) (cell_stalled)\n";
+          }
+          break;
         } catch (const std::exception& e) {
+          unregister_attempt(idx);
           observe(e);
           const std::string site = error_site(e, "cell");
           // A deadline stop is deterministic — retrying replays the same
@@ -686,12 +846,31 @@ SweepResult SweepRunner::run(const std::string& sweep_name,
     }
   }
 
+  if (watchdog.joinable()) {
+    {
+      const std::lock_guard<std::mutex> lk(inflight_mutex);
+      watchdog_stop = true;
+    }
+    watchdog_cv.notify_all();
+    watchdog.join();
+  }
+
   out.total_cells = cells.size();
   out.cached = cached;
   out.simulated = completed - cached;
   out.complete = completed == cells.size();
   out.retries = retries.load();
   out.faults_injected = injected.load();
+  out.stalled = stalled.load();
+  if (sweep_cancel != nullptr && sweep_cancel->cancelled()) {
+    out.interrupted = true;
+    out.stop_reason = util::to_string(sweep_cancel->reason());
+    out.cancel_latency_seconds = sweep_cancel->seconds_since_cancel();
+    if (telemetry != nullptr) {
+      telemetry->set_stop_reason({out.stop_reason, sweep_cancel->polls(),
+                                  out.cancel_latency_seconds});
+    }
+  }
   std::sort(out.quarantined.begin(), out.quarantined.end(),
             [](const ErrorRecord& a, const ErrorRecord& b) {
               return a.index < b.index;

@@ -102,13 +102,44 @@ struct SweepOptions {
   /// ordinary budget stop. The clamp feeds cell_cache_key, so deadline
   /// runs never collide with unclamped cache entries.
   std::size_t cell_trial_deadline = 0;
+
+  /// Cooperative cancellation for the whole sweep (util/cancel.h),
+  /// typically tripped by a driver's SignalGuard or wall-clock deadline.
+  /// Workers poll it before claiming each cell and the engines poll it
+  /// between trials: in-flight cells abandon their partial run (nothing
+  /// partial ever reaches the manifest), unclaimed cells stay pending, and
+  /// the manifest keeps its last durable checkpoint — so an interrupted
+  /// sweep reruns the remainder and converges to byte-identical bytes.
+  /// Null — the default — disables the polls entirely.
+  util::CancelToken* cancel = nullptr;
+
+  /// Soft per-cell wall-clock budget, seconds (0 = off). Every cell
+  /// attempt runs under a child token carrying this deadline; an attempt
+  /// that exceeds it drains at the next trial boundary and the cell is
+  /// quarantined (site "cell_stalled") instead of stalling the sweep.
+  /// Wall clock never feeds the cache key and a stalled cell is never
+  /// written as a result, so a clean resume that re-runs it converges to
+  /// the byte-identical single-pass manifest.
+  double cell_soft_budget_seconds = 0.0;
+
+  /// Hard per-cell watchdog budget, seconds (0 = off). A monitor thread
+  /// flags any attempt still in flight past this bound — a
+  /// "watchdog_hard" io_error record plus a telemetry "stalled" event —
+  /// so the sweep reports degradation instead of hanging silently. The
+  /// watchdog never kills a worker (nothing cooperative could resume
+  /// safely afterwards); a truly non-cooperative wedge is backstopped by
+  /// the drivers' second-signal forced exit.
+  double cell_hard_budget_seconds = 0.0;
 };
 
 /// One failure the sweep survived: a quarantined cell, or an I/O-layer
 /// error that degraded (but did not stop) the sweep. Quarantined cells are
 /// persisted in the manifest; io_errors are in-memory only.
 struct ErrorRecord {
-  std::string site;       ///< "cell", "cell_deadline", "manifest_write", ...
+  /// "cell", "cell_deadline", "cell_stalled" (soft budget exceeded),
+  /// "watchdog_hard" (hard budget exceeded, io_errors only),
+  /// "manifest_write", ...
+  std::string site;
   std::size_t index = 0;  ///< cell index; 0 for non-cell errors
   std::string label;      ///< cell label, or the path for I/O errors
   std::uint64_t cell_key = 0;  ///< cache key of the cell; 0 for I/O errors
@@ -184,6 +215,21 @@ struct SweepResult {
   std::vector<ErrorRecord> io_errors;
   std::uint64_t retries = 0;          ///< retry attempts consumed anywhere
   std::uint64_t faults_injected = 0;  ///< InjectedFaults observed (testing)
+
+  /// True when SweepOptions::cancel was tripped before every cell
+  /// resolved: in-flight cells were abandoned, unclaimed cells stay
+  /// pending, and the manifest holds the last durable checkpoint. Drivers
+  /// map this to their documented "interrupted" exit code.
+  bool interrupted = false;
+  /// Why the sweep stopped early ("cancelled" / "deadline"); empty when
+  /// it ran to completion.
+  std::string stop_reason;
+  /// Seconds from the cancel request until the workers finished draining;
+  /// negative when never cancelled.
+  double cancel_latency_seconds = -1.0;
+  /// Stalled-cell observations: soft-budget drains plus hard-watchdog
+  /// flags (a cell can contribute to both).
+  std::uint64_t stalled = 0;
 
   /// Number of cells that failed permanently this invocation.
   [[nodiscard]] std::size_t failed() const noexcept {

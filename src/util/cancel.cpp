@@ -1,0 +1,207 @@
+#include "util/cancel.h"
+
+#include <csignal>
+#include <ctime>
+#include <string>
+#include <unistd.h>
+
+namespace raidrel::util {
+
+namespace {
+
+/// Monotonic nanoseconds. clock_gettime(CLOCK_MONOTONIC) is on the
+/// POSIX async-signal-safe list, which is what lets request_cancel stamp
+/// the request time from inside a signal handler.
+std::int64_t monotonic_ns() noexcept {
+  timespec ts{};
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<std::int64_t>(ts.tv_sec) * 1000000000 + ts.tv_nsec;
+}
+
+}  // namespace
+
+const char* to_string(CancelReason reason) noexcept {
+  switch (reason) {
+    case CancelReason::kNone:
+      return "none";
+    case CancelReason::kCancelled:
+      return "cancelled";
+    case CancelReason::kDeadline:
+      return "deadline";
+  }
+  return "?";
+}
+
+OperationCancelled::OperationCancelled(CancelReason reason)
+    : SiteError(to_string(reason),
+                reason == CancelReason::kDeadline
+                    ? "deadline expired; draining cooperatively"
+                    : "cancellation requested; draining cooperatively"),
+      reason_(reason) {}
+
+struct CancelToken::State {
+  std::atomic<int> reason{0};             ///< CancelReason, first writer wins
+  std::atomic<std::int64_t> cancel_ns{0};  ///< monotonic stamp of the trip
+  std::atomic<std::uint64_t> polls{0};
+  std::atomic<std::uint64_t> cancel_at_poll{0};  ///< test hook; 0 = off
+  Deadline deadline;
+  std::shared_ptr<State> parent;
+
+  /// Trip this state (not ancestors). Atomics only — signal-safe.
+  void trip(CancelReason why) noexcept {
+    int expected = 0;
+    if (reason.compare_exchange_strong(expected, static_cast<int>(why),
+                                       std::memory_order_acq_rel)) {
+      cancel_ns.store(monotonic_ns(), std::memory_order_release);
+    }
+  }
+
+  /// Effective reason of this state alone: the explicit flag, the test
+  /// hook, or a freshly observed deadline expiry (latched so the request
+  /// stamp marks when the deadline passed, not when it was noticed —
+  /// within one poll interval either way).
+  CancelReason own_reason() noexcept {
+    const int r = reason.load(std::memory_order_acquire);
+    if (r != 0) return static_cast<CancelReason>(r);
+    const std::uint64_t trip_at =
+        cancel_at_poll.load(std::memory_order_relaxed);
+    if (trip_at != 0 &&
+        polls.load(std::memory_order_relaxed) >= trip_at) {
+      trip(CancelReason::kCancelled);
+      return CancelReason::kCancelled;
+    }
+    if (deadline.expired()) {
+      trip(CancelReason::kDeadline);
+      return CancelReason::kDeadline;
+    }
+    return CancelReason::kNone;
+  }
+};
+
+CancelToken::CancelToken(Deadline deadline)
+    : state_(std::make_shared<State>()) {
+  state_->deadline = deadline;
+}
+
+CancelToken CancelToken::child(Deadline deadline) const {
+  auto child_state = std::make_shared<State>();
+  child_state->deadline = deadline;
+  child_state->parent = state_;
+  return CancelToken(std::move(child_state));
+}
+
+void CancelToken::request_cancel(CancelReason reason) noexcept {
+  if (reason == CancelReason::kNone) return;
+  state_->trip(reason);
+}
+
+CancelReason CancelToken::reason() const noexcept {
+  for (State* s = state_.get(); s != nullptr; s = s->parent.get()) {
+    const CancelReason r = s->own_reason();
+    if (r != CancelReason::kNone) return r;
+  }
+  return CancelReason::kNone;
+}
+
+void CancelToken::poll() const {
+  const CancelReason r = poll_quiet();
+  if (r != CancelReason::kNone) throw OperationCancelled(r);
+}
+
+CancelReason CancelToken::poll_quiet() const noexcept {
+  state_->polls.fetch_add(1, std::memory_order_relaxed);
+  return reason();
+}
+
+std::uint64_t CancelToken::polls() const noexcept {
+  return state_->polls.load(std::memory_order_relaxed);
+}
+
+double CancelToken::seconds_since_cancel() const noexcept {
+  // The stamp of the state that actually fired: nearest-first, matching
+  // reason()'s resolution order.
+  for (State* s = state_.get(); s != nullptr; s = s->parent.get()) {
+    if (s->own_reason() == CancelReason::kNone) continue;
+    const std::int64_t at = s->cancel_ns.load(std::memory_order_acquire);
+    if (at == 0) continue;  // trip in flight on another thread
+    return static_cast<double>(monotonic_ns() - at) * 1e-9;
+  }
+  return -1.0;
+}
+
+Deadline CancelToken::deadline() const noexcept { return state_->deadline; }
+
+void CancelToken::cancel_after_polls(std::uint64_t n) noexcept {
+  state_->cancel_at_poll.store(n, std::memory_order_relaxed);
+}
+
+namespace {
+
+thread_local CancelToken* t_current_token = nullptr;
+
+}  // namespace
+
+CancelToken* current_cancel_token() noexcept { return t_current_token; }
+
+CancelScope::CancelScope(CancelToken* token) noexcept
+    : previous_(t_current_token) {
+  t_current_token = token;
+}
+
+CancelScope::~CancelScope() { t_current_token = previous_; }
+
+namespace {
+
+// SignalGuard handler slot. The handler reads only lock-free atomics and
+// calls trip() / _exit(), all async-signal-safe. g_guard_state is a raw
+// pointer; the owning SignalGuard holds the shared_ptr that keeps it
+// alive and clears the slot before releasing it.
+std::atomic<CancelToken::State*> g_guard_state{nullptr};
+std::atomic<int> g_signal{0};
+std::atomic<int> g_deliveries{0};
+
+struct sigaction g_old_int;   // NOLINT: process-global by nature
+struct sigaction g_old_term;  // NOLINT
+
+void signal_handler(int sig) {
+  g_signal.store(sig, std::memory_order_relaxed);
+  if (CancelToken::State* state =
+          g_guard_state.load(std::memory_order_acquire)) {
+    state->trip(CancelReason::kCancelled);
+  }
+  if (g_deliveries.fetch_add(1, std::memory_order_acq_rel) >= 1) {
+    // Second delivery: the cooperative drain did not finish (or the user
+    // pressed ^C twice) — force the conventional fatal-signal exit now.
+    _exit(128 + sig);
+  }
+}
+
+}  // namespace
+
+SignalGuard::SignalGuard(const CancelToken& token) : state_(token.state()) {
+  CancelToken::State* expected = nullptr;
+  RAIDREL_REQUIRE(g_guard_state.compare_exchange_strong(
+                      expected, state_.get(), std::memory_order_acq_rel),
+                  "one SignalGuard may be active per process");
+  g_signal.store(0, std::memory_order_relaxed);
+  g_deliveries.store(0, std::memory_order_relaxed);
+
+  struct sigaction action {};
+  action.sa_handler = signal_handler;
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = 0;  // no SA_RESTART: blocking I/O should wake too
+  sigaction(SIGINT, &action, &g_old_int);
+  sigaction(SIGTERM, &action, &g_old_term);
+}
+
+SignalGuard::~SignalGuard() {
+  sigaction(SIGINT, &g_old_int, nullptr);
+  sigaction(SIGTERM, &g_old_term, nullptr);
+  g_guard_state.store(nullptr, std::memory_order_release);
+}
+
+int SignalGuard::signal() const noexcept {
+  return g_signal.load(std::memory_order_relaxed);
+}
+
+}  // namespace raidrel::util

@@ -6,7 +6,10 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <chrono>
+#include <cmath>
 
+#include "util/cancel.h"
 #include "util/error.h"
 
 namespace {
@@ -14,6 +17,7 @@ namespace {
 using raidrel::ModelError;
 using raidrel::SiteError;
 using namespace raidrel::fault;
+namespace util = raidrel::util;
 
 TEST(FaultRegistry, IsClosedSortedAndQueryable) {
   const std::vector<std::string>& sites = registered_sites();
@@ -147,6 +151,77 @@ TEST(FaultInjector, ThrownFaultCarriesSiteHitAndKey) {
     const SiteError& as_site = e;
     EXPECT_EQ(as_site.site(), "manifest_write");
   }
+}
+
+TEST(FaultPlanParse, GrammarCoversDelayAndHangKinds) {
+  const FaultPlan plan = FaultPlan::parse(
+      "cell:3@250,manifest_write@hang,cell:scrub=48@hang,runner_trial:1*9@15");
+  ASSERT_EQ(plan.specs().size(), 4u);
+
+  EXPECT_EQ(plan.specs()[0].site, "cell");
+  EXPECT_EQ(plan.specs()[0].first_hit, 3u);
+  EXPECT_EQ(plan.specs()[0].delay_ms, 250.0);
+  EXPECT_TRUE(plan.specs()[0].is_delay());
+
+  EXPECT_EQ(plan.specs()[1].site, "manifest_write");
+  EXPECT_TRUE(std::isinf(plan.specs()[1].delay_ms));
+
+  // The kind suffix composes with key matching and fire counts.
+  EXPECT_EQ(plan.specs()[2].key, "scrub=48");
+  EXPECT_TRUE(std::isinf(plan.specs()[2].delay_ms));
+  EXPECT_EQ(plan.specs()[3].count, 9u);
+  EXPECT_EQ(plan.specs()[3].delay_ms, 15.0);
+
+  // Specs without the suffix keep the throwing kind.
+  EXPECT_LT(FaultPlan::parse("cell").specs()[0].delay_ms, 0.0);
+  EXPECT_FALSE(FaultPlan::parse("cell").specs()[0].is_delay());
+}
+
+TEST(FaultPlanParse, RejectsMalformedDelays) {
+  EXPECT_THROW(FaultPlan::parse("cell@"), ModelError);
+  EXPECT_THROW(FaultPlan::parse("cell@abc"), ModelError);
+  EXPECT_THROW(FaultPlan::parse("cell@-5"), ModelError);
+  EXPECT_THROW(FaultPlan::parse("cell@2.5"), ModelError);  // whole ms only
+}
+
+TEST(FaultInjector, DelayKindSleepsThenReturnsNormally) {
+  FaultInjector injector{FaultPlan::parse("runner_trial:1@20")};
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_NO_THROW(injector.check("runner_trial"));
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  EXPECT_GE(elapsed, 0.02);  // sleep_for guarantees at least the duration
+  EXPECT_EQ(injector.delayed("runner_trial"), 1u);
+  EXPECT_EQ(injector.injected("runner_trial"), 0u);
+  // The window is one hit wide: the next check is undelayed.
+  EXPECT_NO_THROW(injector.check("runner_trial"));
+  EXPECT_EQ(injector.delayed("runner_trial"), 1u);
+  EXPECT_EQ(injector.hits("runner_trial"), 2u);
+}
+
+TEST(FaultInjector, HangWithoutCancellationContextIsRefused) {
+  // Wedging a thread nothing can unwedge must fail loudly, not deadlock.
+  FaultInjector injector{FaultPlan::parse("cell@hang")};
+  ASSERT_EQ(util::current_cancel_token(), nullptr);
+  EXPECT_THROW(injector.check("cell"), ModelError);
+  EXPECT_EQ(injector.injected("cell"), 0u);
+}
+
+TEST(FaultInjector, HangBreaksOnTheThreadsCancellationContext) {
+  FaultInjector injector{FaultPlan::parse("cell@hang")};
+  util::CancelToken token;
+  token.request_cancel();
+  const util::CancelScope scope(&token);
+  try {
+    injector.check("cell");
+    FAIL() << "hang did not observe the cancelled token";
+  } catch (const util::OperationCancelled& e) {
+    EXPECT_EQ(e.reason(), util::CancelReason::kCancelled);
+  }
+  // A broken hang is both a delay that fired and an observed failure.
+  EXPECT_EQ(injector.delayed("cell"), 1u);
+  EXPECT_EQ(injector.injected("cell"), 1u);
 }
 
 TEST(FaultInjector, RefusesUnregisteredCheckSites) {
