@@ -14,6 +14,7 @@
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -21,6 +22,7 @@
 #include "bench_support.h"
 #include "core/presets.h"
 #include "obs/run_telemetry.h"
+#include "raid/group_config.h"
 #include "sim/batch_engine.h"
 #include "sim/group_simulator.h"
 #include "sim/lane_ops.h"
@@ -49,6 +51,7 @@ struct EngineMeta {
   std::size_t items_per_iteration = 1;
   std::string isa;
   std::string math_tier;
+  std::size_t numa_nodes = 0;
 };
 
 std::map<std::string, EngineMeta>& perf_meta() {
@@ -70,6 +73,10 @@ void note_engine_config(const std::string& bench_name,
     meta.isa = util::isa_name(sim::lane_ops().isa);
     meta.math_tier = sim::math_tier_name(tier);
   }
+  // Scheduling topology the number was measured under: a NUMA-pinned
+  // multi-node run is not like-for-like with a single-node one, and the
+  // gate refuses to compare across differing values.
+  meta.numa_nodes = util::active_topology().node_count();
   perf_meta()[bench_name] = std::move(meta);
 }
 
@@ -144,6 +151,45 @@ void BM_GroupMission_BaseCase_FastMath(benchmark::State& state) {
 }
 BENCHMARK(BM_GroupMission_BaseCase_FastMath);
 
+// Long-tail mission: a short window over the base-case laws, so most
+// trials see only their install burst and settle, while the unlucky few
+// ride defect/scrub chains for many more rounds. The lane spends most
+// wall rounds mostly empty — the settled-lane compaction regime. The
+// fused round loop's sweep cost tracks the number of LIVE lanes, so its
+// per-trial gain here exceeds the full-lane base case (super-linear
+// relative to mean occupancy). Watched by the perf gate;
+// active_lane_ratio is reported so the regime is visible per commit.
+void BM_GroupMission_LongTail(benchmark::State& state) {
+  raid::SlotModel m;
+  m.time_to_op_failure =
+      std::make_unique<stats::Weibull>(0.0, 461386.0, 1.12);
+  m.time_to_restore = std::make_unique<stats::Weibull>(6.0, 12.0, 2.0);
+  m.time_to_latent_defect =
+      std::make_unique<stats::Weibull>(0.0, 9259.0, 1.0);
+  m.time_to_scrub = std::make_unique<stats::Weibull>(6.0, 168.0, 3.0);
+  const auto cfg = raid::make_uniform_group(8, 1, m, 2000.0);
+  note_engine_config("BM_GroupMission_LongTail", sim::config_digest(cfg), 1,
+                     sim::kDefaultBatchWidth, sim::kDefaultBatchWidth);
+  sim::BatchGroupSimulator simulator(cfg, sim::kDefaultBatchWidth);
+  rng::StreamFactory streams(7);
+  std::uint64_t trial = 0;
+  for (auto _ : state) {
+    simulator.run_lane(streams, trial, sim::kDefaultBatchWidth);
+    trial += sim::kDefaultBatchWidth;
+    benchmark::DoNotOptimize(simulator.result(0).op_failures);
+  }
+  const auto& oc = simulator.occupancy();
+  if (oc.capacity_lane_rounds > 0) {
+    state.counters["active_lane_ratio"] = benchmark::Counter(
+        static_cast<double>(oc.active_lane_rounds) /
+        static_cast<double>(oc.capacity_lane_rounds));
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(sim::kDefaultBatchWidth));
+}
+BENCHMARK(BM_GroupMission_LongTail);
+
 void BM_GroupMission_BaseCase_Scalar(benchmark::State& state) {
   const auto cfg = core::presets::base_case().to_group_config();
   note_engine_config("BM_GroupMission_BaseCase_Scalar",
@@ -216,6 +262,40 @@ void BM_FullRun_MultiThreaded(benchmark::State& state) {
 }
 BENCHMARK(BM_FullRun_MultiThreaded)->Unit(benchmark::kMillisecond);
 
+// Thread-scaling curve of the full runner: the same 2000-trial run at 1
+// worker, 2 workers, and every hardware thread. On a multi-node machine
+// the pool pins workers and the runner claims node-local trial
+// partitions (sim/thread_pool.h), so this curve is where a NUMA
+// scheduling regression would show; CI logs the three points per commit.
+void BM_FullRun_ThreadScaling(benchmark::State& state) {
+  const unsigned threads = static_cast<unsigned>(state.range(0));
+  const auto cfg = core::presets::base_case().to_group_config();
+  note_engine_config(
+      "BM_FullRun_ThreadScaling/" + std::to_string(threads),
+      sim::config_digest(cfg), threads, sim::kDefaultBatchWidth, 2000);
+  sim::ThreadPool pool;
+  for (auto _ : state) {
+    sim::RunOptions options{.trials = 2000, .seed = 6,
+                            .threads = threads, .bucket_hours = 730.0};
+    options.pool = &pool;
+    const auto result = sim::run_monte_carlo(cfg, options);
+    benchmark::DoNotOptimize(result.total_ddfs_per_1000());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          2000);
+}
+void thread_scaling_args(benchmark::internal::Benchmark* b) {
+  // 1, 2, and all hardware threads — deduplicated so a 1- or 2-CPU
+  // machine does not measure the same point twice.
+  const long all = static_cast<long>(resolved_threads(0));
+  b->Arg(1);
+  if (all > 1) b->Arg(2);
+  if (all > 2) b->Arg(all);
+}
+BENCHMARK(BM_FullRun_ThreadScaling)
+    ->Apply(thread_scaling_args)
+    ->Unit(benchmark::kMillisecond);
+
 // Same run with a telemetry sink attached — the delta against
 // BM_FullRun_MultiThreaded is the full observability overhead (per-trial
 // counter accumulation plus the once-per-worker merge), which must stay
@@ -265,6 +345,7 @@ class CapturingReporter : public benchmark::ConsoleReporter {
         rec.batch_width = meta->second.batch_width;
         rec.isa = meta->second.isa;
         rec.math_tier = meta->second.math_tier;
+        rec.numa_nodes = meta->second.numa_nodes;
         // Schema v3: real_time_ns is per work item. A lane iteration
         // simulates batch-width trials; report the per-trial time so the
         // number is comparable with the scalar engine's.

@@ -79,6 +79,11 @@ struct PerfRecord {
   std::size_t batch_width = 0;     ///< lockstep lane width (0 = n/a)
   std::string isa;        ///< resolved lane backend ("" = not recorded)
   std::string math_tier;  ///< lane math tier ("" = not recorded)
+  /// Scheduling NUMA nodes the run saw (util::active_topology); 0 = not
+  /// recorded. Engine numbers from a pinned multi-node run are not
+  /// like-for-like with single-node ones, so the gate treats differing
+  /// values as a tag mismatch (absent compares as wildcard, like `isa`).
+  std::size_t numa_nodes = 0;
 };
 
 /// Serialize perf records as a `raidrel-bench-perf/3` JSON document so CI

@@ -29,6 +29,7 @@ struct BenchEntry {
   std::string isa;
   std::string math_tier;
   std::uint64_t batch_width = 0;
+  std::uint64_t numa_nodes = 0;
 };
 
 BenchEntry find_bench(const JsonValue& benchmarks, const std::string& name) {
@@ -46,6 +47,9 @@ BenchEntry find_bench(const JsonValue& benchmarks, const std::string& name) {
     }
     if (const JsonValue* width = bench.find("batch_width")) {
       entry.batch_width = static_cast<std::uint64_t>(width->as_double());
+    }
+    if (const JsonValue* nodes = bench.find("numa_nodes")) {
+      entry.numa_nodes = static_cast<std::uint64_t>(nodes->as_double());
     }
     return entry;
   }
@@ -73,13 +77,22 @@ std::string tag_mismatch(const BenchEntry& baseline,
     return "batch_width (baseline " + std::to_string(baseline.batch_width) +
            ", candidate " + std::to_string(candidate.batch_width) + ")";
   }
+  // A NUMA-pinned multi-node run against a single-node one is a topology
+  // comparison, not a code comparison; absent (0) — an older artifact —
+  // stays a wildcard like every other tag.
+  if (baseline.numa_nodes != 0 && candidate.numa_nodes != 0 &&
+      baseline.numa_nodes != candidate.numa_nodes) {
+    return "numa_nodes (baseline " + std::to_string(baseline.numa_nodes) +
+           ", candidate " + std::to_string(candidate.numa_nodes) + ")";
+  }
   return {};
 }
 
 }  // namespace
 
 std::vector<std::string> default_watched_benchmarks() {
-  return {"BM_GroupMission_BaseCase", "BM_FullRun_MultiThreaded"};
+  return {"BM_GroupMission_BaseCase", "BM_GroupMission_LongTail",
+          "BM_FullRun_MultiThreaded"};
 }
 
 PerfGateReport run_perf_gate(std::string_view baseline_json,

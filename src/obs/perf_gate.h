@@ -30,7 +30,7 @@ struct PerfGateOptions {
   /// to 25% slower than baseline before the gate fails).
   double max_regression = 0.25;
   /// Benchmarks to compare; empty selects the default watched set
-  /// (the two engine mission benchmarks).
+  /// (the engine mission benchmarks: base case, long tail, full run).
   std::vector<std::string> watched;
 };
 

@@ -1,5 +1,6 @@
 #include "obs/run_telemetry.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <sstream>
 
@@ -26,6 +27,18 @@ WorkerStats& WorkerStats::operator+=(const WorkerStats& o) noexcept {
   restores_completed += o.restores_completed;
   spare_arrivals += o.spare_arrivals;
   wall_seconds += o.wall_seconds;
+  lane_rounds += o.lane_rounds;
+  active_lane_rounds += o.active_lane_rounds;
+  capacity_lane_rounds += o.capacity_lane_rounds;
+  for (int d = 0; d < 10; ++d) occupancy_hist[d] += o.occupancy_hist[d];
+  if (o.lanes_settled > 0) {
+    settle_rounds_min = lanes_settled == 0
+                            ? o.settle_rounds_min
+                            : std::min(settle_rounds_min, o.settle_rounds_min);
+    settle_rounds_max = std::max(settle_rounds_max, o.settle_rounds_max);
+  }
+  lanes_settled += o.lanes_settled;
+  settle_rounds_sum += o.settle_rounds_sum;
   return *this;
 }
 
@@ -157,6 +170,38 @@ void RunTelemetry::write_json(JsonWriter& w) const {
   w.begin_object();
   write_counters(w, sum);
   w.end_object();
+
+  // Additive: only batched runs (which execute dispatch rounds) carry a
+  // "lane_occupancy" object, so scalar manifests keep their exact bytes.
+  // The profile answers "how full were the lanes": mean_active_ratio is
+  // the fraction of lane slots doing useful work per round, the decile
+  // histogram shows how quickly lanes drain, and the settle stats bound
+  // how long a lane stays resident (docs/MODEL.md §17).
+  if (sum.lane_rounds > 0) {
+    w.key("lane_occupancy");
+    w.begin_object();
+    w.kv("rounds", sum.lane_rounds);
+    w.kv("active_lane_rounds", sum.active_lane_rounds);
+    w.kv("capacity_lane_rounds", sum.capacity_lane_rounds);
+    w.kv("mean_active_ratio",
+         sum.capacity_lane_rounds > 0
+             ? static_cast<double>(sum.active_lane_rounds) /
+                   static_cast<double>(sum.capacity_lane_rounds)
+             : 0.0);
+    w.key("occupancy_deciles");
+    w.begin_array();
+    for (const std::uint64_t d : sum.occupancy_hist) w.value(d);
+    w.end_array();
+    w.kv("lanes_settled", sum.lanes_settled);
+    w.kv("settle_rounds_mean",
+         sum.lanes_settled > 0
+             ? static_cast<double>(sum.settle_rounds_sum) /
+                   static_cast<double>(sum.lanes_settled)
+             : 0.0);
+    w.kv("settle_rounds_min", sum.settle_rounds_min);
+    w.kv("settle_rounds_max", sum.settle_rounds_max);
+    w.end_object();
+  }
 
   w.key("batches");
   w.begin_array();

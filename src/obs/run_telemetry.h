@@ -48,6 +48,21 @@ struct WorkerStats {
   std::uint64_t spare_arrivals = 0;      ///< spares consumed by a waiter
   double wall_seconds = 0.0;             ///< this worker's busy time
 
+  // Lane-occupancy profile of the batched engine's fused round loop
+  // (sim::BatchGroupSimulator::LaneOccupancy), summed over every lane this
+  // worker ran. All zero for scalar runs, which therefore serialize with
+  // no occupancy keys at all. `occupancy_hist[d]` counts dispatch rounds
+  // whose live-lane fraction fell in decile d (d == 9 is a full lane);
+  // settle_rounds_{min,max} use 0 as "no lane settled yet" when merging.
+  std::uint64_t lane_rounds = 0;          ///< dispatch rounds executed
+  std::uint64_t active_lane_rounds = 0;   ///< sum of live lanes over rounds
+  std::uint64_t capacity_lane_rounds = 0; ///< sum of lane capacity over rounds
+  std::uint64_t occupancy_hist[10] = {};
+  std::uint64_t lanes_settled = 0;
+  std::uint64_t settle_rounds_sum = 0;    ///< sum of each lane's settle round
+  std::uint64_t settle_rounds_min = 0;
+  std::uint64_t settle_rounds_max = 0;
+
   WorkerStats& operator+=(const WorkerStats& o) noexcept;
 };
 

@@ -53,16 +53,9 @@ BatchGroupSimulator::BatchGroupSimulator(const raid::GroupConfig& config,
       kernels_[0].latent.present();
 
   const std::size_t cells = width_ * nslots_;
-  install_time_.resize(cells);
-  next_op_.resize(cells);
-  restore_done_.resize(cells);
-  next_ld_.resize(cells);
-  defect_occurred_.resize(cells);
-  defect_clears_.resize(cells);
+  cells_.resize(cells);
   next_event_.resize(cells);
   next_kind_.resize(cells);
-  pending_restore_duration_.resize(cells);
-  defect_zone_.resize(cells);
   awaiting_spare_.resize(cells);
 
   streams_.reserve(width_);
@@ -82,17 +75,18 @@ BatchGroupSimulator::BatchGroupSimulator(const raid::GroupConfig& config,
   spare_queue_head_.resize(width_);
 
   active_.reserve(width_);
-  amin_t_.resize(width_);
-  amin_slot_.resize(width_);
+  bkt_spare_.resize(width_);
   bkt_clear_.resize(width_);
   bkt_restore_.resize(width_);
   bkt_op_.resize(width_);
   bkt_ld_.resize(width_);
+  spare_next_.resize(width_);
   gather_.resize(width_);
   countdown_gather_.resize(width_);
   rs_scratch_.resize(width_);
   out_scratch_.resize(width_);
   age_scratch_.resize(width_);
+  cell_scratch_.resize(width_);
   lw_scratch_.resize(width_);
   horizon_scratch_.resize(width_);
 
@@ -105,11 +99,11 @@ BatchGroupSimulator::BatchGroupSimulator(const raid::GroupConfig& config,
 }
 
 bool BatchGroupSimulator::restoring(std::size_t i) const noexcept {
-  return restore_done_[i] < kInf || awaiting_spare_[i] != 0;
+  return cells_[i].restore_done < kInf || awaiting_spare_[i] != 0;
 }
 
 bool BatchGroupSimulator::defective(std::size_t i) const noexcept {
-  return defect_occurred_[i] < kInf;
+  return cells_[i].defect_occurred < kInf;
 }
 
 const CompiledLaw& BatchGroupSimulator::law_of(
@@ -126,22 +120,6 @@ const CompiledLaw& BatchGroupSimulator::law_of(
       return k.scrub;
   }
   return k.op;  // unreachable
-}
-
-void BatchGroupSimulator::refresh_next_event(std::uint32_t lane,
-                                             std::uint32_t slot) noexcept {
-  const std::size_t i = idx(lane, slot);
-  const double m = std::min(std::min(next_op_[i], restore_done_[i]),
-                            std::min(next_ld_[i], defect_clears_[i]));
-  next_event_[i] = m;
-  // Resolve the dispatch priority here, while all four timers are in hand:
-  // the round loop then buckets by one cached byte. The <= chain is the
-  // scalar dispatcher's, so ties resolve identically; a phantom event is
-  // impossible by construction because kind and min are derived together.
-  next_kind_[i] = defect_clears_[i] <= m   ? kKindClear
-                  : restore_done_[i] <= m ? kKindRestore
-                  : next_op_[i] <= m      ? kKindOp
-                                          : kKindLd;
 }
 
 void BatchGroupSimulator::bulk_sample(Law which, const Ev* elems,
@@ -227,34 +205,36 @@ void BatchGroupSimulator::bulk_sample(Law which, const Ev* elems,
 void BatchGroupSimulator::bulk_defect_countdown(const Ev* elems,
                                                 std::size_t n) {
   if (n == 0) return;
+  std::size_t* const cell = cell_scratch_.data();
   if (uniform_latent_present_) {
     // Every element draws through the same present latent law, so the
-    // gather copy is unnecessary: one pass stages the draw inputs, one
-    // pass scatters the countdowns back.
+    // gather copy is unnecessary: one pass stages the draw inputs (and
+    // caches each element's cell index), one pass scatters the
+    // countdowns back through the cache.
     for (std::size_t k = 0; k < n; ++k) {
       const Ev& e = elems[k];
       const std::size_t i = idx(e.lane, e.slot);
-      defect_occurred_[i] = kInf;
-      defect_clears_[i] = kInf;
+      cell[k] = i;
+      cells_[i].defect_occurred = kInf;
+      cells_[i].defect_clears = kInf;
       rs_scratch_[k] = &streams_[e.lane];
       if (age_clock_) {
         // NHPP in drive age: next arrival solves H(age') = H(age) + Exp(1).
-        age_scratch_[k] = e.t - install_time_[i];
+        age_scratch_[k] = e.t - cells_[i].install_time;
       }
     }
     bulk_sample(Law::kLatent, elems, n, age_clock_);
     for (std::size_t k = 0; k < n; ++k) {
-      const Ev& e = elems[k];
-      const std::size_t i = idx(e.lane, e.slot);
+      const std::size_t i = cell[k];
       // A slot receiving a countdown is never restoring (countdowns arm
       // just-installed or just-scrubbed drives) and both defect timers were
       // set infinite above, so the four-way refresh collapses to
-      // min(op, ld). Tie priority matches refresh_next_event: the infinite
+      // min(op, ld). Tie priority matches the canonical chain: the infinite
       // clear/restore timers only tie when both finalists are infinite, and
       // op-law lifetimes are finite here (the slot is operational).
-      const double ld = e.t + out_scratch_[k];
-      const double op = next_op_[i];
-      next_ld_[i] = ld;
+      const double ld = elems[k].t + out_scratch_[k];
+      const double op = cells_[i].next_op;
+      cells_[i].next_ld = ld;
       next_event_[i] = std::min(op, ld);
       next_kind_[i] = op <= ld ? kKindOp : kKindLd;
     }
@@ -265,15 +245,16 @@ void BatchGroupSimulator::bulk_defect_countdown(const Ev* elems,
   for (std::size_t k = 0; k < n; ++k) {
     const Ev& e = elems[k];
     const std::size_t i = idx(e.lane, e.slot);
-    defect_occurred_[i] = kInf;
-    defect_clears_[i] = kInf;
+    cells_[i].defect_occurred = kInf;
+    cells_[i].defect_clears = kInf;
     if (!kernels_[e.slot].latent.present()) {
       // Same collapsed refresh as below with ld = +inf: the slot is
       // operational, so next_op_ is finite and wins.
-      next_ld_[i] = kInf;
-      next_event_[i] = next_op_[i];
+      cells_[i].next_ld = kInf;
+      next_event_[i] = cells_[i].next_op;
       next_kind_[i] = kKindOp;
     } else {
+      cell[ng] = i;
       cg[ng++] = e;
     }
   }
@@ -282,17 +263,16 @@ void BatchGroupSimulator::bulk_defect_countdown(const Ev* elems,
     const Ev& e = cg[k];
     rs_scratch_[k] = &streams_[e.lane];
     if (age_clock_) {
-      age_scratch_[k] = e.t - install_time_[idx(e.lane, e.slot)];
+      age_scratch_[k] = e.t - cells_[cell[k]].install_time;
     }
   }
   bulk_sample(Law::kLatent, cg, ng, age_clock_);
   for (std::size_t k = 0; k < ng; ++k) {
-    const Ev& e = cg[k];
-    const std::size_t i = idx(e.lane, e.slot);
+    const std::size_t i = cell[k];
     // See the uniform path: non-restoring slot, defect timers infinite.
-    const double ld = e.t + out_scratch_[k];
-    const double op = next_op_[i];
-    next_ld_[i] = ld;
+    const double ld = cg[k].t + out_scratch_[k];
+    const double op = cells_[i].next_op;
+    cells_[i].next_ld = ld;
     next_event_[i] = std::min(op, ld);
     next_kind_[i] = op <= ld ? kKindOp : kKindLd;
   }
@@ -303,27 +283,31 @@ void BatchGroupSimulator::scalar_defect_countdown(std::uint32_t lane,
                                                   double now) {
   const std::size_t i = idx(lane, slot);
   const CompiledLaw& latent = kernels_[slot].latent;
-  defect_occurred_[i] = kInf;
-  defect_clears_[i] = kInf;
+  cells_[i].defect_occurred = kInf;
+  cells_[i].defect_clears = kInf;
+  // Countdowns arm operational slots (just installed, scrubbed, or
+  // cleared): the restore timer is infinite and both defect timers were
+  // zeroed above, so the canonical four-way refresh collapses to
+  // min(op, ld) with the bulk path's tie priority.
+  double ld;
   if (!latent.present()) {
-    next_ld_[i] = kInf;
-    refresh_next_event(lane, slot);
-    return;
-  }
-  if (age_clock_) {
-    const double age = now - install_time_[i];
-    next_ld_[i] =
-        now + (tilted_ ? latent.sample_residual_tilted(
-                             ld_tilt_, age, age + (cfg_.mission_hours - now),
-                             streams_[lane], lw_[lane])
-                       : latent.sample_residual(age, streams_[lane]));
+    ld = kInf;
+  } else if (age_clock_) {
+    const double age = now - cells_[i].install_time;
+    ld = now + (tilted_ ? latent.sample_residual_tilted(
+                              ld_tilt_, age, age + (cfg_.mission_hours - now),
+                              streams_[lane], lw_[lane])
+                        : latent.sample_residual(age, streams_[lane]));
   } else {
-    next_ld_[i] = now + (tilted_ ? latent.sample_tilted(
-                                       ld_tilt_, cfg_.mission_hours - now,
-                                       streams_[lane], lw_[lane])
-                                 : latent.sample(streams_[lane]));
+    ld = now + (tilted_ ? latent.sample_tilted(ld_tilt_,
+                                               cfg_.mission_hours - now,
+                                               streams_[lane], lw_[lane])
+                        : latent.sample(streams_[lane]));
   }
-  refresh_next_event(lane, slot);
+  const double op = cells_[i].next_op;
+  cells_[i].next_ld = ld;
+  next_event_[i] = std::min(op, ld);
+  next_kind_[i] = op <= ld ? kKindOp : kKindLd;
 }
 
 void BatchGroupSimulator::stripe_check(std::uint32_t lane, std::uint32_t slot,
@@ -332,12 +316,12 @@ void BatchGroupSimulator::stripe_check(std::uint32_t lane, std::uint32_t slot,
   rng::RandomStream& rs = streams_[lane];
   const std::size_t i = idx(lane, slot);
   const std::size_t base = static_cast<std::size_t>(lane) * nslots_;
-  defect_zone_[i] = rs.uniform_index(cfg_.stripe_zones);
+  cells_[i].defect_zone = rs.uniform_index(cfg_.stripe_zones);
   unsigned sharing = 1;
   for (std::uint32_t j = 0; j < nslots_; ++j) {
     if (j == slot) continue;
     const std::size_t i2 = base + j;
-    if (!restoring(i2) && defective(i2) && defect_zone_[i2] == defect_zone_[i]) {
+    if (!restoring(i2) && defective(i2) && cells_[i2].defect_zone == cells_[i].defect_zone) {
       ++sharing;
     }
   }
@@ -347,7 +331,7 @@ void BatchGroupSimulator::stripe_check(std::uint32_t lane, std::uint32_t slot,
     for (std::uint32_t j = 0; j < nslots_; ++j) {
       const std::size_t i2 = base + j;
       if (!restoring(i2) && defective(i2) &&
-          defect_zone_[i2] == defect_zone_[i]) {
+          cells_[i2].defect_zone == cells_[i].defect_zone) {
         scalar_defect_countdown(lane, j, now);
       }
     }
@@ -360,11 +344,17 @@ void BatchGroupSimulator::scalar_latent_defect(std::uint32_t lane,
   const std::size_t i = idx(lane, slot);
   const CompiledLaw& scrub = kernels_[slot].scrub;
   ++c_latent_[lane];
-  defect_occurred_[i] = now;
-  defect_clears_[i] =
-      scrub.present() ? now + scrub.sample(streams_[lane]) : kInf;
-  next_ld_[i] = kInf;
-  refresh_next_event(lane, slot);
+  const double cl = scrub.present() ? now + scrub.sample(streams_[lane]) : kInf;
+  cells_[i].defect_occurred = now;
+  cells_[i].defect_clears = cl;
+  cells_[i].next_ld = kInf;
+  // The slot that just grew a defect is operational (restore timer
+  // infinite) and its defect timer went infinite, so the refresh
+  // collapses to min(op, clears); a tie dispatches the clear, exactly
+  // the canonical chain's priority.
+  const double op = cells_[i].next_op;
+  next_event_[i] = std::min(op, cl);
+  next_kind_[i] = cl <= op ? kKindClear : kKindOp;
   stripe_check(lane, slot, now);
 }
 
@@ -373,10 +363,17 @@ void BatchGroupSimulator::begin_restore(std::uint32_t lane,
                                         double duration) {
   const std::size_t i = idx(lane, slot);
   awaiting_spare_[i] = 0;
-  restore_done_[i] = now + duration;
-  refresh_next_event(lane, slot);
+  const double rd = now + duration;
+  cells_[i].restore_done = rd;
+  // The failing handler zeroed every other timer to +inf — and a slot
+  // awaiting a spare keeps them there (no failures, defects, or clears
+  // while down) — so the refresh collapses to the restore timer. An
+  // infinite restore end ties every timer at +inf, where the canonical
+  // chain resolves to the clear.
+  next_event_[i] = rd;
+  next_kind_[i] = rd < kInf ? kKindRestore : kKindClear;
   if (slot == ddf_slot_[lane]) {
-    group_failed_until_[lane] = restore_done_[i];
+    group_failed_until_[lane] = rd;
   }
 }
 
@@ -395,9 +392,13 @@ void BatchGroupSimulator::request_spare(std::uint32_t lane,
   }
   const std::size_t i = idx(lane, slot);
   awaiting_spare_[i] = 1;
-  restore_done_[i] = kInf;
-  pending_restore_duration_[i] = duration;
-  refresh_next_event(lane, slot);
+  cells_[i].restore_done = kInf;
+  cells_[i].pending_restore_duration = duration;
+  // Every timer of a slot waiting on a spare is +inf (the failure zeroed
+  // op/latent/defect state and the restore cannot start); the all-inf
+  // tie resolves to the clear, as the canonical chain would.
+  next_event_[i] = kInf;
+  next_kind_[i] = kKindClear;
   spare_queue_[lane].push_back(slot);
   if (slot == ddf_slot_[lane]) group_failed_until_[lane] = kInf;
 }
@@ -432,7 +433,7 @@ void BatchGroupSimulator::handle_spare_arrival(std::uint32_t lane,
   }
   orders.push_back(now + cfg_.spare_pool->replenish_hours);
   ++c_spare_[lane];
-  begin_restore(lane, slot, now, pending_restore_duration_[idx(lane, slot)]);
+  begin_restore(lane, slot, now, cells_[idx(lane, slot)].pending_restore_duration);
 }
 
 double BatchGroupSimulator::probe_probability(std::uint32_t lane,
@@ -450,7 +451,7 @@ double BatchGroupSimulator::probe_probability(std::uint32_t lane,
       ++base_faults;
       continue;
     }
-    probe_age_[np] = now - install_time_[i];
+    probe_age_[np] = now - cells_[i].install_time;
     probe_slot_[np] = j;
     ++np;
   }
@@ -494,6 +495,21 @@ double BatchGroupSimulator::declustered_restore_scale(
          static_cast<double>(std::max(1u, sources));
 }
 
+void BatchGroupSimulator::process_spare_arrivals() {
+  // Spare arrivals dispatch before any slot event of the round (the
+  // scalar loop's <= tie) and draw no RNG; handle_spare_arrival touches
+  // only its lane's state, so bucket order — stable lane order — gives
+  // exactly the per-lane sequence the inline handling produced.
+  for (std::size_t k = 0; k < n_spare_; ++k) {
+    const Ev& e = bkt_spare_[k];
+    if (any_trace_ && traces_[e.lane]) {
+      traces_[e.lane]->record(e.t, obs::TraceEventKind::kSpareArrival,
+                              obs::TraceEvent::kNoSlot);
+    }
+    handle_spare_arrival(e.lane, e.t);
+  }
+}
+
 void BatchGroupSimulator::process_scrub_completions() {
   if (n_clear_ == 0) return;
   const Ev* const ev = bkt_clear_.data();
@@ -513,6 +529,10 @@ void BatchGroupSimulator::process_restore_dones() {
   const Ev* const ev = bkt_restore_.data();
   // Install the fresh drives: fresh op lifetimes first (the scalar
   // install's first draw), then the defect countdowns (its second draw).
+  // The install pass caches each element's cell index; the lifetime
+  // scatter reuses it (bulk_defect_countdown then recycles the cache
+  // for its own passes).
+  std::size_t* const cell = cell_scratch_.data();
   for (std::size_t k = 0; k < n_restore_; ++k) {
     const Ev& e = ev[k];
     if (any_trace_ && traces_[e.lane]) {
@@ -520,15 +540,15 @@ void BatchGroupSimulator::process_restore_dones() {
     }
     ++c_restore_[e.lane];
     const std::size_t i = idx(e.lane, e.slot);
-    install_time_[i] = e.t;
-    restore_done_[i] = kInf;
+    cell[k] = i;
+    cells_[i].install_time = e.t;
+    cells_[i].restore_done = kInf;
     awaiting_spare_[i] = 0;
     rs_scratch_[k] = &streams_[e.lane];
   }
   bulk_sample(Law::kOp, ev, n_restore_, false);
   for (std::size_t k = 0; k < n_restore_; ++k) {
-    const Ev& e = ev[k];
-    next_op_[idx(e.lane, e.slot)] = e.t + out_scratch_[k];
+    cells_[cell[k]].next_op = ev[k].t + out_scratch_[k];
   }
   bulk_defect_countdown(ev, n_restore_);
   // Element-wise tail: reconstruction defects and DDF freeze ends.
@@ -613,10 +633,10 @@ void BatchGroupSimulator::process_op_failures() {
       }
     }
     const std::size_t i = idx(e.lane, e.slot);
-    defect_occurred_[i] = kInf;
-    defect_clears_[i] = kInf;
-    next_op_[i] = kInf;
-    next_ld_[i] = kInf;
+    cells_[i].defect_occurred = kInf;
+    cells_[i].defect_clears = kInf;
+    cells_[i].next_op = kInf;
+    cells_[i].next_ld = kInf;
     request_spare(e.lane, e.slot, e.t, restore_duration);
     if (trace && res.ddfs.size() > ddfs_before) {
       trace->record(e.t, obs::TraceEventKind::kDdf, e.slot);
@@ -635,6 +655,7 @@ void BatchGroupSimulator::process_latent_defects() {
       uniform_law_[static_cast<std::size_t>(Law::kScrub)];
   const bool all_scrubbed = uniform_scrub && kernels_[0].scrub.present();
   Ev* const g = gather_.data();
+  std::size_t* const cell = cell_scratch_.data();
   std::size_t ng = 0;
   if (all_scrubbed) {
     for (std::size_t k = 0; k < n_ld_; ++k) {
@@ -644,7 +665,9 @@ void BatchGroupSimulator::process_latent_defects() {
                                 e.slot);
       }
       ++c_latent_[e.lane];
-      defect_occurred_[idx(e.lane, e.slot)] = e.t;
+      const std::size_t i = idx(e.lane, e.slot);
+      cell[k] = i;
+      cells_[i].defect_occurred = e.t;
       rs_scratch_[k] = &streams_[e.lane];
     }
     ng = n_ld_;
@@ -657,13 +680,14 @@ void BatchGroupSimulator::process_latent_defects() {
       }
       ++c_latent_[e.lane];
       const std::size_t i = idx(e.lane, e.slot);
-      defect_occurred_[i] = e.t;
+      cell[k] = i;
+      cells_[i].defect_occurred = e.t;
       if (kernels_[e.slot].scrub.present()) {
         rs_scratch_[ng] = &streams_[e.lane];
         if (!uniform_scrub) g[ng] = e;
         ++ng;
       } else {
-        defect_clears_[i] = kInf;
+        cells_[i].defect_clears = kInf;
       }
     }
   }
@@ -680,13 +704,13 @@ void BatchGroupSimulator::process_latent_defects() {
   std::size_t k = 0;
   for (std::size_t x = 0; x < n_ld_; ++x) {
     const Ev& e = ev[x];
-    const std::size_t i = idx(e.lane, e.slot);
+    const std::size_t i = cell[x];
     const bool scrubbed =
         all_scrubbed || kernels_[e.slot].scrub.present();
     const double cl = scrubbed ? e.t + out_scratch_[k++] : kInf;
-    if (scrubbed) defect_clears_[i] = cl;
-    const double op = next_op_[i];
-    next_ld_[i] = kInf;
+    if (scrubbed) cells_[i].defect_clears = cl;
+    const double op = cells_[i].next_op;
+    cells_[i].next_ld = kInf;
     next_event_[i] = std::min(op, cl);
     next_kind_[i] = cl <= op ? kKindClear : kKindOp;
     if (has_zones_) {
@@ -741,15 +765,15 @@ void BatchGroupSimulator::run_lane(const rng::StreamFactory& streams,
   for (std::uint32_t s = 0; s < nslots_; ++s) {
     for (std::uint32_t w = 0; w < count; ++w) {
       const std::size_t i = idx(w, s);
-      install_time_[i] = 0.0;
-      restore_done_[i] = kInf;
+      cells_[i].install_time = 0.0;
+      cells_[i].restore_done = kInf;
       awaiting_spare_[i] = 0;
       rs_scratch_[w] = &streams_[w];
       gather_[w] = {w, s, 0.0};
     }
     bulk_sample(Law::kOp, gather_.data(), count, false);
     for (std::uint32_t w = 0; w < count; ++w) {
-      next_op_[idx(w, s)] = 0.0 + out_scratch_[w];
+      cells_[idx(w, s)].next_op = 0.0 + out_scratch_[w];
     }
     bulk_defect_countdown(gather_.data(), count);
   }
@@ -761,63 +785,61 @@ void BatchGroupSimulator::run_lane(const rng::StreamFactory& streams,
 
   // Lockstep rounds: every still-running lane dispatches exactly the event
   // its scalar loop would pick next; the round then batches the per-kind
-  // refill draws across lanes.
+  // refill draws across lanes. The whole argmin + classify + settle sweep
+  // is one fused lane-layer call (sim/lane_ops.h round_dispatch:
+  // comparisons only, bit-identical to the scalar first-minimum loop, with
+  // settled lanes compacted out of active_ in place) — the per-round
+  // processors then drain the kind buckets it emitted. Legal because a
+  // lane's scan reads only its own timer slice and every handler this
+  // round runs after the sweep, in bucket (= lane) order.
   const double* const tnext = next_event_.data();
+  const std::uint8_t* const kinds = next_kind_.data();
   Ev* const bufs[4] = {bkt_clear_.data(), bkt_restore_.data(),
                        bkt_op_.data(), bkt_ld_.data()};
-  while (!active_.empty()) {
-    // One lane-layer pass scans every live lane's slot timers up front
-    // (sim/lane_ops.h round_argmin: comparisons only, bit-identical to the
-    // scalar first-minimum loop). Legal because the dispatch loop below
-    // only mutates a lane's timers via handle_spare_arrival, a lane's
-    // argmin reads only its own timer slice, and in the original per-lane
-    // order every lane's scan also preceded its own (and only its own)
-    // mutation.
-    ops_->round_argmin(tnext, nslots_, active_.data(), active_.size(),
-                       amin_t_.data(), amin_slot_.data());
-    // Bucket cursors indexed by kKind*, so the classified event stores
-    // through computed addresses instead of a four-way branch the
-    // predictor cannot learn (clears and new defects alternate close to
-    // randomly in scrubbed configurations).
-    std::size_t cnt[4] = {0, 0, 0, 0};
-    std::size_t keep = 0;
-    for (std::size_t a = 0; a < active_.size(); ++a) {
-      const std::uint32_t lane = active_[a];
-      const std::size_t base = static_cast<std::size_t>(lane) * nslots_;
-      const double t = amin_t_[a];
-      const std::uint32_t slot = amin_slot_[a];
-      if (has_pool) {
-        const double spare_t = next_spare_arrival(lane);
-        // Ties go to the spare (<=, not <), as in the scalar loop.
-        if (spare_t <= t && spare_t < kInf) {
-          if (spare_t >= mission) continue;  // lane done
-          if (any_trace_ && traces_[lane]) {
-            traces_[lane]->record(spare_t, obs::TraceEventKind::kSpareArrival,
-                                  obs::TraceEvent::kNoSlot);
-          }
-          handle_spare_arrival(lane, spare_t);
-          active_[keep++] = lane;
-          continue;
-        }
+  occ_ = LaneOccupancy{};
+  std::size_t nlanes = count;
+  std::uint64_t round = 0;
+  while (nlanes != 0) {
+    ++round;
+    occ_.active_lane_rounds += nlanes;
+    occ_.capacity_lane_rounds += count;
+    // Occupancy decile: nlanes in [1, count] maps onto [0, 9].
+    ++occ_.occupancy_hist[(nlanes * 10 - 1) / count];
+    const double* spare_next = nullptr;
+    if (has_pool) {
+      // Stage each live lane's next spare arrival for the sweep's tie
+      // check — the same pending-order scan the inline check performed.
+      for (std::size_t a = 0; a < nlanes; ++a) {
+        const std::uint32_t lane = active_[a];
+        spare_next_[lane] = next_spare_arrival(lane);
       }
-      if (t >= mission) continue;  // lane done
-      // Bucket by the kind refresh_next_event resolved together with the
-      // min (the scalar dispatch priority: clears, restores, failures,
-      // new defects).
-      const std::uint8_t kind = next_kind_[base + slot];
-      bufs[kind][cnt[kind]++] = {lane, slot, t};
-      active_[keep++] = lane;
+      spare_next = spare_next_.data();
     }
-    active_.resize(keep);
+    std::size_t cnt[5];
+    const std::size_t kept =
+        ops_->round_dispatch(tnext, kinds, nslots_, active_.data(), nlanes,
+                             mission, spare_next, bufs, bkt_spare_.data(), cnt);
+    if (kept < nlanes) {
+      const std::uint64_t settled = nlanes - kept;
+      if (occ_.lanes_settled == 0) occ_.settle_rounds_min = round;
+      occ_.settle_rounds_max = round;
+      occ_.settle_rounds_sum += settled * round;
+      occ_.lanes_settled += settled;
+    }
+    nlanes = kept;
     n_clear_ = cnt[kKindClear];
     n_restore_ = cnt[kKindRestore];
     n_op_ = cnt[kKindOp];
     n_ld_ = cnt[kKindLd];
+    n_spare_ = cnt[4];
+    if (n_spare_ != 0) process_spare_arrivals();
     process_scrub_completions();
     process_restore_dones();
     process_op_failures();
     process_latent_defects();
   }
+  occ_.rounds = round;
+  active_.resize(nlanes);
 
   // Fold the flat counters into the lane results.
   for (std::uint32_t w = 0; w < count; ++w) {

@@ -83,19 +83,35 @@ class BatchGroupSimulator {
 
   [[nodiscard]] std::size_t width() const noexcept { return width_; }
 
- private:
-  /// One classified event: lane element, slot, dispatch time.
-  struct Ev {
-    std::uint32_t lane;
-    std::uint32_t slot;
-    double t;
+  /// Lane-occupancy profile of the last run_lane call (docs/MODEL.md
+  /// §17): how full the lockstep rounds ran and how quickly lanes
+  /// settled — the observable form of the settled-lane compaction win.
+  struct LaneOccupancy {
+    std::uint64_t rounds = 0;             ///< lockstep rounds executed
+    std::uint64_t active_lane_rounds = 0; ///< Σ live lanes over rounds
+    std::uint64_t capacity_lane_rounds = 0;  ///< Σ lane count over rounds
+    /// Rounds bucketed by live/count ratio decile; hist[9] counts the
+    /// full rounds, hist[0] the rounds running at <= 10% occupancy.
+    std::uint64_t occupancy_hist[10] = {};
+    std::uint64_t lanes_settled = 0;
+    std::uint64_t settle_rounds_sum = 0;  ///< Σ settle round over lanes
+    std::uint64_t settle_rounds_min = 0;  ///< 0 when nothing settled
+    std::uint64_t settle_rounds_max = 0;
   };
+  [[nodiscard]] const LaneOccupancy& occupancy() const noexcept {
+    return occ_;
+  }
+
+ private:
+  /// One classified event: lane element, slot, dispatch time. The lane
+  /// layer's round_dispatch emits these directly into the kind buckets.
+  using Ev = LaneEvent;
 
   enum class Law : std::uint8_t { kOp, kRestore, kLatent, kScrub };
 
-  /// Event kinds cached per cell by refresh_next_event, in the scalar
-  /// engine's dispatch-priority order for events at one instant: defect
-  /// clears census first, then restores, then failures, then new defects.
+  /// Event kinds cached per cell in next_kind_, in the scalar engine's
+  /// dispatch-priority order for events at one instant: defect clears
+  /// census first, then restores, then failures, then new defects.
   enum : std::uint8_t { kKindClear = 0, kKindRestore = 1, kKindOp = 2,
                         kKindLd = 3 };
 
@@ -107,7 +123,6 @@ class BatchGroupSimulator {
   [[nodiscard]] bool defective(std::size_t i) const noexcept;
   [[nodiscard]] const CompiledLaw& law_of(Law which,
                                           std::uint32_t slot) const noexcept;
-  void refresh_next_event(std::uint32_t lane, std::uint32_t slot) noexcept;
 
   /// Fill out_scratch_[0..n) with one draw per element of elems[0..n) from
   /// its slot's `which` law; rs_scratch_ (and, for residual draws,
@@ -145,7 +160,9 @@ class BatchGroupSimulator {
       std::uint32_t lane, std::uint32_t failed_slot) const noexcept;
 
   // Per-kind round processors; each batches its leading refill draws and
-  // finishes element-wise in lane order.
+  // finishes element-wise in lane order. Spare arrivals run first (the
+  // scalar loop's tie priority) and draw no RNG.
+  void process_spare_arrivals();
   void process_scrub_completions();
   void process_restore_dones();
   void process_op_failures();
@@ -178,21 +195,34 @@ class BatchGroupSimulator {
   HazardTilt ld_tilt_;
   bool tilted_ = false;
 
-  // SoA slot state, indexed idx(lane, slot). Same fields, same semantics
-  // as GroupSimulator::Slot.
-  std::vector<double> install_time_;
-  std::vector<double> next_op_;
-  std::vector<double> restore_done_;
-  std::vector<double> next_ld_;
-  std::vector<double> defect_occurred_;
-  std::vector<double> defect_clears_;
+  /// Per-cell slot state, indexed idx(lane, slot). Same fields, same
+  /// semantics as GroupSimulator::Slot, packed into exactly one cache
+  /// line: an event handler's timer reads and writes land on a single
+  /// line instead of walking six width-sized arrays (the pure-SoA
+  /// layout spilled L1 at width 64 — docs/MODEL.md §17). next_event_
+  /// and next_kind_ stay dense below so the fused round sweep scans
+  /// contiguous timers with full-width vector loads.
+  struct alignas(64) Cell {
+    double next_op;
+    double restore_done;
+    double next_ld;
+    double defect_occurred;
+    double defect_clears;
+    double install_time;
+    double pending_restore_duration;
+    std::uint64_t defect_zone;
+  };
+  static_assert(sizeof(Cell) == 64, "one cell per cache line");
+  std::vector<Cell> cells_;
   std::vector<double> next_event_;  ///< cached min of the four timers
-  /// Which timer won next_event_ (kKind*), cached by refresh_next_event so
-  /// the round loop buckets an event with one byte load instead of
-  /// re-deriving the dispatch priority from three more timer loads.
+  /// Which timer won next_event_ (kKind*), resolved wherever a cell's
+  /// timers change so round_dispatch buckets an event with one byte load
+  /// instead of re-deriving the dispatch priority from three more timer
+  /// loads. The canonical chain (the scalar dispatcher's <= priority:
+  /// clear <= restore <= op <= ld) is collapsed at each write site to
+  /// the timers that can actually be finite there; every site documents
+  /// the invariant that justifies its collapse.
   std::vector<std::uint8_t> next_kind_;
-  std::vector<double> pending_restore_duration_;
-  std::vector<std::uint64_t> defect_zone_;
   std::vector<std::uint8_t> awaiting_spare_;
 
   // Per-lane trial state.
@@ -219,21 +249,24 @@ class BatchGroupSimulator {
   // Round state: lanes still inside their mission, and this round's events
   // classified by kind. The buckets are flat width_-sized arrays written
   // through a cursor (n_*_), not grown — a round holds at most one event
-  // per lane.
+  // per lane. ops_->round_dispatch fills all of this in one fused sweep:
+  // per-lane argmin, mission settling (lanes compact out of active_ in
+  // place, stable order), spare-arrival tie-off, and kind bucketing.
   std::vector<std::uint32_t> active_;
-  // Per-round argmin outputs, amin_*_[k] for active_[k] (width_-sized):
-  // ops_->round_argmin scans every live lane's slot timers in one pass
-  // before the dispatch loop touches any of them.
-  std::vector<double> amin_t_;
-  std::vector<std::uint32_t> amin_slot_;
+  std::vector<Ev> bkt_spare_;
   std::vector<Ev> bkt_clear_;
   std::vector<Ev> bkt_restore_;
   std::vector<Ev> bkt_op_;
   std::vector<Ev> bkt_ld_;
+  std::size_t n_spare_ = 0;
   std::size_t n_clear_ = 0;
   std::size_t n_restore_ = 0;
   std::size_t n_op_ = 0;
   std::size_t n_ld_ = 0;
+  /// Per-lane next spare arrival, staged for round_dispatch when the
+  /// configuration has a pool (indexed by lane id, width_-sized).
+  std::vector<double> spare_next_;
+  LaneOccupancy occ_;
 
   // Gather/scatter scratch for the bulk refills (width_-sized).
   std::vector<Ev> gather_;
@@ -241,6 +274,9 @@ class BatchGroupSimulator {
   std::vector<rng::RandomStream*> rs_scratch_;
   std::vector<double> out_scratch_;
   std::vector<double> age_scratch_;
+  /// Cell indices cached by the refresh paths' gather passes so their
+  /// scatter passes reuse them instead of recomputing lane * nslots + slot.
+  std::vector<std::size_t> cell_scratch_;
   std::vector<double> lw_scratch_;  ///< per-element weight terms of a refill
   /// Per-element tilt horizons (mission remaining, or horizon age for
   /// residual draws), staged alongside the refill inputs; see HazardTilt.

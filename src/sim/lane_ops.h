@@ -55,6 +55,18 @@ const char* math_tier_name(MathTier tier) noexcept;
 /// Parse a math_tier_name spelling; nullopt for anything else.
 std::optional<MathTier> parse_math_tier(std::string_view name) noexcept;
 
+/// One classified round event emitted by LaneOps::round_dispatch: lane
+/// element, slot (kLaneNoSlot for spare arrivals), dispatch time.
+struct LaneEvent {
+  std::uint32_t lane;
+  std::uint32_t slot;
+  double t;
+};
+
+/// Slot value of a LaneEvent that is not bound to a slot (spare
+/// arrivals service a lane-level queue, not one cell).
+inline constexpr std::uint32_t kLaneNoSlot = 0xffffffffu;
+
 /// One ISA tier's lane primitives. Obtained from lane_ops() /
 /// lane_ops_for(); the tables are immutable statics, so the pointer can
 /// be kept for the life of the process.
@@ -74,6 +86,30 @@ struct LaneOps {
   void (*round_argmin)(const double* tnext, std::size_t nslots,
                        const std::uint32_t* lanes, std::size_t nlanes,
                        double* t_out, std::uint32_t* slot_out);
+
+  /// Fused round sweep: the batched engine's whole argmin + classify +
+  /// settle pass in one dispatched call. For each live lane lanes[k]
+  /// (in order) it scans the lane's slot timers (argmin_first
+  /// semantics), then either
+  ///  * settles the lane — next event at or past `mission` — by
+  ///    compacting it out of lanes[] (stable order, in place),
+  ///  * emits a spare arrival into spare_events when spare_next is
+  ///    non-null and spare_next[lanes[k]] <= slot min and < inf (ties
+  ///    go to the spare, exactly the scalar loop's <=; an arrival at or
+  ///    past `mission` settles the lane instead), or
+  ///  * appends {lane, slot, t} to buckets[kinds[lane * nslots + slot]]
+  ///    — the engine's cached dispatch-priority byte.
+  /// counts[0..3] receive the per-kind bucket sizes, counts[4] the
+  /// spare-arrival count; returns the surviving lane count. Purely
+  /// comparisons, so which lanes are scanned changes with compaction
+  /// but never any emitted value — bit-identical to the scalar sweep.
+  std::size_t (*round_dispatch)(const double* tnext,
+                                const std::uint8_t* kinds, std::size_t nslots,
+                                std::uint32_t* lanes, std::size_t nlanes,
+                                double mission, const double* spare_next,
+                                LaneEvent* const buckets[4],
+                                LaneEvent* spare_events,
+                                std::size_t counts[5]);
 
   /// Bulk uniform fill for this tier (rng/bulk.h; bit-identical to
   /// scalar draws at every width).

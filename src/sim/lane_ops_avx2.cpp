@@ -53,6 +53,7 @@ const LaneOps& lane_ops_avx2() noexcept {
       util::SimdIsa::kAvx2,
       &argmin_first_impl<Avx2Backend>,
       &round_argmin_impl<Avx2Backend>,
+      &round_dispatch_impl<Avx2Backend>,
       rng::fill_uniform_open_backend(util::SimdIsa::kAvx2),
       &neg_log_n_impl<Avx2Backend>,
       &weibull_quantile_n_impl<Avx2Backend>,

@@ -10,6 +10,7 @@ const LaneOps& lane_ops_generic() noexcept {
       util::SimdIsa::kGeneric,
       &argmin_first_impl<ScalarBackend>,
       &round_argmin_impl<ScalarBackend>,
+      &round_dispatch_impl<ScalarBackend>,
       rng::fill_uniform_open_backend(util::SimdIsa::kGeneric),
       &neg_log_n_impl<ScalarBackend>,
       &weibull_quantile_n_impl<ScalarBackend>,

@@ -31,6 +31,7 @@
 #include <bit>
 #include <cstddef>
 #include <cstdint>
+#include <limits>
 
 #include "sim/lane_ops.h"
 
@@ -139,6 +140,47 @@ void round_argmin_impl(const double* tnext, std::size_t nslots,
     argmin_first_impl<B>(tnext + static_cast<std::size_t>(lanes[k]) * nslots,
                          nslots, t_out[k], slot_out[k]);
   }
+}
+
+// Fused argmin + classify + settle sweep (LaneOps::round_dispatch).
+// The scan is argmin_first_impl verbatim, so every emitted (slot, t)
+// pair matches the two-pass round_argmin + classify loop bit for bit;
+// the only change is that settled lanes leave the active set here, in
+// the same stable order the classify loop's `active_[keep++]` kept.
+template <class B>
+std::size_t round_dispatch_impl(const double* tnext, const std::uint8_t* kinds,
+                                std::size_t nslots, std::uint32_t* lanes,
+                                std::size_t nlanes, double mission,
+                                const double* spare_next,
+                                LaneEvent* const buckets[4],
+                                LaneEvent* spare_events,
+                                std::size_t counts[5]) {
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::size_t cnt[5] = {0, 0, 0, 0, 0};
+  std::size_t keep = 0;
+  for (std::size_t k = 0; k < nlanes; ++k) {
+    const std::uint32_t lane = lanes[k];
+    const std::size_t base = static_cast<std::size_t>(lane) * nslots;
+    double t;
+    std::uint32_t slot;
+    argmin_first_impl<B>(tnext + base, nslots, t, slot);
+    if (spare_next != nullptr) {
+      const double spare_t = spare_next[lane];
+      // Ties go to the spare (<=, not <), as in the scalar loop.
+      if (spare_t <= t && spare_t < kInf) {
+        if (spare_t >= mission) continue;  // lane done
+        spare_events[cnt[4]++] = {lane, kLaneNoSlot, spare_t};
+        lanes[keep++] = lane;
+        continue;
+      }
+    }
+    if (t >= mission) continue;  // lane done
+    const std::uint8_t kind = kinds[base + slot];
+    buckets[kind][cnt[kind]++] = {lane, slot, t};
+    lanes[keep++] = lane;
+  }
+  for (std::size_t j = 0; j < 5; ++j) counts[j] = cnt[j];
+  return keep;
 }
 
 // ---------------------------------------------------------------------

@@ -50,6 +50,7 @@ const LaneOps& lane_ops_sse2() noexcept {
       util::SimdIsa::kSse2,
       &argmin_first_impl<Sse2Backend>,
       &round_argmin_impl<Sse2Backend>,
+      &round_dispatch_impl<Sse2Backend>,
       rng::fill_uniform_open_backend(util::SimdIsa::kSse2),
       &neg_log_n_impl<Sse2Backend>,
       &weibull_quantile_n_impl<Sse2Backend>,

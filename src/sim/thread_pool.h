@@ -19,6 +19,17 @@
 // of that run() still completes, and the exception is rethrown on the
 // coordinating thread once all workers are parked again — so the same pool
 // instance remains usable for the next run().
+//
+// NUMA: on a machine with more than one physical memory node
+// (util::active_topology()), each worker is assigned a home node
+// round-robin at spawn and pinned to that node's CPUs, so a worker's
+// engine state (lane arrays, RNG streams) stays in node-local memory
+// across every batch the pool serves. The assignment is visible through
+// current_worker_node(), which the Monte Carlo runner uses to claim
+// node-local trial partitions first (sim/runner.cpp). A synthetic
+// topology (single node, or the RAIDREL_FORCE_NUMA_NODES override)
+// assigns home nodes without touching affinity — splitting claims is
+// harmless and testable anywhere; pinning to made-up nodes is not.
 #pragma once
 
 #include <condition_variable>
@@ -89,8 +100,14 @@ class ThreadPool {
     return static_cast<unsigned>(workers_.size());
   }
 
+  /// The calling thread's home NUMA node, or -1 when the caller is not a
+  /// pool worker (or the machine scheduled as a single node). Assigned
+  /// once at worker spawn from util::active_topology(); the runner reads
+  /// it inside worker tasks to pick which trial partition to drain first.
+  [[nodiscard]] static int current_worker_node() noexcept;
+
  private:
-  void worker_loop();
+  void worker_loop(unsigned index);
 
   std::vector<std::thread> workers_;
   std::mutex mutex_;

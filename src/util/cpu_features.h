@@ -21,6 +21,7 @@
 #include <cstdint>
 #include <optional>
 #include <string_view>
+#include <vector>
 
 namespace raidrel::util {
 
@@ -60,5 +61,47 @@ SimdIsa resolve_isa(SimdIsa detected, std::string_view forced);
 /// every call (cheap: one getenv past the cached detection) so a test
 /// can setenv/unsetenv around engine construction.
 SimdIsa active_isa();
+
+/// One NUMA node as seen by the scheduler: the kernel's node id plus
+/// the logical CPUs it owns.
+struct NumaNode {
+  int id = 0;
+  std::vector<int> cpus;
+};
+
+/// Machine memory topology for the Monte Carlo scheduler. Always holds
+/// at least one node; nodes are ordered by id. `physical` distinguishes
+/// a real /sys probe from a synthesized split (non-Linux fallback or the
+/// RAIDREL_FORCE_NUMA_NODES override): only a physical multi-node
+/// topology may drive thread affinity — a synthetic split shapes work
+/// claiming so the partitioned path is testable anywhere, but pinning
+/// threads to made-up nodes would only fight the OS scheduler.
+struct CpuTopology {
+  std::vector<NumaNode> nodes;
+  bool physical = false;
+  [[nodiscard]] std::size_t node_count() const noexcept {
+    return nodes.size();
+  }
+};
+
+/// Parse the kernel's cpulist format ("0-3,8,10-11") into an ascending
+/// CPU id list. Pure (no filesystem); malformed or descending segments
+/// are skipped rather than fatal — a defensive probe must survive an
+/// exotic sysfs, and a partially parsed node still schedules correctly.
+std::vector<int> parse_cpu_list(std::string_view text);
+
+/// The machine's NUMA layout from /sys/devices/system/node (Linux).
+/// Falls back to one synthetic node spanning hardware_concurrency()
+/// CPUs when the probe finds nothing. Probed once and cached.
+const CpuTopology& detected_topology();
+
+/// The topology scheduling should use: detected_topology(), unless
+/// RAIDREL_FORCE_NUMA_NODES (integer >= 1) is set, in which case the
+/// detected CPUs are re-split into that many synthetic nodes (always
+/// `physical == false`, so affinity stays off). The override exists so
+/// the node-partitioned claiming path can be exercised and tested on a
+/// single-node box. Reads the environment on every call; throws
+/// ModelError on an unparseable or zero value.
+CpuTopology active_topology();
 
 }  // namespace raidrel::util

@@ -316,6 +316,119 @@ TEST(BatchEquivalence, BitIdenticalUnderEveryForcedIsa) {
   }
 }
 
+// ---- Adversarial settle patterns ---------------------------------------
+//
+// The fused round loop compacts settled lanes out of the sweep in place
+// (sim/batch_engine.h), so the dangerous schedules are the ones that
+// reorder or shrink the active set aggressively: nearly every lane
+// settling on the first round, lanes freezing at widely scattered rounds
+// after early DDFs, and a full lane surviving to the mission end with
+// compaction only at the tail. Each pattern must stay bit-identical to
+// the scalar engine at every width, under both rebuild models, and on
+// every runnable ISA backend.
+
+raid::GroupConfig first_round_settle_group() {
+  // Mission far shorter than the failure scales: ~97% of trials see no
+  // event at all, so almost the whole lane settles on round one and the
+  // few survivors run with a nearly empty active set.
+  return busy_group(50.0);
+}
+
+raid::GroupConfig ddf_stagger_group() {
+  // Frequent double failures with slow restores: lanes freeze on DDFs at
+  // widely scattered rounds, so the active set shrinks by ones and twos
+  // mid-batch — the staggered-compaction schedule.
+  raid::SlotModel m;
+  m.time_to_op_failure = std::make_unique<stats::Weibull>(0.0, 500.0, 1.2);
+  m.time_to_restore = std::make_unique<stats::Weibull>(6.0, 400.0, 2.0);
+  m.time_to_latent_defect =
+      std::make_unique<stats::Weibull>(0.0, 2000.0, 1.0);
+  m.time_to_scrub = std::make_unique<stats::Weibull>(6.0, 300.0, 3.0);
+  return raid::make_uniform_group(8, 1, m, 20000.0);
+}
+
+raid::GroupConfig survivor_tail_group() {
+  // Reliable drives but a recurring scrub clock: every lane stays live
+  // (and the lane stays full) until its own last pre-mission scrub, so
+  // compaction happens only in the final rounds.
+  raid::SlotModel m;
+  m.time_to_op_failure =
+      std::make_unique<stats::Weibull>(0.0, 1.0e6, 1.12);
+  m.time_to_restore = std::make_unique<stats::Weibull>(6.0, 12.0, 2.0);
+  m.time_to_latent_defect =
+      std::make_unique<stats::Weibull>(0.0, 9000.0, 1.0);
+  m.time_to_scrub = std::make_unique<stats::Weibull>(6.0, 168.0, 3.0);
+  return raid::make_uniform_group(8, 1, m, 8760.0);
+}
+
+TEST(BatchEquivalence, SettlePatternsBothRebuildModels) {
+  for (const raid::RebuildModel rebuild :
+       {raid::RebuildModel::kDedicatedSpare,
+        raid::RebuildModel::kDeclustered}) {
+    for (auto* make : {&first_round_settle_group, &ddf_stagger_group,
+                       &survivor_tail_group}) {
+      auto cfg = make();
+      cfg.rebuild = rebuild;
+      SCOPED_TRACE(raid::to_string(rebuild));
+      expect_engine_equivalence(cfg);
+    }
+  }
+}
+
+TEST(BatchEquivalence, SettlePatternsUnderEveryForcedIsa) {
+  // The compaction decision (settle test, spare tie, bucket classify)
+  // lives in each backend's fused round_dispatch; adversarial schedules
+  // must agree with the scalar engine on every runnable tier.
+  for (auto* make : {&first_round_settle_group, &ddf_stagger_group,
+                     &survivor_tail_group}) {
+    const auto cfg = make();
+    const auto scalar = scalar_trials(cfg, 120, KernelPolicy::kLowered);
+    for (util::SimdIsa isa :
+         {util::SimdIsa::kGeneric, util::SimdIsa::kSse2,
+          util::SimdIsa::kAvx2, util::SimdIsa::kAvx512}) {
+      if (isa > util::detected_isa()) continue;
+      SCOPED_TRACE(util::isa_name(isa));
+      ASSERT_EQ(::setenv("RAIDREL_FORCE_ISA", util::isa_name(isa), 1), 0);
+      for (const std::size_t width : {std::size_t{1}, std::size_t{2},
+                                      std::size_t{16}, std::size_t{64}}) {
+        SCOPED_TRACE("width " + std::to_string(width));
+        expect_trials_identical(
+            scalar, batch_trials(cfg, 120, width, KernelPolicy::kLowered));
+      }
+      ::unsetenv("RAIDREL_FORCE_ISA");
+    }
+  }
+}
+
+TEST(BatchEquivalence, OccupancyAccountingInvariants) {
+  // The occupancy profile is bookkeeping over the same compaction the
+  // equivalence tests prove correct; its internal identities must hold
+  // on any schedule: every lane settles exactly once, capacity counts
+  // full rounds, the decile histogram partitions the rounds, and settle
+  // rounds are ordered and bounded.
+  for (auto* make : {&first_round_settle_group, &ddf_stagger_group,
+                     &survivor_tail_group}) {
+    const auto cfg = make();
+    const rng::StreamFactory streams(kSeed);
+    BatchGroupSimulator simulator(cfg, 16);
+    simulator.run_lane(streams, 0, 12);  // partial lane on purpose
+    const auto& oc = simulator.occupancy();
+    EXPECT_GT(oc.rounds, 0u);
+    EXPECT_EQ(oc.lanes_settled, 12u);
+    EXPECT_EQ(oc.capacity_lane_rounds, oc.rounds * 12u);
+    EXPECT_LE(oc.active_lane_rounds, oc.capacity_lane_rounds);
+    EXPECT_GE(oc.active_lane_rounds, oc.rounds);  // >=1 live lane per round
+    std::uint64_t hist_total = 0;
+    for (const std::uint64_t h : oc.occupancy_hist) hist_total += h;
+    EXPECT_EQ(hist_total, oc.rounds);
+    EXPECT_GE(oc.settle_rounds_min, 1u);
+    EXPECT_LE(oc.settle_rounds_min, oc.settle_rounds_max);
+    EXPECT_LE(oc.settle_rounds_max, oc.rounds);
+    EXPECT_GE(oc.settle_rounds_sum, 12u * oc.settle_rounds_min);
+    EXPECT_LE(oc.settle_rounds_sum, 12u * oc.settle_rounds_max);
+  }
+}
+
 // ---- Runner-level invariance -------------------------------------------
 
 RunOptions runner_options(std::size_t trials, unsigned threads,
@@ -377,6 +490,37 @@ TEST(BatchRunnerEquivalence, AwkwardTrialCounts) {
   }
   EXPECT_THROW(run_monte_carlo(cfg, runner_options(0, 1, width)),
                ModelError);
+}
+
+TEST(BatchRunnerEquivalence, NodePartitionedClaimingIsInvariant) {
+  // RAIDREL_FORCE_NUMA_NODES re-splits the trial range into per-node
+  // partitions with node-local claim cursors (sim/runner.cpp). Trial
+  // streams derive from the global index, so the split must never change
+  // results. A single worker additionally drains the partitions in global
+  // order, so even the order-sensitive probe sum matches exactly.
+  const auto cfg = spare_pool_group();
+  const auto baseline_1t = run_monte_carlo(cfg, runner_options(300, 1, 64));
+  const auto baseline_4t = run_monte_carlo(cfg, runner_options(300, 4, 64));
+  for (const char* nodes : {"2", "3"}) {
+    SCOPED_TRACE(std::string("forced nodes ") + nodes);
+    ASSERT_EQ(::setenv("RAIDREL_FORCE_NUMA_NODES", nodes, 1), 0);
+    expect_runs_identical(
+        baseline_1t, run_monte_carlo(cfg, runner_options(300, 1, 64)), true);
+    expect_runs_identical(
+        baseline_4t, run_monte_carlo(cfg, runner_options(300, 4, 64)),
+        false);
+    ::unsetenv("RAIDREL_FORCE_NUMA_NODES");
+  }
+}
+
+TEST(BatchRunnerEquivalence, MalformedNumaOverrideThrows) {
+  const auto cfg = busy_group();
+  for (const char* bad : {"0", "-1", "two", "2x"}) {
+    SCOPED_TRACE(bad);
+    ASSERT_EQ(::setenv("RAIDREL_FORCE_NUMA_NODES", bad, 1), 0);
+    EXPECT_THROW(run_monte_carlo(cfg, runner_options(8, 1, 4)), ModelError);
+    ::unsetenv("RAIDREL_FORCE_NUMA_NODES");
+  }
 }
 
 }  // namespace

@@ -8,8 +8,11 @@
 #include <gtest/gtest.h>
 
 #include <cstdlib>
+#include <mutex>
+#include <vector>
 
 #include "sim/lane_ops.h"
+#include "sim/thread_pool.h"
 #include "util/cpu_features.h"
 #include "util/error.h"
 
@@ -95,6 +98,108 @@ TEST(CpuFeatures, LaneOpsForClampsLikeResolve) {
   // A request above the hardware degrades to the widest runnable tier.
   EXPECT_EQ(sim::lane_ops_for(SimdIsa::kAvx512).isa,
             detected < SimdIsa::kAvx512 ? detected : SimdIsa::kAvx512);
+}
+
+// ---- NUMA topology ------------------------------------------------------
+
+/// Same RAII discipline for the node-count override.
+class ScopedForceNodes {
+ public:
+  explicit ScopedForceNodes(const char* value) {
+    ::setenv("RAIDREL_FORCE_NUMA_NODES", value, 1);
+  }
+  ~ScopedForceNodes() { ::unsetenv("RAIDREL_FORCE_NUMA_NODES"); }
+};
+
+TEST(CpuTopologyTest, ParseCpuListHandlesKernelFormat) {
+  EXPECT_EQ(parse_cpu_list("0-3"), (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_EQ(parse_cpu_list("0-3,8,10-11"),
+            (std::vector<int>{0, 1, 2, 3, 8, 10, 11}));
+  EXPECT_EQ(parse_cpu_list("7"), (std::vector<int>{7}));
+  // The sysfs file ends in a newline; stray blanks are tolerated.
+  EXPECT_EQ(parse_cpu_list("0-1\n"), (std::vector<int>{0, 1}));
+  EXPECT_EQ(parse_cpu_list(" 2 , 4 "), (std::vector<int>{2, 4}));
+  // Duplicates and overlapping ranges collapse, output stays sorted.
+  EXPECT_EQ(parse_cpu_list("3,1,1-2"), (std::vector<int>{1, 2, 3}));
+}
+
+TEST(CpuTopologyTest, ParseCpuListSkipsMalformedSegments) {
+  EXPECT_TRUE(parse_cpu_list("").empty());
+  EXPECT_TRUE(parse_cpu_list("\n").empty());
+  EXPECT_TRUE(parse_cpu_list("abc").empty());
+  EXPECT_TRUE(parse_cpu_list("5-2").empty());   // descending range
+  EXPECT_TRUE(parse_cpu_list("-3").empty());    // negative id
+  // A bad segment never poisons its neighbors.
+  EXPECT_EQ(parse_cpu_list("0,junk,2-2x,3"), (std::vector<int>{0, 3}));
+}
+
+TEST(CpuTopologyTest, DetectedTopologyHasAtLeastOneNodeWithCpus) {
+  const CpuTopology& topo = detected_topology();
+  ASSERT_GE(topo.node_count(), 1u);
+  for (const NumaNode& node : topo.nodes) {
+    EXPECT_GE(node.id, 0);
+    EXPECT_FALSE(node.cpus.empty());
+  }
+}
+
+TEST(CpuTopologyTest, ForcedNodesSplitIsSyntheticAndCoversAllCpus) {
+  std::size_t detected_cpus = 0;
+  for (const auto& node : detected_topology().nodes) {
+    detected_cpus += node.cpus.size();
+  }
+  ScopedForceNodes force("3");
+  const CpuTopology topo = active_topology();
+  ASSERT_EQ(topo.node_count(), 3u);
+  // Synthetic splits shape claim routing only; pinning threads to
+  // made-up nodes would fight the OS scheduler (thread_pool.cpp).
+  EXPECT_FALSE(topo.physical);
+  std::size_t split_cpus = 0;
+  for (const auto& node : topo.nodes) split_cpus += node.cpus.size();
+  EXPECT_EQ(split_cpus, detected_cpus);
+}
+
+TEST(CpuTopologyTest, ActiveTopologyFollowsTheEnvironment) {
+  const std::size_t detected_nodes = detected_topology().node_count();
+  EXPECT_EQ(active_topology().node_count(), detected_nodes);
+  {
+    ScopedForceNodes force("5");
+    EXPECT_EQ(active_topology().node_count(), 5u);
+  }
+  EXPECT_EQ(active_topology().node_count(), detected_nodes);
+}
+
+TEST(CpuTopologyTest, MalformedForcedNodesThrow) {
+  for (const char* bad : {"0", "-2", "abc", "2.5", "3x", ""}) {
+    SCOPED_TRACE(bad);
+    ScopedForceNodes force(bad);
+    if (*bad == '\0') {
+      // Empty counts as absent, like the other RAIDREL_* overrides.
+      EXPECT_EQ(active_topology().node_count(),
+                detected_topology().node_count());
+    } else {
+      EXPECT_THROW(active_topology(), ModelError);
+    }
+  }
+}
+
+TEST(CpuTopologyTest, PoolWorkersGetHomeNodesUnderForcedSplit) {
+  // A fresh pool spawned under a forced split assigns round-robin home
+  // nodes (visible through current_worker_node) without pinning; the
+  // coordinating thread itself is never assigned one.
+  ScopedForceNodes force("2");
+  sim::ThreadPool pool;
+  std::mutex mu;
+  std::vector<int> seen;
+  pool.run(4, [&] {
+    const std::lock_guard<std::mutex> lock(mu);
+    seen.push_back(sim::ThreadPool::current_worker_node());
+  });
+  ASSERT_EQ(seen.size(), 4u);
+  for (const int node : seen) {
+    EXPECT_GE(node, 0);
+    EXPECT_LT(node, 2);
+  }
+  EXPECT_EQ(sim::ThreadPool::current_worker_node(), -1);
 }
 
 TEST(CpuFeatures, MathTierNamesRoundTrip) {

@@ -14,11 +14,15 @@
 namespace raidrel::obs {
 namespace {
 
+/// All three default-watched benchmarks; LongTail is pinned at a fixed
+/// throughput so most tests exercise the other two without noise.
 std::string artifact(const std::string& schema, double base_tps,
                      double full_tps) {
   std::string s = "{\"schema\": \"" + schema + "\", \"benchmarks\": [";
   s += "{\"name\": \"BM_GroupMission_BaseCase\", \"trials_per_second\": " +
        std::to_string(base_tps) + "},";
+  s += "{\"name\": \"BM_GroupMission_LongTail\", \"trials_per_second\": "
+       "2000.0},";
   s += "{\"name\": \"BM_FullRun_MultiThreaded\", \"trials_per_second\": " +
        std::to_string(full_tps) + "}";
   s += "]}";
@@ -27,12 +31,20 @@ std::string artifact(const std::string& schema, double base_tps,
 
 constexpr const char* kV2 = "raidrel-bench-perf/2";
 
+TEST(PerfGate, DefaultWatchedSetCoversTheEngineMissionBenchmarks) {
+  const auto watched = default_watched_benchmarks();
+  ASSERT_EQ(watched.size(), 3u);
+  EXPECT_EQ(watched[0], "BM_GroupMission_BaseCase");
+  EXPECT_EQ(watched[1], "BM_GroupMission_LongTail");
+  EXPECT_EQ(watched[2], "BM_FullRun_MultiThreaded");
+}
+
 TEST(PerfGate, CleanPass) {
   const auto report = run_perf_gate(artifact(kV2, 1000.0, 500.0),
                                     artifact(kV2, 990.0, 505.0));
   EXPECT_FALSE(report.failed);
   EXPECT_FALSE(report.degraded);
-  ASSERT_EQ(report.checks.size(), 2u);
+  ASSERT_EQ(report.checks.size(), 3u);
   for (const auto& check : report.checks) {
     EXPECT_EQ(check.status, PerfGateCheck::Status::kPass) << check.name;
     EXPECT_GT(check.ratio, 0.0);
@@ -54,11 +66,12 @@ TEST(PerfGate, RegressionFailsWithNamedNote) {
   const auto report = run_perf_gate(artifact(kV2, 1000.0, 500.0),
                                     artifact(kV2, 600.0, 500.0));
   EXPECT_TRUE(report.failed);
-  ASSERT_EQ(report.checks.size(), 2u);
+  ASSERT_EQ(report.checks.size(), 3u);
   EXPECT_EQ(report.checks[0].status, PerfGateCheck::Status::kFail);
   EXPECT_NE(report.checks[0].note.find("regressed 40.0%"), std::string::npos)
       << report.checks[0].note;
   EXPECT_EQ(report.checks[1].status, PerfGateCheck::Status::kPass);
+  EXPECT_EQ(report.checks[2].status, PerfGateCheck::Status::kPass);
 }
 
 TEST(PerfGate, RegressionWithinBudgetPasses) {
@@ -78,7 +91,7 @@ TEST(PerfGate, UnsupportedBaselineSchemaDegradesToSkips) {
                                     artifact(kV2, 1000.0, 500.0));
   EXPECT_FALSE(report.failed);
   EXPECT_TRUE(report.degraded);
-  ASSERT_EQ(report.checks.size(), 2u);
+  ASSERT_EQ(report.checks.size(), 3u);
   for (const auto& check : report.checks) {
     EXPECT_EQ(check.status, PerfGateCheck::Status::kSkip) << check.name;
     EXPECT_NE(check.note.find("refresh the committed baseline"),
@@ -97,11 +110,12 @@ TEST(PerfGate, BaselineMissingBenchmarkSkipsThatCheckOnly) {
   const auto report = run_perf_gate(baseline, artifact(kV2, 1000.0, 500.0));
   EXPECT_FALSE(report.failed);
   EXPECT_TRUE(report.degraded);
-  ASSERT_EQ(report.checks.size(), 2u);
+  ASSERT_EQ(report.checks.size(), 3u);
   EXPECT_EQ(report.checks[0].status, PerfGateCheck::Status::kPass);
   EXPECT_EQ(report.checks[1].status, PerfGateCheck::Status::kSkip);
   EXPECT_NE(report.checks[1].note.find("baseline never measured"),
             std::string::npos);
+  EXPECT_EQ(report.checks[2].status, PerfGateCheck::Status::kSkip);
 }
 
 TEST(PerfGate, ZeroBaselineThroughputSkips) {
@@ -111,7 +125,7 @@ TEST(PerfGate, ZeroBaselineThroughputSkips) {
                                     artifact(kV2, 1000.0, 500.0));
   EXPECT_FALSE(report.failed);
   EXPECT_TRUE(report.degraded);
-  EXPECT_EQ(report.checks[1].status, PerfGateCheck::Status::kSkip);
+  EXPECT_EQ(report.checks[2].status, PerfGateCheck::Status::kSkip);
 }
 
 TEST(PerfGate, CandidateMissingBenchmarkFails) {
@@ -126,6 +140,7 @@ TEST(PerfGate, CandidateMissingBenchmarkFails) {
   EXPECT_EQ(report.checks[1].status, PerfGateCheck::Status::kFail);
   EXPECT_NE(report.checks[1].note.find("candidate is missing"),
             std::string::npos);
+  EXPECT_EQ(report.checks[2].status, PerfGateCheck::Status::kFail);
 }
 
 TEST(PerfGate, UnsupportedCandidateSchemaThrows) {
@@ -142,10 +157,11 @@ TEST(PerfGate, MalformedJsonThrows) {
 }
 
 /// A v3 artifact whose BaseCase entry carries code-path tags; the
-/// MultiThreaded entry stays untagged (wildcard).
+/// LongTail and MultiThreaded entries stay untagged (wildcard).
 std::string tagged_artifact(double base_tps, const std::string& isa,
                             const std::string& tier,
-                            std::uint64_t batch_width = 64) {
+                            std::uint64_t batch_width = 64,
+                            std::uint64_t numa_nodes = 0) {
   std::string s = "{\"schema\": \"raidrel-bench-perf/3\", \"benchmarks\": [";
   s += "{\"name\": \"BM_GroupMission_BaseCase\", \"trials_per_second\": " +
        std::to_string(base_tps);
@@ -154,7 +170,12 @@ std::string tagged_artifact(double base_tps, const std::string& isa,
   if (batch_width != 0) {
     s += ", \"batch_width\": " + std::to_string(batch_width);
   }
+  if (numa_nodes != 0) {
+    s += ", \"numa_nodes\": " + std::to_string(numa_nodes);
+  }
   s += "},";
+  s += "{\"name\": \"BM_GroupMission_LongTail\", \"trials_per_second\": "
+       "2000.0},";
   s += "{\"name\": \"BM_FullRun_MultiThreaded\", \"trials_per_second\": "
        "500.0}";
   s += "]}";
@@ -178,14 +199,48 @@ TEST(PerfGate, IsaMismatchSkipsInsteadOfFailing) {
                     tagged_artifact(500.0, "sse2", "exact"));
   EXPECT_FALSE(report.failed);
   EXPECT_TRUE(report.degraded);
-  ASSERT_EQ(report.checks.size(), 2u);
+  ASSERT_EQ(report.checks.size(), 3u);
   EXPECT_EQ(report.checks[0].status, PerfGateCheck::Status::kSkip);
   EXPECT_NE(report.checks[0].note.find("not like-for-like on isa"),
             std::string::npos)
       << report.checks[0].note;
   EXPECT_NE(report.checks[0].note.find("avx512"), std::string::npos);
-  // The untagged MultiThreaded entry still gates normally.
+  // The untagged LongTail and MultiThreaded entries still gate normally.
   EXPECT_EQ(report.checks[1].status, PerfGateCheck::Status::kPass);
+  EXPECT_EQ(report.checks[2].status, PerfGateCheck::Status::kPass);
+}
+
+TEST(PerfGate, NumaNodeCountMismatchSkipsInsteadOfFailing) {
+  // Baseline archived from a 2-node box with workers pinned per node,
+  // candidate running single-node: the throughput delta is topology, not
+  // code — same treatment as an ISA mismatch.
+  const auto report =
+      run_perf_gate(tagged_artifact(1000.0, "avx2", "exact", 64, 2),
+                    tagged_artifact(500.0, "avx2", "exact", 64, 1));
+  EXPECT_FALSE(report.failed);
+  EXPECT_TRUE(report.degraded);
+  ASSERT_EQ(report.checks.size(), 3u);
+  EXPECT_EQ(report.checks[0].status, PerfGateCheck::Status::kSkip);
+  EXPECT_NE(report.checks[0].note.find("numa_nodes (baseline 2, candidate 1)"),
+            std::string::npos)
+      << report.checks[0].note;
+}
+
+TEST(PerfGate, AbsentNumaTagComparesAsWildcard) {
+  // A pre-NUMA baseline carries no numa_nodes tag: the candidate's tag
+  // alone must not block the comparison — a real 40% regression still
+  // fails, and a clean like-for-like run still passes.
+  const auto regressed =
+      run_perf_gate(tagged_artifact(1000.0, "avx2", "exact", 64, 0),
+                    tagged_artifact(600.0, "avx2", "exact", 64, 4));
+  EXPECT_TRUE(regressed.failed);
+  EXPECT_EQ(regressed.checks[0].status, PerfGateCheck::Status::kFail);
+
+  const auto clean =
+      run_perf_gate(tagged_artifact(1000.0, "avx2", "exact", 64, 0),
+                    tagged_artifact(990.0, "avx2", "exact", 64, 4));
+  EXPECT_FALSE(clean.failed);
+  EXPECT_FALSE(clean.degraded);
 }
 
 TEST(PerfGate, MathTierAndWidthMismatchesAlsoSkip) {
